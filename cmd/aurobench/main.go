@@ -1,0 +1,145 @@
+// aurobench regenerates the experiment tables of EXPERIMENTS.md: one table
+// per experiment id (E1–E9), each row produced by the same harness
+// functions the Go benchmarks drive.
+//
+// Usage:
+//
+//	aurobench            # run every experiment
+//	aurobench -e E2,E5   # run a subset
+//	aurobench -quick     # smaller parameter points (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"auragen/internal/harness"
+	"auragen/internal/types"
+)
+
+var (
+	flagExperiments = flag.String("e", "", "comma-separated experiment ids to run (default: all)")
+	flagQuick       = flag.Bool("quick", false, "smaller parameter points")
+)
+
+func main() {
+	flag.Parse()
+	want := map[string]bool{}
+	if *flagExperiments != "" {
+		for _, e := range strings.Split(*flagExperiments, ",") {
+			want[strings.ToUpper(strings.TrimSpace(e))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+	failed := false
+
+	scale := func(full, quick int) int {
+		if *flagQuick {
+			return quick
+		}
+		return full
+	}
+
+	if sel("E1") {
+		table("E1  three-way delivery (§5.1, §8.1): one transmission per message; copies are executive work")
+		for _, ft := range []bool{false, true} {
+			for _, size := range []int{64, 1024, 16384} {
+				row, err := harness.E1ThreeWayDelivery(scale(800, 200), size, ft)
+				failed = emit(row, err) || failed
+			}
+		}
+	}
+
+	if sel("E2") {
+		table("E2  incremental sync vs explicit full checkpoint (§2 vs §5)")
+		for _, full := range []bool{false, true} {
+			for _, pages := range []int{16, 64, 256} {
+				row, err := harness.E2SyncVsCheckpoint(pages, scale(800, 200), 16, full)
+				failed = emit(row, err) || failed
+			}
+		}
+	}
+
+	if sel("E3") {
+		table("E3  sync cost tracks the dirty set (§8.3)")
+		for _, dirty := range []int{1, 8, 32, 128} {
+			row, err := harness.E3SyncCost(dirty, scale(400, 100), 8)
+			failed = emit(row, err) || failed
+		}
+	}
+
+	if sel("E4") {
+		table("E4  deferred backup creation for short-lived processes (§7.7, §8.2)")
+		for _, eager := range []bool{false, true} {
+			row, err := harness.E4DeferredBackup(scale(100, 25), eager)
+			failed = emit(row, err) || failed
+		}
+	}
+
+	if sel("E5") {
+		table("E5  recovery latency and roll-forward length (§6, §8.4)")
+		for _, syncReads := range []uint32{8, 64, 256} {
+			row, err := harness.E5Recovery(syncReads, 2, scale(3000, 800))
+			failed = emit(row, err) || failed
+		}
+		for _, procs := range []int{1, 4, 8} {
+			row, err := harness.E5Recovery(32, procs, scale(1500, 400))
+			failed = emit(row, err) || failed
+		}
+	}
+
+	if sel("E6") {
+		table("E6  redundant-send suppression: exactly-once across crash points (§5.4)")
+		for _, after := range []uint64{100, 400, 1200} {
+			row, err := harness.E6SendSuppression(scale(2000, 600), after)
+			failed = emit(row, err) || failed
+		}
+	}
+
+	if sel("E7") {
+		table("E7  backup modes after a crash (§7.3)")
+		for _, mode := range []types.BackupMode{types.Quarterback, types.Halfback, types.Fullback} {
+			row, err := harness.E7BackupModes(mode)
+			failed = emit(row, err) || failed
+		}
+	}
+
+	if sel("E8") {
+		table("E8  file server: explicit sync over dual-ported shadow-block disk (§7.9)")
+		for _, every := range []int{4, 16, 64} {
+			row, err := harness.E8FileServerSync(scale(600, 150), every, false)
+			failed = emit(row, err) || failed
+		}
+		row, err := harness.E8FileServerSync(scale(600, 150), 16, true)
+		failed = emit(row, err) || failed
+	}
+
+	if sel("E9") {
+		table("E9  bus atomic multicast: fan-out without extra transmissions (§5.1)")
+		for _, targets := range []int{1, 2, 3} {
+			emit(harness.E9BusAtomicity(targets, scale(50000, 10000)), nil)
+		}
+	}
+
+	if failed {
+		log.Fatal("one or more experiments failed")
+	}
+}
+
+func table(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func emit(row *harness.Row, err error) (failed bool) {
+	if row != nil {
+		fmt.Println("  " + row.String())
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "  ERROR: %v\n", err)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,185 @@
+// aurosim renders the Auragen 4000 topology (the paper's architecture
+// figure, p.93) and runs a crash/recovery scenario with a live metrics
+// report.
+//
+// Usage:
+//
+//	aurosim -topology -clusters 4      # render the architecture figure
+//	aurosim -scenario bank -crash 2    # run a scenario, fail a cluster
+//	aurosim -scenario counter -crash 2 -mode fullback
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"auragen/internal/core"
+	"auragen/internal/guest"
+	"auragen/internal/harness"
+	"auragen/internal/types"
+	"auragen/internal/workload"
+)
+
+var (
+	flagTopology = flag.Bool("topology", false, "render the cluster architecture figure")
+	flagClusters = flag.Int("clusters", 4, "number of clusters (2-32)")
+	flagScenario = flag.String("scenario", "", "scenario to run: counter | bank | pipeline")
+	flagCrash    = flag.Int("crash", -1, "cluster to fail mid-scenario (-1: none)")
+	flagMode     = flag.String("mode", "quarterback", "backup mode: quarterback | halfback | fullback")
+	flagSyncN    = flag.Uint("sync-reads", 16, "reads between syncs (§7.8)")
+	flagRestore  = flag.Bool("restore", false, "return the crashed cluster to service mid-scenario (halfbacks get new backups, §7.3)")
+)
+
+func main() {
+	flag.Parse()
+	if *flagTopology {
+		fmt.Print(renderTopology(*flagClusters))
+		if *flagScenario == "" {
+			return
+		}
+	}
+	if *flagScenario == "" {
+		flag.Usage()
+		return
+	}
+	mode := types.Quarterback
+	switch strings.ToLower(*flagMode) {
+	case "quarterback":
+	case "halfback":
+		mode = types.Halfback
+	case "fullback":
+		mode = types.Fullback
+	default:
+		log.Fatalf("unknown mode %q", *flagMode)
+	}
+	if err := runScenario(*flagScenario, *flagClusters, *flagCrash, mode, uint32(*flagSyncN), *flagRestore); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// renderTopology draws the architecture of §7.1: 2–32 clusters on a dual
+// intercluster bus, each with work processors, an executive processor, and
+// shared memory; dual-ported peripherals hang off cluster pairs 0/1.
+func renderTopology(clusters int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Auragen 4000 — %d clusters, dual intercluster bus (paper fig., p.93)\n\n", clusters)
+	b.WriteString("  Bus A ══")
+	for i := 0; i < clusters; i++ {
+		b.WriteString("╦═════════")
+	}
+	b.WriteString("═\n  Bus B ══")
+	for i := 0; i < clusters; i++ {
+		b.WriteString("╬═════════")
+	}
+	b.WriteString("═\n         ")
+	for i := 0; i < clusters; i++ {
+		b.WriteString(fmt.Sprintf("  ║ C%-2d    ", i))
+	}
+	b.WriteString("\n         ")
+	for i := 0; i < clusters; i++ {
+		b.WriteString("┌─╨─────┐ ")
+	}
+	b.WriteString("\n         ")
+	for i := 0; i < clusters; i++ {
+		b.WriteString("│ EXEC  │ ")
+	}
+	b.WriteString("  executive processor: all message traffic\n         ")
+	for i := 0; i < clusters; i++ {
+		b.WriteString("│ WP WP │ ")
+	}
+	b.WriteString("  work processors: user + server processes\n         ")
+	for i := 0; i < clusters; i++ {
+		b.WriteString("│ MEM   │ ")
+	}
+	b.WriteString("  shared cluster memory\n         ")
+	for i := 0; i < clusters; i++ {
+		b.WriteString("└─┬─────┘ ")
+	}
+	b.WriteString("\n")
+	b.WriteString("           ├─ dual-ported mirrored disks (clusters 0+1):\n")
+	b.WriteString("           │    page server accounts, shadow-block file system\n")
+	b.WriteString("           └─ terminals via tty server (clusters 0+1)\n")
+	return b.String()
+}
+
+func runScenario(name string, clusters, crash int, mode types.BackupMode, syncReads uint32, restore bool) error {
+	reg := guest.NewRegistry()
+	workload.Register(reg)
+	harness.RegisterGuests(reg)
+	sys, err := core.New(core.Options{Clusters: clusters, SyncReads: syncReads}, reg)
+	if err != nil {
+		return err
+	}
+	defer sys.Stop()
+	before := sys.Metrics().Snapshot()
+
+	var watch []types.PID
+	switch name {
+	case "counter":
+		if _, err := sys.Spawn("echo-server", []byte("sim"), core.SpawnConfig{Cluster: 2, Mode: mode}); err != nil {
+			return err
+		}
+		pid, err := sys.Spawn("echo-client", []byte("sim 5000 64"), core.SpawnConfig{Cluster: 1})
+		if err != nil {
+			return err
+		}
+		watch = append(watch, pid)
+	case "bank":
+		if _, err := sys.Spawn("bank-server", []byte("sim 32 1000 0"), core.SpawnConfig{Cluster: 2, Mode: mode}); err != nil {
+			return err
+		}
+		for i := 0; i < 3; i++ {
+			plan := workload.TxnPlan{Accounts: 32, Txns: 2000, Amount: 5, Seed: uint64(i + 1)}
+			pid, err := sys.Spawn("teller", []byte(fmt.Sprintf("sim -1 %s", plan.Encode())), core.SpawnConfig{Cluster: 1})
+			if err != nil {
+				return err
+			}
+			watch = append(watch, pid)
+		}
+	case "pipeline":
+		if _, err := sys.Spawn("pipe-stage", []byte("in out 9"), core.SpawnConfig{Cluster: 2, Mode: mode}); err != nil {
+			return err
+		}
+		fmt.Println("(pipeline scenario wires one stage; see examples/pipeline for the full chain)")
+	default:
+		return fmt.Errorf("unknown scenario %q", name)
+	}
+	fmt.Printf("scenario %q on %d clusters, mode=%s, sync every %d reads\n", name, clusters, mode, syncReads)
+
+	if crash >= 0 {
+		for sys.Metrics().PrimaryDeliveries.Load() < 1000 {
+			time.Sleep(time.Millisecond)
+		}
+		fmt.Printf("*** failing cluster%d ***\n", crash)
+		if err := sys.Crash(types.ClusterID(crash)); err != nil {
+			return err
+		}
+		if restore {
+			time.Sleep(10 * time.Millisecond)
+			fmt.Printf("*** cluster%d returns to service ***\n", crash)
+			if err := sys.RestoreCluster(types.ClusterID(crash)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, pid := range watch {
+		if err := sys.WaitExit(pid, 120*time.Second); err != nil {
+			return err
+		}
+	}
+	sys.Settle(2 * time.Second)
+	fmt.Println("\nmetrics delta:")
+	fmt.Print(indent(sys.Metrics().Snapshot().Delta(before).String()))
+	if errs := sys.GuestErrors(); len(errs) > 0 {
+		fmt.Println("guest errors:", errs)
+	}
+	return nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
+}

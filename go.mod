@@ -1,0 +1,3 @@
+module auragen
+
+go 1.22

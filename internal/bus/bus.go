@@ -1,0 +1,255 @@
+// Package bus simulates the Auragen dual high-speed intercluster bus
+// (§7.1) and the two delivery guarantees the message system is built on
+// (§5.1):
+//
+//  1. Atomicity — either every target cluster of a transmission receives
+//     the message, or none does.
+//  2. No interleaving — a cluster transmits or receives one message at a
+//     time, so if two messages are sent, one reaches all of its
+//     destinations before the other arrives at any of its destinations. A
+//     primary and its backup therefore observe their common messages in
+//     the same order.
+//
+// The hardware achieved this with a low-level listen-before-transmit
+// protocol; here a single critical section appends the message to every
+// live target cluster's inbound queue, which yields exactly the same
+// ordering properties. Each transmission is counted once regardless of the
+// number of destinations, matching §8.1 ("transmitted just once across the
+// intercluster bus").
+//
+// The bus is dual: either of the two physical buses suffices, and the loss
+// of one is a tolerated single failure. Losing both is a multiple failure
+// and Broadcast reports types.ErrTooManyFailures.
+package bus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"auragen/internal/trace"
+	"auragen/internal/types"
+)
+
+// NumBuses is the number of redundant physical buses (the Auragen 4000 has
+// a dual bus).
+const NumBuses = 2
+
+// Bus connects 2..32 clusters. All methods are safe for concurrent use.
+type Bus struct {
+	metrics *trace.Metrics
+
+	mu      sync.Mutex
+	inboxes map[types.ClusterID]*Inbox
+	failed  [NumBuses]bool
+}
+
+// New returns an empty bus. metrics may be nil.
+func New(metrics *trace.Metrics) *Bus {
+	if metrics == nil {
+		metrics = &trace.Metrics{}
+	}
+	return &Bus{
+		metrics: metrics,
+		inboxes: make(map[types.ClusterID]*Inbox),
+	}
+}
+
+// Attach registers a cluster and returns its inbound queue. Attaching an
+// already-attached cluster replaces its inbox (used when a cluster returns
+// to service after repair, §7.3 halfbacks).
+func (b *Bus) Attach(c types.ClusterID) *Inbox {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if old, ok := b.inboxes[c]; ok {
+		old.Close()
+	}
+	in := newInbox(c)
+	b.inboxes[c] = in
+	return in
+}
+
+// Detach removes a crashed cluster. Its inbox is closed; in-flight messages
+// already appended are discarded with it, exactly as a powered-off cluster
+// loses its receive buffers.
+func (b *Bus) Detach(c types.ClusterID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if in, ok := b.inboxes[c]; ok {
+		in.Close()
+		delete(b.inboxes, c)
+	}
+}
+
+// FailBus marks one of the redundant physical buses failed (0-based).
+// Returns an error if i is out of range.
+func (b *Bus) FailBus(i int) error {
+	if i < 0 || i >= NumBuses {
+		return fmt.Errorf("bus: no bus %d", i)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failed[i] = true
+	return nil
+}
+
+// RepairBus returns a failed physical bus to service.
+func (b *Bus) RepairBus(i int) error {
+	if i < 0 || i >= NumBuses {
+		return fmt.Errorf("bus: no bus %d", i)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failed[i] = false
+	return nil
+}
+
+// Live returns the attached clusters in ascending order.
+func (b *Bus) Live() []types.ClusterID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]types.ClusterID, 0, len(b.inboxes))
+	for c := range b.inboxes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsLive reports whether cluster c is attached.
+func (b *Bus) IsLive(c types.ClusterID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.inboxes[c]
+	return ok
+}
+
+// Broadcast transmits m once and delivers an independent copy to every
+// live cluster named in m.Route. Delivery to all targets happens inside one
+// critical section, which provides the §5.1 atomicity and non-interleaving
+// guarantees. Crashed (detached) targets are skipped: a message to a dead
+// cluster is simply not received there, while the remaining targets still
+// receive it.
+func (b *Bus) Broadcast(m *types.Message) error {
+	return b.deliver(m, m.Route.Targets())
+}
+
+// BroadcastAll transmits m to every live cluster. Used for crash notices
+// (§7.10.1) and other membership-level events, so that every kernel sees
+// the notice at the same point in the total message order.
+func (b *Bus) BroadcastAll(m *types.Message) error {
+	return b.deliver(m, nil)
+}
+
+func (b *Bus) deliver(m *types.Message, targets []types.ClusterID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failed[0] && b.failed[1] {
+		return fmt.Errorf("bus: both physical buses down: %w", types.ErrTooManyFailures)
+	}
+	b.metrics.BusTransmissions.Add(1)
+	b.metrics.BusBytes.Add(uint64(len(m.Payload)))
+	if targets == nil {
+		for c := range b.inboxes {
+			targets = append(targets, c)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	}
+	for _, c := range targets {
+		in, ok := b.inboxes[c]
+		if !ok {
+			continue
+		}
+		in.push(m.Clone())
+		b.metrics.BusDeliveries.Add(1)
+	}
+	return nil
+}
+
+// Inbox is a cluster's inbound message queue, drained by the cluster's
+// executive processor. Pushes never block (the executive keeps pace in the
+// real hardware; here the queue is unbounded and the executive goroutine
+// drains it).
+type Inbox struct {
+	cluster types.ClusterID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*types.Message
+	closed bool
+}
+
+func newInbox(c types.ClusterID) *Inbox {
+	in := &Inbox{cluster: c}
+	in.cond = sync.NewCond(&in.mu)
+	return in
+}
+
+// Cluster returns the owning cluster.
+func (in *Inbox) Cluster() types.ClusterID { return in.cluster }
+
+func (in *Inbox) push(m *types.Message) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return
+	}
+	in.q = append(in.q, m)
+	in.cond.Signal()
+}
+
+// Pop blocks until a message is available or the inbox is closed. The
+// second result is false once the inbox is closed and drained.
+func (in *Inbox) Pop() (*types.Message, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for len(in.q) == 0 && !in.closed {
+		in.cond.Wait()
+	}
+	if len(in.q) == 0 {
+		return nil, false
+	}
+	m := in.q[0]
+	in.q = in.q[1:]
+	return m, true
+}
+
+// TryPop returns the next message without blocking.
+func (in *Inbox) TryPop() (*types.Message, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.q) == 0 {
+		return nil, false
+	}
+	m := in.q[0]
+	in.q = in.q[1:]
+	return m, true
+}
+
+// Len returns the number of queued messages.
+func (in *Inbox) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.q)
+}
+
+// Close marks the inbox closed and wakes blocked readers. Queued messages
+// remain poppable until drained only if the owner is shutting down cleanly;
+// a crash discards them by dropping the whole Inbox.
+func (in *Inbox) Close() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return
+	}
+	in.closed = true
+	in.q = nil
+	in.cond.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (in *Inbox) Closed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.closed
+}

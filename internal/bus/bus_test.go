@@ -1,0 +1,317 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"auragen/internal/trace"
+	"auragen/internal/types"
+)
+
+func dataMsg(src, dst types.PID, route types.Route, payload string) *types.Message {
+	return &types.Message{
+		Kind:    types.KindData,
+		Src:     src,
+		Dst:     dst,
+		Route:   route,
+		Payload: []byte(payload),
+	}
+}
+
+func TestBroadcastReachesAllRouteTargets(t *testing.T) {
+	b := New(nil)
+	in0 := b.Attach(0)
+	in1 := b.Attach(1)
+	in2 := b.Attach(2)
+
+	route := types.Route{Dst: 1, DstBackup: 2, SrcBackup: 0}
+	if err := b.Broadcast(dataMsg(10, 20, route, "hi")); err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range []*Inbox{in0, in1, in2} {
+		if in.Len() != 1 {
+			t.Errorf("inbox %d has %d messages, want 1", i, in.Len())
+		}
+	}
+}
+
+func TestBroadcastSkipsUnroutedClusters(t *testing.T) {
+	b := New(nil)
+	b.Attach(0)
+	in1 := b.Attach(1)
+	in3 := b.Attach(3)
+
+	route := types.Route{Dst: 1, DstBackup: types.NoCluster, SrcBackup: types.NoCluster}
+	if err := b.Broadcast(dataMsg(1, 2, route, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if in1.Len() != 1 {
+		t.Error("destination did not receive")
+	}
+	if in3.Len() != 0 {
+		t.Error("unrelated cluster received")
+	}
+}
+
+func TestDuplicateTargetsDeliverOnce(t *testing.T) {
+	// When the destination's backup lives in the sender-backup cluster the
+	// route lists the cluster twice; it must still receive one copy.
+	b := New(nil)
+	b.Attach(0)
+	in1 := b.Attach(1)
+	route := types.Route{Dst: 1, DstBackup: 1, SrcBackup: 1}
+	if err := b.Broadcast(dataMsg(1, 2, route, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if in1.Len() != 1 {
+		t.Fatalf("cluster got %d copies, want 1", in1.Len())
+	}
+}
+
+func TestCopiesAreIndependent(t *testing.T) {
+	b := New(nil)
+	in0 := b.Attach(0)
+	in1 := b.Attach(1)
+	route := types.Route{Dst: 0, DstBackup: 1}
+	if err := b.Broadcast(dataMsg(1, 2, route, "abc")); err != nil {
+		t.Fatal(err)
+	}
+	m0, _ := in0.Pop()
+	m1, _ := in1.Pop()
+	m0.Payload[0] = 'z'
+	m0.Seq = 99
+	if m1.Payload[0] != 'a' || m1.Seq != 0 {
+		t.Fatal("clusters share a message instance")
+	}
+}
+
+func TestDetachedClusterSkippedOthersStillReceive(t *testing.T) {
+	b := New(nil)
+	b.Attach(0)
+	in1 := b.Attach(1)
+	b.Attach(2)
+	b.Detach(2)
+	route := types.Route{Dst: 1, DstBackup: 2}
+	if err := b.Broadcast(dataMsg(1, 2, route, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if in1.Len() != 1 {
+		t.Fatal("live target lost a message because a co-target crashed")
+	}
+}
+
+func TestDualBusRedundancy(t *testing.T) {
+	b := New(nil)
+	in0 := b.Attach(0)
+	if err := b.FailBus(0); err != nil {
+		t.Fatal(err)
+	}
+	route := types.Route{Dst: 0}
+	if err := b.Broadcast(dataMsg(1, 2, route, "x")); err != nil {
+		t.Fatalf("single bus failure should be tolerated: %v", err)
+	}
+	if in0.Len() != 1 {
+		t.Fatal("message lost on surviving bus")
+	}
+	if err := b.FailBus(1); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Broadcast(dataMsg(1, 2, route, "x"))
+	if !errors.Is(err, types.ErrTooManyFailures) {
+		t.Fatalf("double bus failure returned %v", err)
+	}
+	if err := b.RepairBus(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Broadcast(dataMsg(1, 2, route, "x")); err != nil {
+		t.Fatalf("after repair: %v", err)
+	}
+}
+
+func TestFailBusRange(t *testing.T) {
+	b := New(nil)
+	if err := b.FailBus(-1); err == nil {
+		t.Error("FailBus(-1) accepted")
+	}
+	if err := b.FailBus(NumBuses); err == nil {
+		t.Error("FailBus out of range accepted")
+	}
+	if err := b.RepairBus(7); err == nil {
+		t.Error("RepairBus out of range accepted")
+	}
+}
+
+func TestIdenticalOrderAtPrimaryAndBackup(t *testing.T) {
+	// The core §5.1 property: concurrent senders, but the primary's
+	// cluster and the backup's cluster observe their common messages in
+	// the same relative order.
+	b := New(nil)
+	inP := b.Attach(0) // primary's cluster
+	inB := b.Attach(1) // backup's cluster
+	route := types.Route{Dst: 0, DstBackup: 1}
+
+	const senders = 8
+	const perSender = 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				m := dataMsg(types.PID(100+s), 7, route, fmt.Sprintf("%d/%d", s, i))
+				if err := b.Broadcast(m); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	var orderP, orderB []string
+	for {
+		m, ok := inP.TryPop()
+		if !ok {
+			break
+		}
+		orderP = append(orderP, string(m.Payload))
+	}
+	for {
+		m, ok := inB.TryPop()
+		if !ok {
+			break
+		}
+		orderB = append(orderB, string(m.Payload))
+	}
+	if len(orderP) != senders*perSender || len(orderB) != senders*perSender {
+		t.Fatalf("lost messages: primary=%d backup=%d", len(orderP), len(orderB))
+	}
+	for i := range orderP {
+		if orderP[i] != orderB[i] {
+			t.Fatalf("order diverges at %d: primary=%s backup=%s", i, orderP[i], orderB[i])
+		}
+	}
+}
+
+func TestBroadcastAllReachesEveryLiveCluster(t *testing.T) {
+	b := New(nil)
+	inboxes := make([]*Inbox, 4)
+	for i := range inboxes {
+		inboxes[i] = b.Attach(types.ClusterID(i))
+	}
+	b.Detach(2)
+	m := &types.Message{Kind: types.KindCrashNotice, Payload: []byte{2}}
+	if err := b.BroadcastAll(m); err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range inboxes {
+		want := 1
+		if i == 2 {
+			want = 0
+		}
+		if in.Len() != want {
+			t.Errorf("cluster %d got %d, want %d", i, in.Len(), want)
+		}
+	}
+}
+
+func TestCrashNoticeOrderedAfterPriorTraffic(t *testing.T) {
+	// Because crash notices ride the same totally-ordered bus, a kernel
+	// that sees the notice has already seen every message broadcast before
+	// it — the §7.10.1 "all messages distributed before crash handling"
+	// precondition.
+	b := New(nil)
+	in := b.Attach(0)
+	route := types.Route{Dst: 0}
+	for i := 0; i < 10; i++ {
+		if err := b.Broadcast(dataMsg(1, 2, route, fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.BroadcastAll(&types.Message{Kind: types.KindCrashNotice}); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for {
+		m, ok := in.TryPop()
+		if !ok {
+			t.Fatal("crash notice missing")
+		}
+		if m.Kind == types.KindCrashNotice {
+			break
+		}
+		seen++
+	}
+	if seen != 10 {
+		t.Fatalf("crash notice overtook traffic: saw %d of 10 prior messages", seen)
+	}
+}
+
+func TestInboxCloseWakesBlockedPop(t *testing.T) {
+	b := New(nil)
+	in := b.Attach(0)
+	done := make(chan bool)
+	go func() {
+		_, ok := in.Pop()
+		done <- ok
+	}()
+	in.Close()
+	if ok := <-done; ok {
+		t.Fatal("Pop returned a message from a closed empty inbox")
+	}
+}
+
+func TestReattachReplacesInbox(t *testing.T) {
+	b := New(nil)
+	old := b.Attach(0)
+	fresh := b.Attach(0)
+	if !old.Closed() {
+		t.Fatal("old inbox not closed on reattach")
+	}
+	if err := b.Broadcast(dataMsg(1, 2, types.Route{Dst: 0}, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 1 || old.Len() != 0 {
+		t.Fatal("message routed to stale inbox")
+	}
+}
+
+func TestMetricsCountTransmissionsOnce(t *testing.T) {
+	var m trace.Metrics
+	b := New(&m)
+	b.Attach(0)
+	b.Attach(1)
+	b.Attach(2)
+	route := types.Route{Dst: 0, DstBackup: 1, SrcBackup: 2}
+	for i := 0; i < 5; i++ {
+		if err := b.Broadcast(dataMsg(1, 2, route, "abcd")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.BusTransmissions.Load(); got != 5 {
+		t.Errorf("transmissions = %d, want 5 (once per multicast)", got)
+	}
+	if got := m.BusDeliveries.Load(); got != 15 {
+		t.Errorf("deliveries = %d, want 15", got)
+	}
+	if got := m.BusBytes.Load(); got != 20 {
+		t.Errorf("bytes = %d, want 20", got)
+	}
+}
+
+func TestLive(t *testing.T) {
+	b := New(nil)
+	b.Attach(3)
+	b.Attach(0)
+	b.Attach(5)
+	b.Detach(3)
+	got := b.Live()
+	if len(got) != 2 || got[0] != 0 || got[1] != 5 {
+		t.Fatalf("Live = %v", got)
+	}
+	if b.IsLive(3) || !b.IsLive(5) {
+		t.Fatal("IsLive wrong")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"auragen/internal/types"
+)
+
+// TestCrashSingleProcess exercises the §10 extension: an isolatable
+// hardware failure kills one process; its backup takes over while every
+// other process on the same cluster keeps running undisturbed.
+func TestCrashSingleProcess(t *testing.T) {
+	sys := newTestSystem(t, 3)
+
+	// Victim pair: counter on cluster 2, backup on 0.
+	victimPID, err := sys.Spawn("counter", []byte("v"), SpawnConfig{Cluster: 2, BackupCluster: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spawnClient(t, sys, "v", 5000, SpawnConfig{Cluster: 1})
+
+	// Bystander pair: a second, unrelated exchange on the SAME cluster 2.
+	if _, err := sys.Spawn("counter", []byte("b"), SpawnConfig{Cluster: 2, BackupCluster: 0}); err != nil {
+		t.Fatal(err)
+	}
+	spawnClient(t, sys, "b", 5000, SpawnConfig{Cluster: 2, BackupCluster: 0})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.Metrics().PrimaryDeliveries.Load() < 600 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := sys.CrashProcess(victimPID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The victim's exchange completes via its backup.
+	waitForTTY(t, sys, 1, "final=5000", 20*time.Second)
+	loc, ok := sys.Directory().Proc(victimPID)
+	if !ok || loc.Cluster != 0 {
+		t.Fatalf("victim after crash: %+v ok=%v", loc, ok)
+	}
+
+	// The bystander completes too — and its cluster never went down.
+	deadlineB := time.Now().Add(20 * time.Second)
+	done := false
+	for time.Now().Before(deadlineB) && !done {
+		for _, line := range sys.TerminalOutput(1) {
+			if line == "final=5000" {
+				done = true
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sys.Kernel(2).Crashed() {
+		t.Fatal("single-process failure took the whole cluster down")
+	}
+	if sys.Metrics().Recoveries.Load() != 1 {
+		t.Fatalf("recoveries = %d, want exactly 1", sys.Metrics().Recoveries.Load())
+	}
+}
+
+// TestCrashProcessWithoutBackupIsLost documents the complementary case: a
+// process with no backup is simply gone after an isolatable failure.
+func TestCrashProcessWithoutBackupIsLost(t *testing.T) {
+	sys := newTestSystem(t, 3)
+	pid, err := sys.Spawn("counter", []byte("nb"), SpawnConfig{Cluster: 2, BackupCluster: NoBackup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := sys.CrashProcess(pid); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.ProcAlive(pid) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sys.ProcAlive(pid) {
+		t.Fatal("unbacked process still listed after failure")
+	}
+	if sys.Kernel(2).Crashed() {
+		t.Fatal("cluster went down")
+	}
+}
+
+// TestCrashProcessErrors covers the error paths.
+func TestCrashProcessErrors(t *testing.T) {
+	sys := newTestSystem(t, 3)
+	if err := sys.CrashProcess(types.PID(999)); err == nil {
+		t.Fatal("crash of unknown pid accepted")
+	}
+	pid, err := sys.Spawn("counter", []byte("e"), SpawnConfig{Cluster: 2, BackupCluster: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	// After promotion the pid lives on cluster 0; crashing it there works.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := sys.Kernel(0).Proc(pid); ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := sys.CrashProcess(pid); err != nil {
+		t.Fatalf("crash of promoted process: %v", err)
+	}
+}

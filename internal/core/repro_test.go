@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"auragen/internal/types"
+)
+
+// DumpAll renders every kernel's state (debugging aid).
+func (s *System) DumpAll() string {
+	out := ""
+	for _, k := range s.kernels {
+		out += k.DumpState()
+	}
+	return out
+}
+
+// TestReproQuarterbackLoop hammers the quarterback crash scenario; enable
+// with AURAGEN_REPRO=1 when chasing recovery hangs.
+func TestReproQuarterbackLoop(t *testing.T) {
+	if os.Getenv("AURAGEN_REPRO") == "" {
+		t.Skip("set AURAGEN_REPRO=1 to run")
+	}
+	for iter := 0; iter < 50; iter++ {
+		func() {
+			sys := newTestSystem(t, 3)
+			defer sys.Stop()
+			_, err := sys.Spawn("counter", []byte("qb"), SpawnConfig{
+				Cluster: 2, BackupCluster: 0, Mode: types.Quarterback,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spawnClient(t, sys, "qb", 4000, SpawnConfig{Cluster: 1})
+			deadline := time.Now().Add(5 * time.Second)
+			for sys.Metrics().PrimaryDeliveries.Load() < 300 && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Microsecond)
+			}
+			if err := sys.Crash(2); err != nil {
+				t.Fatal(err)
+			}
+			done := time.Now().Add(8 * time.Second)
+			for time.Now().Before(done) {
+				for _, line := range sys.TerminalOutput(1) {
+					if line == "final=4000" {
+						return
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+			fmt.Printf("=== iter %d HUNG ===\n%s\n", iter, sys.DumpAll())
+			t.Fatalf("iter %d: recovery hung", iter)
+		}()
+	}
+}

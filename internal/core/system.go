@@ -1,0 +1,509 @@
+// Package core assembles a complete Auragen 4000 system: 2–32 clusters on
+// a dual intercluster bus, each running an independent Auros kernel, plus
+// the backed-up system and peripheral servers (page, file, process,
+// terminal), the failure detector, and administrative operations — spawning
+// fault-tolerant processes, injecting cluster crashes, typing at terminals.
+//
+// This is the library's public face: examples and the experiment harness
+// talk to a System.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"auragen/internal/bus"
+	"auragen/internal/directory"
+	"auragen/internal/disk"
+	"auragen/internal/fault"
+	"auragen/internal/fileserver"
+	"auragen/internal/guest"
+	"auragen/internal/kernel"
+	"auragen/internal/memory"
+	"auragen/internal/pager"
+	"auragen/internal/procserver"
+	"auragen/internal/trace"
+	"auragen/internal/ttyserver"
+	"auragen/internal/types"
+)
+
+// Limits from §7.1: "The Auragen 4000 consists of 2 to 32 clusters".
+const (
+	MinClusters = 2
+	MaxClusters = 32
+)
+
+// Options configures a System.
+type Options struct {
+	// Clusters is the number of processing units (2–32; default 3, the
+	// minimum for fullbacks to exist after a crash, §7.3).
+	Clusters int
+	// PageSize for user address spaces (default memory.DefaultPageSize).
+	PageSize int
+	// SyncReads and SyncTicks are the default per-process sync triggers
+	// (§7.8); zero selects kernel defaults.
+	SyncReads uint32
+	SyncTicks uint64
+	// DetectInterval is the failure-detector polling period; zero keeps
+	// detection manual (Crash calls report synchronously either way).
+	DetectInterval time.Duration
+	// EventLogLimit bounds the in-memory event log (0 disables logging).
+	EventLogLimit int
+}
+
+// System is one running Auragen 4000.
+type System struct {
+	opts     Options
+	bus      *bus.Bus
+	dir      *directory.Directory
+	metrics  *trace.Metrics
+	log      *trace.EventLog
+	registry *guest.Registry
+
+	kernels []*kernel.Kernel
+	pagers  [2]*pager.Server
+
+	// Server instances indexed by hosting cluster (0 or 1).
+	fs        [2]*fileserver.Server
+	procSrv   [2]*procserver.Server
+	ttySrv    [2]*ttyserver.Server
+	ttyDevice *ttyserver.Device
+	fsDisk    *disk.Disk
+
+	detector *fault.Detector
+
+	mu      sync.Mutex
+	crashed map[types.ClusterID]bool
+	stopped bool
+}
+
+// SpawnConfig places one process.
+type SpawnConfig struct {
+	// Mode is the backup mode (§7.3); default Quarterback, the paper's
+	// default.
+	Mode types.BackupMode
+	// Cluster hosts the primary (default: chosen round-robin).
+	Cluster types.ClusterID
+	// BackupCluster hosts the backup (default: the next live cluster).
+	// Set NoBackup to run without fault tolerance.
+	BackupCluster types.ClusterID
+	// SyncReads/SyncTicks override the sync triggers for this process.
+	SyncReads uint32
+	SyncTicks uint64
+	// FullCheckpoint selects the §2 explicit-checkpointing baseline for
+	// this process (experiments only).
+	FullCheckpoint bool
+}
+
+// NoBackup disables fault tolerance for one process.
+const NoBackup types.ClusterID = -2
+
+// New boots a system. The registry binds program names to guest factories;
+// register programs before spawning them.
+func New(opts Options, registry *guest.Registry) (*System, error) {
+	if opts.Clusters == 0 {
+		opts.Clusters = 3
+	}
+	if opts.Clusters < MinClusters || opts.Clusters > MaxClusters {
+		return nil, fmt.Errorf("core: %d clusters outside [%d,%d]", opts.Clusters, MinClusters, MaxClusters)
+	}
+	if opts.PageSize <= 0 {
+		opts.PageSize = memory.DefaultPageSize
+	}
+	if registry == nil {
+		registry = guest.NewRegistry()
+	}
+
+	s := &System{
+		opts:     opts,
+		dir:      directory.New(),
+		metrics:  &trace.Metrics{},
+		registry: registry,
+		crashed:  make(map[types.ClusterID]bool),
+	}
+	if opts.EventLogLimit > 0 {
+		s.log = trace.NewEventLog(opts.EventLogLimit)
+	}
+	s.bus = bus.New(s.metrics)
+
+	for i := 0; i < opts.Clusters; i++ {
+		k := kernel.New(kernel.Config{
+			ID:        types.ClusterID(i),
+			Bus:       s.bus,
+			Dir:       s.dir,
+			Registry:  registry,
+			Metrics:   s.metrics,
+			Log:       s.log,
+			PageSize:  opts.PageSize,
+			SyncReads: opts.SyncReads,
+			SyncTicks: opts.SyncTicks,
+		})
+		s.kernels = append(s.kernels, k)
+	}
+
+	k0, k1 := s.kernels[0], s.kernels[1]
+
+	// Page server: one deterministic-replica instance per pager cluster,
+	// each over its own mirror of the disk pair (see internal/pager).
+	pagerDisk0 := disk.New("pager-mirror-0", opts.PageSize, 0, 1)
+	pagerDisk1 := disk.New("pager-mirror-1", opts.PageSize, 0, 1)
+	s.pagers[0] = pager.New(0, pagerDisk0)
+	s.pagers[1] = pager.New(1, pagerDisk1)
+	k0.SetPager(s.pagers[0])
+	k1.SetPager(s.pagers[1])
+	s.dir.SetService(directory.PIDPageServer, directory.ServiceLoc{Primary: 0, Backup: 1})
+
+	// File server over a dual-ported disk shared by clusters 0 and 1.
+	s.fsDisk = disk.New("fs", 4096, 0, 1)
+	fsP, fsT, err := fileserver.Register(k0, k1, s.fsDisk)
+	if err != nil {
+		return nil, err
+	}
+	s.fs[0], s.fs[1] = fsP, fsT
+
+	// Process server and terminal server pairs.
+	s.procSrv[0], s.procSrv[1] = procserver.Register(k0, k1)
+	s.ttyDevice = ttyserver.NewDevice()
+	s.ttySrv[0], s.ttySrv[1] = ttyserver.Register(k0, k1, s.ttyDevice)
+
+	for _, k := range s.kernels {
+		k.Start()
+	}
+
+	s.detector = fault.New(opts.DetectInterval,
+		func(c types.ClusterID) bool {
+			k := s.kern(c)
+			return k != nil && !k.Crashed()
+		},
+		s.handleDetectedCrash,
+	)
+	for i := range s.kernels {
+		s.detector.Watch(types.ClusterID(i))
+	}
+	s.detector.Start()
+
+	return s, nil
+}
+
+// Registry returns the program registry.
+func (s *System) Registry() *guest.Registry { return s.registry }
+
+// Register binds a program name to a factory on the system registry.
+func (s *System) Register(name string, f guest.Factory) {
+	s.registry.Register(name, f)
+}
+
+// Metrics returns the system-wide metrics sink.
+func (s *System) Metrics() *trace.Metrics { return s.metrics }
+
+// EventLog returns the event log (nil when disabled).
+func (s *System) EventLog() *trace.EventLog { return s.log }
+
+// Directory returns the shared directory (read-mostly; intended for tests
+// and tooling).
+func (s *System) Directory() *directory.Directory { return s.dir }
+
+// Kernel returns the kernel of cluster c (the current one: RestoreCluster
+// replaces a crashed cluster's kernel with a fresh boot).
+func (s *System) Kernel(c types.ClusterID) *kernel.Kernel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kernels[int(c)]
+}
+
+// kern is the locked accessor used internally.
+func (s *System) kern(c types.ClusterID) *kernel.Kernel {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(c) < 0 || int(c) >= len(s.kernels) {
+		return nil
+	}
+	return s.kernels[int(c)]
+}
+
+// Clusters returns the configured cluster count.
+func (s *System) Clusters() int { return len(s.kernels) }
+
+// Live returns the live clusters, ascending.
+func (s *System) Live() []types.ClusterID { return s.bus.Live() }
+
+// Pager returns pager instance i (0 or 1).
+func (s *System) Pager(i int) *pager.Server { return s.pagers[i] }
+
+// FSDisk returns the file server's dual-ported disk.
+func (s *System) FSDisk() *disk.Disk { return s.fsDisk }
+
+// GuestErrors returns recent guest failures across all clusters.
+func (s *System) GuestErrors() []string {
+	s.mu.Lock()
+	ks := append([]*kernel.Kernel(nil), s.kernels...)
+	s.mu.Unlock()
+	var out []string
+	for _, k := range ks {
+		out = append(out, k.GuestErrors()...)
+	}
+	return out
+}
+
+// SetFileServerSyncEvery tunes how many requests the file server services
+// between explicit syncs (§7.9), on both instances. Call before starting
+// file traffic.
+func (s *System) SetFileServerSyncEvery(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	s.fs[0].SyncEvery = n
+	s.fs[1].SyncEvery = n
+}
+
+// Spawn creates a fault-tolerant head-of-family process (§7.7): the
+// primary's PCB on its cluster and the backup shell on the backup cluster,
+// both created eagerly.
+func (s *System) Spawn(program string, args []byte, cfg SpawnConfig) (types.PID, error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return types.NoPID, types.ErrShutdown
+	}
+	primary := cfg.Cluster
+	if s.crashed[primary] {
+		s.mu.Unlock()
+		return types.NoPID, fmt.Errorf("core: spawn on crashed %v: %w", primary, types.ErrNoCluster)
+	}
+	// Backup placement: an explicit cluster is honored; NoBackup disables
+	// fault tolerance; a backup equal to the primary (including the zero
+	// value when both default to cluster 0) selects the next live cluster
+	// automatically.
+	backup := cfg.BackupCluster
+	switch {
+	case backup == NoBackup:
+		backup = types.NoCluster
+	case backup == primary || backup == types.NoCluster:
+		backup = s.nextLiveLocked(primary)
+	}
+	s.mu.Unlock()
+
+	k := s.kern(primary)
+	if k == nil {
+		return types.NoPID, types.ErrNoCluster
+	}
+	pcb, bn, err := k.Spawn(program, args, kernel.SpawnOpts{
+		Mode:           cfg.Mode,
+		BackupCluster:  backup,
+		SyncReads:      cfg.SyncReads,
+		SyncTicks:      cfg.SyncTicks,
+		FullCheckpoint: cfg.FullCheckpoint,
+	})
+	if err != nil {
+		return types.NoPID, err
+	}
+	if bk := s.kern(backup); backup != types.NoCluster && bk != nil {
+		bk.CreateBackupShell(bn)
+	}
+	return pcb.PID(), nil
+}
+
+// nextLiveLocked picks the lowest live cluster other than avoid.
+func (s *System) nextLiveLocked(avoid types.ClusterID) types.ClusterID {
+	for _, c := range s.bus.Live() {
+		if c != avoid {
+			return c
+		}
+	}
+	return types.NoCluster
+}
+
+// Crash injects a single-point hardware failure taking down cluster c: the
+// cluster halts losing all volatile state, the failure detector notices,
+// the directory is brought up to date, and a crash notice is broadcast on
+// the bus so every surviving kernel begins crash handling at the same point
+// in the message order (§7.10).
+func (s *System) Crash(c types.ClusterID) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return types.ErrShutdown
+	}
+	if s.crashed[c] {
+		s.mu.Unlock()
+		return fmt.Errorf("core: %v already crashed: %w", c, types.ErrNoCluster)
+	}
+	if (c == 0 && s.crashed[1]) || (c == 1 && s.crashed[0]) {
+		s.mu.Unlock()
+		return fmt.Errorf("core: both server clusters down: %w", types.ErrTooManyFailures)
+	}
+	s.crashed[c] = true
+	s.mu.Unlock()
+
+	// The cluster halts first (volatile state lost) ...
+	s.kern(c).Crash()
+	// ... the detector confirms and drives system-wide handling.
+	s.detector.Report(c)
+	return nil
+}
+
+// handleDetectedCrash is the detector callback: update the global location
+// state (the process server's knowledge) and broadcast the crash notice.
+func (s *System) handleDetectedCrash(c types.ClusterID) {
+	s.mu.Lock()
+	s.crashed[c] = true
+	s.mu.Unlock()
+	if k := s.kern(c); k != nil && !k.Crashed() {
+		k.Crash()
+	}
+	s.metrics.Crashes.Add(1)
+	s.dir.ApplyCrash(c)
+	cn := &kernel.CrashNotice{Crashed: c}
+	_ = s.bus.BroadcastAll(&types.Message{
+		Kind:    types.KindCrashNotice,
+		Payload: cn.Encode(),
+	})
+}
+
+// CrashProcess injects an isolatable hardware failure affecting a single
+// process (§10 future work, first item): the process is lost, its cluster
+// keeps running, and its backup is brought up. Returns an error if the
+// process does not exist or its cluster is down (use Crash for whole
+// clusters).
+func (s *System) CrashProcess(pid types.PID) error {
+	loc, ok := s.dir.Proc(pid)
+	if !ok {
+		return types.ErrNoProcess
+	}
+	k := s.kern(loc.Cluster)
+	if k == nil || k.Crashed() {
+		return types.ErrNoCluster
+	}
+	if err := k.CrashProcess(pid); err != nil {
+		return err
+	}
+	s.metrics.Crashes.Add(1)
+	s.dir.ApplyCrashProcess(pid)
+	cn := &kernel.CrashNotice{Crashed: loc.Cluster, PID: pid}
+	return s.bus.BroadcastAll(&types.Message{
+		Kind:    types.KindCrashNotice,
+		Dst:     pid,
+		Payload: cn.Encode(),
+	})
+}
+
+// Signal sends an asynchronous signal to a process (§7.5.2).
+func (s *System) Signal(pid types.PID, sig types.Signal) error {
+	loc, ok := s.dir.Proc(pid)
+	if !ok {
+		return types.ErrNoProcess
+	}
+	k := s.kern(loc.Cluster)
+	if k == nil || k.Crashed() {
+		return types.ErrNoCluster
+	}
+	k.Signal(pid, sig)
+	return nil
+}
+
+// TypeLine injects one line of terminal input (the device-driver path).
+func (s *System) TypeLine(term int, line string) {
+	s.withTTYPrimary(func(ctx *kernel.ServerCtx, srv *ttyserver.Server) {
+		srv.InjectInput(ctx, term, line)
+	})
+}
+
+// Interrupt injects a control-C on a terminal: SigInt to every bound
+// process (§7.5.2).
+func (s *System) Interrupt(term int) {
+	s.withTTYPrimary(func(ctx *kernel.ServerCtx, srv *ttyserver.Server) {
+		srv.InjectInterrupt(ctx, term)
+	})
+}
+
+func (s *System) withTTYPrimary(fn func(*kernel.ServerCtx, *ttyserver.Server)) {
+	loc, ok := s.dir.Service(directory.PIDTTYServer)
+	if !ok || loc.Primary == types.NoCluster {
+		return
+	}
+	k := s.kern(loc.Primary)
+	if k == nil {
+		return
+	}
+	k.ServerInject(directory.PIDTTYServer, func(ctx *kernel.ServerCtx, srv kernel.Server) {
+		if tty, ok := srv.(*ttyserver.Server); ok {
+			fn(ctx, tty)
+		}
+	})
+}
+
+// TerminalOutput returns everything written to terminal term.
+func (s *System) TerminalOutput(term int) []string {
+	return s.ttyDevice.Output(term)
+}
+
+// ProcAlive reports whether pid is currently a live process somewhere.
+func (s *System) ProcAlive(pid types.PID) bool {
+	loc, ok := s.dir.Proc(pid)
+	return ok && loc.Cluster != types.NoCluster
+}
+
+// WaitExit blocks until pid exits (is removed from the global process
+// table) or the timeout elapses.
+func (s *System) WaitExit(pid types.PID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if !s.ProcAlive(pid) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: %s still alive after %v", pid, timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Settle waits until the system is quiescent: no queued bus traffic and no
+// runnable syscall activity for two consecutive polls. Best-effort; used by
+// tests and the harness between scenario phases.
+func (s *System) Settle(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	stable := 0
+	var last trace.Snapshot
+	for time.Now().Before(deadline) && stable < 3 {
+		snap := s.metrics.Snapshot()
+		if last != nil {
+			same := true
+			for k, v := range snap {
+				if last[k] != v {
+					same = false
+					break
+				}
+			}
+			if same {
+				stable++
+			} else {
+				stable = 0
+			}
+		}
+		last = snap
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Stop shuts the system down.
+func (s *System) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	ks := append([]*kernel.Kernel(nil), s.kernels...)
+	s.mu.Unlock()
+	s.detector.Stop()
+	for _, k := range ks {
+		if !k.Crashed() {
+			k.Stop()
+		}
+	}
+	for _, k := range ks {
+		k.Wait()
+	}
+}

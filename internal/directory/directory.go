@@ -1,0 +1,235 @@
+// Package directory holds the global configuration and location state that
+// the Auragen hardware and the process server make available to every
+// kernel: which clusters host which system servers, where each process and
+// its backup live, and allocators for globally unique process and channel
+// identifiers.
+//
+// In the paper this knowledge is split between static hardware wiring
+// (peripheral servers sit in the two clusters connected to their device,
+// §7.6) and the process server, which "keeps track of the location of all
+// processes in the system" via periodic kernel reports (§7.6). Kernels here
+// consult this shared structure directly where the paper's kernels would
+// consult their local copy of that configuration or ask the process server;
+// the process server process (internal/procserver) serves the same data
+// over channels for user-visible queries and the time service.
+package directory
+
+import (
+	"sort"
+	"sync"
+
+	"auragen/internal/types"
+)
+
+// Well-known PIDs for system and peripheral servers. A server keeps its
+// PID across a crash: the backup takes over the primary's identity.
+const (
+	// PIDPageServer is the global page server (§7.6).
+	PIDPageServer types.PID = 2
+	// PIDFileServer is the file server for the root file system (§7.6).
+	PIDFileServer types.PID = 3
+	// PIDProcServer is the process server (§7.6).
+	PIDProcServer types.PID = 4
+	// PIDTTYServer is the terminal server (§7.6).
+	PIDTTYServer types.PID = 5
+	// PIDKernel stands for "the kernel" as a message source (signals,
+	// birth notices); it is not a schedulable process.
+	PIDKernel types.PID = 1
+	// FirstUserPID is the first PID handed to user processes.
+	FirstUserPID types.PID = 100
+)
+
+// ServiceLoc records where a server's primary and active backup run.
+type ServiceLoc struct {
+	Primary types.ClusterID
+	Backup  types.ClusterID
+}
+
+// ProcLoc records where a process and its inactive backup live.
+type ProcLoc struct {
+	Cluster       types.ClusterID
+	BackupCluster types.ClusterID
+	Mode          types.BackupMode
+	// Family is the head-of-family PID (all members of a family keep
+	// their backups in a single cluster, §7.7).
+	Family types.PID
+}
+
+// Directory is shared by all kernels of one system. Safe for concurrent
+// use.
+type Directory struct {
+	mu       sync.Mutex
+	services map[types.PID]ServiceLoc
+	procs    map[types.PID]ProcLoc
+
+	nextPID     types.PID
+	nextChannel types.ChannelID
+}
+
+// New returns an empty directory.
+func New() *Directory {
+	return &Directory{
+		services:    make(map[types.PID]ServiceLoc),
+		procs:       make(map[types.PID]ProcLoc),
+		nextPID:     FirstUserPID,
+		nextChannel: 1,
+	}
+}
+
+// AllocPID returns a fresh globally unique process id.
+func (d *Directory) AllocPID() types.PID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.nextPID
+	d.nextPID++
+	return p
+}
+
+// AllocChannel returns a fresh globally unique channel id.
+func (d *Directory) AllocChannel() types.ChannelID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := d.nextChannel
+	d.nextChannel++
+	return c
+}
+
+// SetService records the clusters hosting a server.
+func (d *Directory) SetService(pid types.PID, loc ServiceLoc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.services[pid] = loc
+}
+
+// Service returns the location of a server.
+func (d *Directory) Service(pid types.PID) (ServiceLoc, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.services[pid]
+	return l, ok
+}
+
+// SetProc records a process location.
+func (d *Directory) SetProc(pid types.PID, loc ProcLoc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.procs[pid] = loc
+}
+
+// Proc returns a process location.
+func (d *Directory) Proc(pid types.PID) (ProcLoc, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.procs[pid]
+	return l, ok
+}
+
+// RemoveProc forgets an exited process.
+func (d *Directory) RemoveProc(pid types.PID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.procs, pid)
+}
+
+// Procs returns all known process ids in ascending order.
+func (d *Directory) Procs() []types.PID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]types.PID, 0, len(d.procs))
+	for p := range d.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Mode returns the backup mode of pid (Quarterback if unknown).
+func (d *Directory) Mode(pid types.PID) types.BackupMode {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.procs[pid].Mode
+}
+
+// IsFullback reports whether pid is a known fullback process. Crash
+// handling uses it to mark channels unusable (§7.10.1).
+func (d *Directory) IsFullback(pid types.PID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.procs[pid]
+	return ok && l.Mode == types.Fullback
+}
+
+// ApplyCrash rewrites locations after cluster crashed fails: processes
+// whose primary ran there move to their backup cluster (which then has no
+// backup); processes whose backup ran there lose the backup. Server
+// locations are updated the same way. It returns the pids whose primaries
+// moved (i.e. whose backups must be promoted somewhere).
+func (d *Directory) ApplyCrash(crashed types.ClusterID) []types.PID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var promoted []types.PID
+	for pid, l := range d.procs {
+		switch {
+		case l.Cluster == crashed:
+			l.Cluster = l.BackupCluster
+			l.BackupCluster = types.NoCluster
+			d.procs[pid] = l
+			if l.Cluster != types.NoCluster {
+				promoted = append(promoted, pid)
+			}
+		case l.BackupCluster == crashed:
+			l.BackupCluster = types.NoCluster
+			d.procs[pid] = l
+		}
+	}
+	for pid, l := range d.services {
+		switch {
+		case l.Primary == crashed:
+			l.Primary = l.Backup
+			l.Backup = types.NoCluster
+			d.services[pid] = l
+		case l.Backup == crashed:
+			l.Backup = types.NoCluster
+			d.services[pid] = l
+		}
+	}
+	sort.Slice(promoted, func(i, j int) bool { return promoted[i] < promoted[j] })
+	return promoted
+}
+
+// ApplyCrashProcess rewrites one process's location after an isolatable
+// single-process failure (§10): the backup cluster becomes the primary.
+// It returns the new primary cluster (NoCluster if the process had no
+// backup and is therefore lost).
+func (d *Directory) ApplyCrashProcess(pid types.PID) types.ClusterID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, ok := d.procs[pid]
+	if !ok {
+		return types.NoCluster
+	}
+	l.Cluster = l.BackupCluster
+	l.BackupCluster = types.NoCluster
+	if l.Cluster == types.NoCluster {
+		delete(d.procs, pid)
+		return types.NoCluster
+	}
+	d.procs[pid] = l
+	return l.Cluster
+}
+
+// SetBackup records a newly created backup location for pid (fullback
+// re-backup, or a halfback's cluster returning to service).
+func (d *Directory) SetBackup(pid types.PID, backup types.ClusterID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if l, ok := d.procs[pid]; ok {
+		l.BackupCluster = backup
+		d.procs[pid] = l
+		return
+	}
+	if l, ok := d.services[pid]; ok {
+		l.Backup = backup
+		d.services[pid] = l
+	}
+}

@@ -1,0 +1,121 @@
+package directory
+
+import (
+	"testing"
+
+	"auragen/internal/types"
+)
+
+func TestAllocatorsAreUnique(t *testing.T) {
+	d := New()
+	seenP := map[types.PID]bool{}
+	seenC := map[types.ChannelID]bool{}
+	for i := 0; i < 1000; i++ {
+		p := d.AllocPID()
+		if p < FirstUserPID || seenP[p] {
+			t.Fatalf("pid %v duplicate or reserved", p)
+		}
+		seenP[p] = true
+		c := d.AllocChannel()
+		if c == types.NoChannel || seenC[c] {
+			t.Fatalf("channel %v duplicate or zero", c)
+		}
+		seenC[c] = true
+	}
+}
+
+func TestProcLifecycle(t *testing.T) {
+	d := New()
+	d.SetProc(100, ProcLoc{Cluster: 2, BackupCluster: 0, Mode: types.Fullback, Family: 100})
+	loc, ok := d.Proc(100)
+	if !ok || loc.Cluster != 2 || loc.BackupCluster != 0 {
+		t.Fatalf("Proc = %+v %v", loc, ok)
+	}
+	if !d.IsFullback(100) || d.IsFullback(999) {
+		t.Fatal("IsFullback wrong")
+	}
+	if d.Mode(100) != types.Fullback {
+		t.Fatal("Mode wrong")
+	}
+	if got := d.Procs(); len(got) != 1 || got[0] != 100 {
+		t.Fatalf("Procs = %v", got)
+	}
+	d.RemoveProc(100)
+	if _, ok := d.Proc(100); ok {
+		t.Fatal("removed proc still present")
+	}
+}
+
+func TestServiceLifecycle(t *testing.T) {
+	d := New()
+	d.SetService(PIDFileServer, ServiceLoc{Primary: 0, Backup: 1})
+	loc, ok := d.Service(PIDFileServer)
+	if !ok || loc.Primary != 0 || loc.Backup != 1 {
+		t.Fatalf("Service = %+v %v", loc, ok)
+	}
+	if _, ok := d.Service(PIDTTYServer); ok {
+		t.Fatal("unregistered service found")
+	}
+}
+
+func TestApplyCrashMovesPrimaries(t *testing.T) {
+	d := New()
+	d.SetProc(100, ProcLoc{Cluster: 2, BackupCluster: 0})               // primary dies
+	d.SetProc(101, ProcLoc{Cluster: 1, BackupCluster: 2})               // backup dies
+	d.SetProc(102, ProcLoc{Cluster: 1, BackupCluster: 0})               // untouched
+	d.SetProc(103, ProcLoc{Cluster: 2, BackupCluster: types.NoCluster}) // unrecoverable
+	d.SetService(PIDFileServer, ServiceLoc{Primary: 2, Backup: 0})
+
+	promoted := d.ApplyCrash(2)
+	if len(promoted) != 1 || promoted[0] != 100 {
+		t.Fatalf("promoted = %v", promoted)
+	}
+	loc, _ := d.Proc(100)
+	if loc.Cluster != 0 || loc.BackupCluster != types.NoCluster {
+		t.Fatalf("pid100 after crash: %+v", loc)
+	}
+	loc, _ = d.Proc(101)
+	if loc.Cluster != 1 || loc.BackupCluster != types.NoCluster {
+		t.Fatalf("pid101 after crash: %+v", loc)
+	}
+	loc, _ = d.Proc(102)
+	if loc.Cluster != 1 || loc.BackupCluster != 0 {
+		t.Fatalf("pid102 after crash: %+v", loc)
+	}
+	loc, _ = d.Proc(103)
+	if loc.Cluster != types.NoCluster {
+		t.Fatalf("pid103 (no backup) should be gone: %+v", loc)
+	}
+	svc, _ := d.Service(PIDFileServer)
+	if svc.Primary != 0 || svc.Backup != types.NoCluster {
+		t.Fatalf("service after crash: %+v", svc)
+	}
+}
+
+func TestApplyCrashServiceBackupLost(t *testing.T) {
+	d := New()
+	d.SetService(PIDTTYServer, ServiceLoc{Primary: 0, Backup: 1})
+	d.ApplyCrash(1)
+	svc, _ := d.Service(PIDTTYServer)
+	if svc.Primary != 0 || svc.Backup != types.NoCluster {
+		t.Fatalf("service after backup loss: %+v", svc)
+	}
+}
+
+func TestSetBackup(t *testing.T) {
+	d := New()
+	d.SetProc(100, ProcLoc{Cluster: 2, BackupCluster: types.NoCluster})
+	d.SetBackup(100, 3)
+	loc, _ := d.Proc(100)
+	if loc.BackupCluster != 3 {
+		t.Fatalf("SetBackup proc: %+v", loc)
+	}
+	d.SetService(PIDFileServer, ServiceLoc{Primary: 0, Backup: types.NoCluster})
+	d.SetBackup(PIDFileServer, 1)
+	svc, _ := d.Service(PIDFileServer)
+	if svc.Backup != 1 {
+		t.Fatalf("SetBackup service: %+v", svc)
+	}
+	// Unknown pid: no panic, no effect.
+	d.SetBackup(999, 1)
+}

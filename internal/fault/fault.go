@@ -1,0 +1,130 @@
+// Package fault implements failure detection (§7.10): "Local failure
+// detection and diagnosis are done in each cluster ... Periodic polling of
+// every cluster will discover the shutdown and notify the remaining
+// clusters to begin crash handling."
+//
+// The Detector polls cluster liveness and reports each alive→dead
+// transition exactly once. Crash injection for tests and experiments calls
+// the same report path synchronously.
+package fault
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"auragen/internal/types"
+)
+
+// Detector polls cluster liveness.
+type Detector struct {
+	interval time.Duration
+	probe    func(types.ClusterID) bool
+	onCrash  func(types.ClusterID)
+
+	mu       sync.Mutex
+	known    map[types.ClusterID]bool // true while believed alive
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New creates a detector. probe reports whether a cluster currently
+// responds; onCrash is invoked exactly once per detected failure.
+func New(interval time.Duration, probe func(types.ClusterID) bool, onCrash func(types.ClusterID)) *Detector {
+	return &Detector{
+		interval: interval,
+		probe:    probe,
+		onCrash:  onCrash,
+		known:    make(map[types.ClusterID]bool),
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// Watch adds a cluster to the polling set.
+func (d *Detector) Watch(c types.ClusterID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.known[c] = true
+}
+
+// Unwatch removes a cluster (clean shutdown, not a failure).
+func (d *Detector) Unwatch(c types.ClusterID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.known, c)
+}
+
+// Watched returns the clusters currently believed alive, ascending.
+func (d *Detector) Watched() []types.ClusterID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]types.ClusterID, 0, len(d.known))
+	for c, alive := range d.known {
+		if alive {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Start launches the polling loop. A zero interval disables polling
+// (failures are then only found via Report).
+func (d *Detector) Start() {
+	if d.interval <= 0 {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		ticker := time.NewTicker(d.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-d.stopCh:
+				return
+			case <-ticker.C:
+				d.poll()
+			}
+		}
+	}()
+}
+
+func (d *Detector) poll() {
+	d.mu.Lock()
+	var dead []types.ClusterID
+	for c, alive := range d.known {
+		if alive && !d.probe(c) {
+			d.known[c] = false
+			dead = append(dead, c)
+		}
+	}
+	d.mu.Unlock()
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, c := range dead {
+		d.onCrash(c)
+	}
+}
+
+// Report declares a cluster failed immediately (synchronous injection).
+// It is idempotent: the first report wins.
+func (d *Detector) Report(c types.ClusterID) bool {
+	d.mu.Lock()
+	alive, ok := d.known[c]
+	if ok && alive {
+		d.known[c] = false
+	}
+	d.mu.Unlock()
+	if ok && alive {
+		d.onCrash(c)
+		return true
+	}
+	return false
+}
+
+// Stop halts polling.
+func (d *Detector) Stop() {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+	d.wg.Wait()
+}

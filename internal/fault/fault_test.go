@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"auragen/internal/types"
+)
+
+// harness wraps a detector over a mutable liveness map.
+type harness struct {
+	mu      sync.Mutex
+	alive   map[types.ClusterID]bool
+	crashes []types.ClusterID
+	d       *Detector
+}
+
+func newHarness(interval time.Duration) *harness {
+	h := &harness{alive: make(map[types.ClusterID]bool)}
+	h.d = New(interval,
+		func(c types.ClusterID) bool {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return h.alive[c]
+		},
+		func(c types.ClusterID) {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			h.crashes = append(h.crashes, c)
+		},
+	)
+	return h
+}
+
+func (h *harness) setAlive(c types.ClusterID, v bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.alive[c] = v
+}
+
+func (h *harness) crashCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.crashes)
+}
+
+func TestReportFiresOnce(t *testing.T) {
+	h := newHarness(0)
+	h.d.Watch(2)
+	h.setAlive(2, true)
+	if !h.d.Report(2) {
+		t.Fatal("first report rejected")
+	}
+	if h.d.Report(2) {
+		t.Fatal("second report accepted")
+	}
+	if h.crashCount() != 1 {
+		t.Fatalf("crashes = %d", h.crashCount())
+	}
+}
+
+func TestReportUnknownCluster(t *testing.T) {
+	h := newHarness(0)
+	if h.d.Report(9) {
+		t.Fatal("report for unwatched cluster accepted")
+	}
+}
+
+func TestPollingDetectsDeath(t *testing.T) {
+	h := newHarness(time.Millisecond)
+	for c := types.ClusterID(0); c < 3; c++ {
+		h.setAlive(c, true)
+		h.d.Watch(c)
+	}
+	h.d.Start()
+	defer h.d.Stop()
+	h.setAlive(1, false)
+	deadline := time.Now().Add(2 * time.Second)
+	for h.crashCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.crashes) != 1 || h.crashes[0] != 1 {
+		t.Fatalf("crashes = %v", h.crashes)
+	}
+}
+
+func TestPollingReportsEachFailureOnce(t *testing.T) {
+	h := newHarness(time.Millisecond)
+	h.setAlive(0, true)
+	h.d.Watch(0)
+	h.d.Start()
+	defer h.d.Stop()
+	h.setAlive(0, false)
+	time.Sleep(20 * time.Millisecond)
+	if h.crashCount() != 1 {
+		t.Fatalf("repeated reports: %d", h.crashCount())
+	}
+}
+
+func TestWatchedAndUnwatch(t *testing.T) {
+	h := newHarness(0)
+	h.d.Watch(3)
+	h.d.Watch(1)
+	h.d.Watch(2)
+	h.d.Unwatch(2)
+	got := h.d.Watched()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Watched = %v", got)
+	}
+	h.setAlive(1, true)
+	h.d.Report(1)
+	got = h.d.Watched()
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Watched after crash = %v", got)
+	}
+}
+
+func TestZeroIntervalDisablesPolling(t *testing.T) {
+	h := newHarness(0)
+	h.setAlive(0, false)
+	h.d.Watch(0)
+	h.d.Start() // no-op
+	time.Sleep(10 * time.Millisecond)
+	if h.crashCount() != 0 {
+		t.Fatal("polling ran with zero interval")
+	}
+	h.d.Stop()
+}
+
+func TestStopIdempotent(t *testing.T) {
+	h := newHarness(time.Millisecond)
+	h.d.Start()
+	h.d.Stop()
+	h.d.Stop() // second stop must not panic
+}

@@ -1,0 +1,32 @@
+package fileserver
+
+import (
+	"testing"
+
+	"auragen/internal/disk"
+)
+
+func BenchmarkVolumeWriteFlush(b *testing.B) {
+	d := disk.New("bench", 4096, 0, 1)
+	super, err := Format(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := mount(d, 0, super)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.writeFile("/bench", int64(i%64)*256, rec); err != nil {
+			b.Fatal(err)
+		}
+		if i%16 == 15 {
+			if _, err := v.flush(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,464 @@
+// Package fileserver implements the file server of §7.6 and its §7.9
+// synchronization strategy.
+//
+// Auros file systems are logically UNIX file systems but are "internally
+// structured differently to allow the file server to sync correctly": an
+// old copy, in the state as of the last sync, cannot be destroyed until the
+// sync is complete, which "involves the duplication on disk of those blocks
+// which have changed since last sync" — shadow blocks. A side effect is a
+// file system "considerably more robust than that in UNIX".
+//
+// This file implements that on-disk layout over the dual-ported disk
+// substrate:
+//
+//   - A fixed superblock holds the ids of the blocks containing the root
+//     table. Overwriting the superblock is the single atomic commit point.
+//   - The root table maps file names to block lists and sizes.
+//   - Flushing dirty files writes their data to freshly allocated blocks,
+//     writes a new root table to fresh blocks, commits the superblock, and
+//     only then frees the superseded blocks.
+//
+// A crash between any two steps leaves the previous committed state fully
+// intact on disk for the backup twin (which shares the dual-ported disk).
+package fileserver
+
+import (
+	"fmt"
+	"sort"
+
+	"auragen/internal/disk"
+	"auragen/internal/types"
+	"auragen/internal/wire"
+)
+
+// fileRecord is one committed file: its size and ordered data blocks.
+type fileRecord struct {
+	size   int64
+	blocks []disk.BlockID
+}
+
+// fsVolume is the in-memory face of one on-disk file system, held by one
+// server instance. The cache keeps whole files; only the flush path touches
+// the disk.
+type fsVolume struct {
+	d       *disk.Disk
+	cluster types.ClusterID
+	super   disk.BlockID
+
+	// committed is the root table as of the last commit.
+	committed map[string]fileRecord
+	// cache holds file contents; dirty marks files modified since the
+	// last flush; unlinked marks names removed since the last flush (so a
+	// recreate before the flush starts from empty, not from the committed
+	// contents).
+	cache    map[string][]byte
+	dirty    map[string]bool
+	unlinked map[string]bool
+
+	// persisted is the server record committed with the last flush: the
+	// server's sync blob plus cumulative serviced counts. It lets a
+	// promoted twin reconcile its saved requests against effects already
+	// on disk (crash between flush and the sync message escaping).
+	persisted []byte
+}
+
+const superMagic uint32 = 0x41555253 // "AURS"
+
+// Format initializes an empty file system on d and returns the superblock
+// id, which both server instances need to mount.
+func Format(d *disk.Disk, from types.ClusterID) (disk.BlockID, error) {
+	super, err := d.Alloc(from)
+	if err != nil {
+		return disk.NoBlock, err
+	}
+	v := &fsVolume{d: d, cluster: from, super: super, committed: map[string]fileRecord{}}
+	if err := v.writeSuper(nil, nil); err != nil {
+		return disk.NoBlock, err
+	}
+	return super, nil
+}
+
+// mount loads the committed state from disk.
+func mount(d *disk.Disk, from types.ClusterID, super disk.BlockID) (*fsVolume, error) {
+	v := &fsVolume{
+		d:         d,
+		cluster:   from,
+		super:     super,
+		committed: make(map[string]fileRecord),
+		cache:     make(map[string][]byte),
+		dirty:     make(map[string]bool),
+		unlinked:  make(map[string]bool),
+	}
+	raw, err := d.Read(from, super)
+	if err != nil {
+		return nil, fmt.Errorf("fileserver: reading superblock: %w", err)
+	}
+	r := wire.NewReader(raw)
+	if magic := r.U32(); magic != superMagic {
+		return nil, fmt.Errorf("fileserver: bad superblock magic %#x", magic)
+	}
+	n := r.U32()
+	var tableBlocks []disk.BlockID
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		tableBlocks = append(tableBlocks, disk.BlockID(r.U64()))
+	}
+	var recordBlocks []disk.BlockID
+	if r.Remaining() > 0 {
+		nr := r.U32()
+		for i := uint32(0); i < nr && r.Err() == nil; i++ {
+			recordBlocks = append(recordBlocks, disk.BlockID(r.U64()))
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("fileserver: superblock corrupt: %w", r.Err())
+	}
+	var tableRaw []byte
+	for _, b := range tableBlocks {
+		blk, err := d.Read(from, b)
+		if err != nil {
+			return nil, fmt.Errorf("fileserver: reading root table: %w", err)
+		}
+		tableRaw = append(tableRaw, blk...)
+	}
+	if len(recordBlocks) > 0 {
+		var rec []byte
+		for _, b := range recordBlocks {
+			blk, err := d.Read(from, b)
+			if err != nil {
+				return nil, fmt.Errorf("fileserver: reading server record: %w", err)
+			}
+			rec = append(rec, blk...)
+		}
+		// The record is length-prefixed so block padding is trimmed.
+		rr := wire.NewReader(rec)
+		if body := rr.Bytes32(); rr.Err() == nil {
+			v.persisted = body
+		}
+	}
+	if len(tableRaw) > 0 {
+		tr := wire.NewReader(tableRaw)
+		count := tr.U32()
+		for i := uint32(0); i < count && tr.Err() == nil; i++ {
+			name := tr.String()
+			size := tr.I64()
+			nb := tr.U32()
+			rec := fileRecord{size: size}
+			for j := uint32(0); j < nb && tr.Err() == nil; j++ {
+				rec.blocks = append(rec.blocks, disk.BlockID(tr.U64()))
+			}
+			v.committed[name] = rec
+		}
+		if tr.Err() != nil {
+			return nil, fmt.Errorf("fileserver: root table corrupt: %w", tr.Err())
+		}
+	}
+	return v, nil
+}
+
+// writeSuper writes the superblock referencing the given root-table blocks
+// and server-record blocks.
+func (v *fsVolume) writeSuper(tableBlocks, recordBlocks []disk.BlockID) error {
+	w := wire.NewWriter(16 + 8*(len(tableBlocks)+len(recordBlocks)))
+	w.U32(superMagic)
+	w.U32(uint32(len(tableBlocks)))
+	for _, b := range tableBlocks {
+		w.U64(uint64(b))
+	}
+	w.U32(uint32(len(recordBlocks)))
+	for _, b := range recordBlocks {
+		w.U64(uint64(b))
+	}
+	if w.Len() > v.d.BlockSize() {
+		return fmt.Errorf("fileserver: superblock overflow (%d+%d blocks)", len(tableBlocks), len(recordBlocks))
+	}
+	return v.d.Write(v.cluster, v.super, w.Bytes())
+}
+
+// readFile returns the current contents of name, loading from disk into the
+// cache on first touch.
+func (v *fsVolume) readFile(name string) ([]byte, bool, error) {
+	if data, ok := v.cache[name]; ok {
+		return data, true, nil
+	}
+	if v.unlinked[name] {
+		return nil, false, nil
+	}
+	rec, ok := v.committed[name]
+	if !ok {
+		return nil, false, nil
+	}
+	data := make([]byte, 0, rec.size)
+	for _, b := range rec.blocks {
+		blk, err := v.d.Read(v.cluster, b)
+		if err != nil {
+			return nil, false, err
+		}
+		data = append(data, blk...)
+	}
+	if int64(len(data)) > rec.size {
+		data = data[:rec.size]
+	}
+	v.cache[name] = data
+	return data, true, nil
+}
+
+// exists reports whether name exists (cached or committed and not
+// pending unlink).
+func (v *fsVolume) exists(name string) bool {
+	if _, ok := v.cache[name]; ok {
+		return true
+	}
+	if v.unlinked[name] {
+		return false
+	}
+	_, ok := v.committed[name]
+	return ok
+}
+
+// create makes an empty file if absent.
+func (v *fsVolume) create(name string) {
+	if !v.exists(name) {
+		delete(v.unlinked, name)
+		v.cache[name] = nil
+		v.dirty[name] = true
+	}
+}
+
+// writeFile replaces the contents of name at the given offset, extending
+// the file as needed (sparse gaps are zero-filled).
+func (v *fsVolume) writeFile(name string, off int64, data []byte) error {
+	cur, _, err := v.readFile(name)
+	if err != nil {
+		return err
+	}
+	end := off + int64(len(data))
+	if int64(len(cur)) < end {
+		grown := make([]byte, end)
+		copy(grown, cur)
+		cur = grown
+	} else {
+		// Copy-on-write: never alias the cached slice handed out earlier.
+		cur = append([]byte(nil), cur...)
+	}
+	copy(cur[off:], data)
+	delete(v.unlinked, name)
+	v.cache[name] = cur
+	v.dirty[name] = true
+	return nil
+}
+
+// truncate sets the file's length.
+func (v *fsVolume) truncate(name string, size int64) error {
+	cur, _, err := v.readFile(name)
+	if err != nil {
+		return err
+	}
+	if int64(len(cur)) > size {
+		cur = append([]byte(nil), cur[:size]...)
+	} else if int64(len(cur)) < size {
+		grown := make([]byte, size)
+		copy(grown, cur)
+		cur = grown
+	}
+	v.cache[name] = cur
+	v.dirty[name] = true
+	return nil
+}
+
+// unlink removes a file. The blocks are reclaimed at the next flush.
+func (v *fsVolume) unlink(name string) {
+	delete(v.cache, name)
+	v.dirty[name] = true
+	v.unlinked[name] = true
+}
+
+// size returns the current length of name.
+func (v *fsVolume) size(name string) (int64, bool) {
+	if data, ok := v.cache[name]; ok {
+		return int64(len(data)), true
+	}
+	if v.unlinked[name] {
+		return 0, false
+	}
+	rec, ok := v.committed[name]
+	if !ok {
+		return 0, false
+	}
+	return rec.size, true
+}
+
+// names returns all current file names, sorted.
+func (v *fsVolume) names() []string {
+	seen := make(map[string]bool)
+	for n := range v.committed {
+		seen[n] = true
+	}
+	for n := range v.cache {
+		seen[n] = true
+	}
+	for n := range v.unlinked {
+		delete(seen, n)
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// flush writes every dirty file to fresh blocks and commits atomically
+// (§7.9), together with the server record (sync blob + cumulative serviced
+// counts). It returns the number of data blocks written.
+func (v *fsVolume) flush(record []byte) (int, error) {
+	if len(v.dirty) == 0 && bytesEqual(record, v.persisted) {
+		return 0, nil
+	}
+	bs := v.d.BlockSize()
+	next := make(map[string]fileRecord, len(v.committed))
+	for name, rec := range v.committed {
+		next[name] = rec
+	}
+	var freed []disk.BlockID
+	written := 0
+
+	dirtyNames := make([]string, 0, len(v.dirty))
+	for n := range v.dirty {
+		dirtyNames = append(dirtyNames, n)
+	}
+	sort.Strings(dirtyNames)
+
+	for _, name := range dirtyNames {
+		if old, ok := next[name]; ok {
+			freed = append(freed, old.blocks...)
+		}
+		data, cached := v.cache[name]
+		if !cached {
+			delete(next, name) // unlinked
+			continue
+		}
+		rec := fileRecord{size: int64(len(data))}
+		for off := 0; off < len(data); off += bs {
+			end := off + bs
+			if end > len(data) {
+				end = len(data)
+			}
+			id, err := v.d.Alloc(v.cluster)
+			if err != nil {
+				return written, err
+			}
+			if err := v.d.Write(v.cluster, id, data[off:end]); err != nil {
+				return written, err
+			}
+			rec.blocks = append(rec.blocks, id)
+			written++
+		}
+		next[name] = rec
+	}
+
+	// Serialize the new root table into fresh blocks.
+	tw := wire.NewWriter(256)
+	tw.U32(uint32(len(next)))
+	tnames := make([]string, 0, len(next))
+	for n := range next {
+		tnames = append(tnames, n)
+	}
+	sort.Strings(tnames)
+	for _, n := range tnames {
+		rec := next[n]
+		tw.String(n)
+		tw.I64(rec.size)
+		tw.U32(uint32(len(rec.blocks)))
+		for _, b := range rec.blocks {
+			tw.U64(uint64(b))
+		}
+	}
+	raw := tw.Bytes()
+	var tableBlocks []disk.BlockID
+	for off := 0; off < len(raw) || off == 0; off += bs {
+		end := off + bs
+		if end > len(raw) {
+			end = len(raw)
+		}
+		id, err := v.d.Alloc(v.cluster)
+		if err != nil {
+			return written, err
+		}
+		if err := v.d.Write(v.cluster, id, raw[off:end]); err != nil {
+			return written, err
+		}
+		tableBlocks = append(tableBlocks, id)
+		if len(raw) == 0 {
+			break
+		}
+	}
+
+	// Serialize the server record into fresh blocks (length-prefixed so
+	// padding trims on read).
+	var recordBlocks []disk.BlockID
+	rw := wire.NewWriter(8 + len(record))
+	rw.Bytes32(record)
+	recRaw := rw.Bytes()
+	for off := 0; off < len(recRaw); off += bs {
+		end := off + bs
+		if end > len(recRaw) {
+			end = len(recRaw)
+		}
+		id, err := v.d.Alloc(v.cluster)
+		if err != nil {
+			return written, err
+		}
+		if err := v.d.Write(v.cluster, id, recRaw[off:end]); err != nil {
+			return written, err
+		}
+		recordBlocks = append(recordBlocks, id)
+	}
+
+	// Remember the old table and record blocks so they can be freed after
+	// commit.
+	oldSuper, err := v.d.Read(v.cluster, v.super)
+	if err == nil {
+		or := wire.NewReader(oldSuper)
+		if or.U32() == superMagic {
+			n := or.U32()
+			for i := uint32(0); i < n && or.Err() == nil; i++ {
+				freed = append(freed, disk.BlockID(or.U64()))
+			}
+			if or.Remaining() > 0 {
+				nr := or.U32()
+				for i := uint32(0); i < nr && or.Err() == nil; i++ {
+					freed = append(freed, disk.BlockID(or.U64()))
+				}
+			}
+		}
+	}
+
+	// Commit point: a single superblock write.
+	if err := v.writeSuper(tableBlocks, recordBlocks); err != nil {
+		return written, err
+	}
+	v.committed = next
+	v.persisted = record
+	v.dirty = make(map[string]bool)
+	v.unlinked = make(map[string]bool)
+
+	// Only now is the old copy destroyed (§7.9).
+	for _, b := range freed {
+		_ = v.d.Free(v.cluster, b)
+	}
+	return written, nil
+}
+
+// bytesEqual reports whether two byte slices have identical contents (both
+// nil and empty compare equal).
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+package fileserver
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"auragen/internal/disk"
+)
+
+func newVol(t *testing.T) (*fsVolume, *disk.Disk, disk.BlockID) {
+	t.Helper()
+	d := disk.New("fs", 256, 0, 1)
+	super, err := Format(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mount(d, 0, super)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, d, super
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	v, _, _ := newVol(t)
+	v.create("/a")
+	if err := v.writeFile("/a", 0, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := v.readFile("/a")
+	if err != nil || !ok || string(data) != "hello world" {
+		t.Fatalf("%q %v %v", data, ok, err)
+	}
+	if sz, ok := v.size("/a"); !ok || sz != 11 {
+		t.Fatalf("size = %d %v", sz, ok)
+	}
+}
+
+func TestSparseWriteZeroFills(t *testing.T) {
+	v, _, _ := newVol(t)
+	v.create("/s")
+	if err := v.writeFile("/s", 10, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ := v.readFile("/s")
+	if len(data) != 11 || data[0] != 0 || data[10] != 'x' {
+		t.Fatalf("sparse = %v", data)
+	}
+}
+
+func TestFlushPersistsAcrossMount(t *testing.T) {
+	v, d, super := newVol(t)
+	v.create("/p")
+	big := bytes.Repeat([]byte("0123456789"), 100) // spans several 256B blocks
+	if err := v.writeFile("/p", 0, big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	// A second mount (the twin's view) sees the committed data.
+	v2, err := mount(d, 1, super)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := v2.readFile("/p")
+	if err != nil || !ok || !bytes.Equal(data, big) {
+		t.Fatalf("remount read failed: ok=%v err=%v len=%d", ok, err, len(data))
+	}
+}
+
+func TestUnflushedChangesInvisibleToTwin(t *testing.T) {
+	v, d, super := newVol(t)
+	v.create("/q")
+	v.writeFile("/q", 0, []byte("committed"))
+	v.flush(nil)
+	v.writeFile("/q", 0, []byte("UNCOMMITT")) // same length, not flushed
+
+	v2, _ := mount(d, 1, super)
+	data, _, _ := v2.readFile("/q")
+	if string(data) != "committed" {
+		t.Fatalf("twin sees uncommitted data: %q", data)
+	}
+}
+
+func TestShadowBlocksOldCopySurvivesPartialFlush(t *testing.T) {
+	// The §7.9 robustness property: data blocks are written before the
+	// superblock commit, so a crash at any point leaves the old state
+	// intact. Simulate "crash mid-flush" by writing data blocks but
+	// mounting from the old superblock (the commit never happened).
+	v, d, super := newVol(t)
+	v.create("/r")
+	v.writeFile("/r", 0, []byte("version-1"))
+	v.flush(nil)
+
+	// Begin a second version; instead of calling flush (which commits),
+	// only the cache changes — then the "crash" discards the cache.
+	v.writeFile("/r", 0, []byte("version-2"))
+
+	v2, _ := mount(d, 1, super)
+	data, _, _ := v2.readFile("/r")
+	if string(data) != "version-1" {
+		t.Fatalf("old copy destroyed: %q", data)
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	v, d, super := newVol(t)
+	v.create("/u")
+	v.writeFile("/u", 0, []byte("data"))
+	v.flush(nil)
+	v.unlink("/u")
+	if v.exists("/u") {
+		t.Fatal("unlinked file still exists")
+	}
+	if _, err := v.flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := mount(d, 1, super)
+	if v2.exists("/u") {
+		t.Fatal("unlink did not commit")
+	}
+	// Blocks reclaimed: only the superblock, empty table, and server
+	// record remain.
+	if n := d.Blocks(); n > 3 {
+		t.Fatalf("%d blocks leaked after unlink", n)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	v, _, _ := newVol(t)
+	v.create("/t")
+	v.writeFile("/t", 0, []byte("0123456789"))
+	v.truncate("/t", 4)
+	data, _, _ := v.readFile("/t")
+	if string(data) != "0123" {
+		t.Fatalf("shrink = %q", data)
+	}
+	v.truncate("/t", 8)
+	data, _, _ = v.readFile("/t")
+	if len(data) != 8 || data[7] != 0 {
+		t.Fatalf("grow = %v", data)
+	}
+}
+
+func TestNames(t *testing.T) {
+	v, _, _ := newVol(t)
+	v.create("/b")
+	v.create("/a")
+	v.writeFile("/c", 0, []byte("x")) // implicit create via readFile path
+	v.flush(nil)
+	v.unlink("/b")
+	got := v.names()
+	want := []string{"/a", "/c"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestFlushNoDirtyIsNoop(t *testing.T) {
+	v, d, _ := newVol(t)
+	v.create("/n")
+	v.flush(nil)
+	_, before := d.Stats()
+	n, err := v.flush(nil)
+	if err != nil || n != 0 {
+		t.Fatalf("empty flush wrote %d blocks, err=%v", n, err)
+	}
+	_, after := d.Stats()
+	if after != before {
+		t.Fatal("no-op flush touched the disk")
+	}
+}
+
+func TestBadSuperblockRejected(t *testing.T) {
+	d := disk.New("fs", 256, 0, 1)
+	id, _ := d.Alloc(0)
+	d.Write(0, id, []byte{0xde, 0xad, 0xbe, 0xef})
+	if _, err := mount(d, 0, id); err == nil {
+		t.Fatal("bad superblock accepted")
+	}
+}
+
+func TestQuickFlushMountFidelity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := disk.New("fs", 128, 0, 1)
+		super, err := Format(d, 0)
+		if err != nil {
+			return false
+		}
+		v, err := mount(d, 0, super)
+		if err != nil {
+			return false
+		}
+		shadow := make(map[string][]byte)
+		for i := 0; i < 30; i++ {
+			name := fmt.Sprintf("/f%d", rng.Intn(5))
+			switch rng.Intn(4) {
+			case 0, 1:
+				off := int64(rng.Intn(200))
+				data := make([]byte, rng.Intn(100)+1)
+				rng.Read(data)
+				v.writeFile(name, off, data)
+				cur := shadow[name]
+				if int64(len(cur)) < off+int64(len(data)) {
+					grown := make([]byte, off+int64(len(data)))
+					copy(grown, cur)
+					cur = grown
+				} else {
+					cur = append([]byte(nil), cur...)
+				}
+				copy(cur[off:], data)
+				shadow[name] = cur
+			case 2:
+				v.unlink(name)
+				delete(shadow, name)
+			case 3:
+				if _, err := v.flush(nil); err != nil {
+					return false
+				}
+			}
+		}
+		if _, err := v.flush(nil); err != nil {
+			return false
+		}
+		v2, err := mount(d, 1, super)
+		if err != nil {
+			return false
+		}
+		for name, want := range shadow {
+			got, ok, err := v2.readFile(name)
+			if err != nil || !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return len(v2.names()) == len(shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package fileserver
+
+import (
+	"fmt"
+
+	"auragen/internal/wire"
+)
+
+// File-channel operation codes. A user process opens a file name, receives
+// a channel to the file server, and issues these requests on it with Call;
+// every request produces exactly one reply.
+const (
+	// OpRead reads up to Count bytes at the channel's offset.
+	OpRead uint8 = 1
+	// OpWrite writes Data at the channel's offset.
+	OpWrite uint8 = 2
+	// OpSeek sets the channel's offset.
+	OpSeek uint8 = 3
+	// OpStat returns the file's size.
+	OpStat uint8 = 4
+	// OpTrunc truncates the file to Offset bytes.
+	OpTrunc uint8 = 5
+	// OpAppend writes Data at end of file.
+	OpAppend uint8 = 6
+	// OpUnlink removes the file bound to this channel.
+	OpUnlink uint8 = 7
+)
+
+// Request is one file-channel request.
+type Request struct {
+	Op     uint8
+	Offset int64
+	Count  uint32
+	Data   []byte
+}
+
+// Encode serializes a request.
+func (q *Request) Encode() []byte {
+	w := wire.NewWriter(16 + len(q.Data))
+	w.U8(q.Op)
+	w.I64(q.Offset)
+	w.U32(q.Count)
+	w.Bytes32(q.Data)
+	return w.Bytes()
+}
+
+// DecodeRequest parses a file-channel request.
+func DecodeRequest(b []byte) (*Request, error) {
+	r := wire.NewReader(b)
+	q := &Request{
+		Op:     r.U8(),
+		Offset: r.I64(),
+		Count:  r.U32(),
+		Data:   r.Bytes32(),
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("fileserver: request: %w", err)
+	}
+	return q, nil
+}
+
+// Reply is one file-channel reply.
+type Reply struct {
+	Err  string
+	Size int64
+	Data []byte
+}
+
+// Encode serializes a reply.
+func (p *Reply) Encode() []byte {
+	w := wire.NewWriter(16 + len(p.Data))
+	w.String(p.Err)
+	w.I64(p.Size)
+	w.Bytes32(p.Data)
+	return w.Bytes()
+}
+
+// DecodeReply parses a file-channel reply.
+func DecodeReply(b []byte) (*Reply, error) {
+	r := wire.NewReader(b)
+	p := &Reply{
+		Err:  r.String(),
+		Size: r.I64(),
+		Data: r.Bytes32(),
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("fileserver: reply: %w", err)
+	}
+	return p, nil
+}
+
+// Client-side helpers for guests.
+
+// ReadReq builds an OpRead request.
+func ReadReq(n uint32) []byte { return (&Request{Op: OpRead, Count: n}).Encode() }
+
+// WriteReq builds an OpWrite request.
+func WriteReq(data []byte) []byte { return (&Request{Op: OpWrite, Data: data}).Encode() }
+
+// AppendReq builds an OpAppend request.
+func AppendReq(data []byte) []byte { return (&Request{Op: OpAppend, Data: data}).Encode() }
+
+// SeekReq builds an OpSeek request.
+func SeekReq(off int64) []byte { return (&Request{Op: OpSeek, Offset: off}).Encode() }
+
+// StatReq builds an OpStat request.
+func StatReq() []byte { return (&Request{Op: OpStat}).Encode() }
+
+// TruncReq builds an OpTrunc request.
+func TruncReq(size int64) []byte { return (&Request{Op: OpTrunc, Offset: size}).Encode() }
+
+// UnlinkReq builds an OpUnlink request.
+func UnlinkReq() []byte { return (&Request{Op: OpUnlink}).Encode() }

@@ -1,0 +1,727 @@
+package fileserver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"auragen/internal/directory"
+	"auragen/internal/disk"
+	"auragen/internal/kernel"
+	"auragen/internal/routing"
+	"auragen/internal/ttyserver"
+	"auragen/internal/types"
+	"auragen/internal/wire"
+)
+
+// Binding kinds for channels the file server serves.
+const (
+	bindFile uint8 = 1
+	bindTTY  uint8 = 2
+)
+
+type binding struct {
+	Kind   uint8
+	Name   string
+	Offset int64
+	User   types.PID
+}
+
+type pendingPair struct {
+	Opener        types.PID
+	ControlCh     types.ChannelID
+	OpenerCluster types.ClusterID
+	OpenerBackup  types.ClusterID
+}
+
+// serviceReg records one "serve:" listener: later openers of the same name
+// are each connected to it over a fresh channel, announced by an accept
+// notice on the listening channel.
+type serviceReg struct {
+	Listener        types.PID
+	ListenCh        types.ChannelID
+	ListenerCluster types.ClusterID
+	ListenerBackup  types.ClusterID
+}
+
+// Server is one file-server instance (primary or active backup twin). It
+// owns name resolution for every open in the system: file names open
+// channels to the file server itself; "chan:" names rendezvous two user
+// processes (§7.4.1: "the file server pairs up openers to the same name");
+// "tty:" names bind a channel to the terminal server.
+type Server struct {
+	pid     types.PID
+	cluster types.ClusterID
+	disk    *disk.Disk
+	super   disk.BlockID
+	vol     *fsVolume
+
+	bindings map[types.ChannelID]*binding
+	pending  map[string]pendingPair
+	services map[string]serviceReg
+	// pendingServe holds clients that opened a "serve:" name before its
+	// listener registered.
+	pendingServe map[string][]pendingPair
+
+	// nextChan drives deterministic channel-id allocation: ids are
+	// (pid<<40)|counter and the counter rides in the sync blob, so a twin
+	// replaying saved opens allocates exactly the ids the failed primary
+	// handed out after its last sync.
+	nextChan uint64
+
+	sinceSync int
+	// SyncEvery sets how many requests are serviced between explicit
+	// server syncs (each sync also flushes the cache to disk, §7.9).
+	SyncEvery int
+
+	// replyLog retains, per serviced request, the replies it generated —
+	// persisted in the on-disk server record so a promoted twin can
+	// re-send (suppressed if already delivered) the replies of requests
+	// whose disk effects are already committed, instead of re-applying
+	// them. Bounded FIFO; see maxReplyLog.
+	replyLog []requestRecord
+	// curRecord accumulates the replies of the request being serviced.
+	curRecord *requestRecord
+}
+
+// maxReplyLog bounds the retained reply history (multiple sync windows; a
+// reconciliation gap beyond this would require that many server syncs to
+// be simultaneously in flight at the crash).
+const maxReplyLog = 256
+
+// requestRecord is one serviced request's channel and generated replies.
+type requestRecord struct {
+	ReqCh   types.ChannelID
+	Replies []loggedReply
+}
+
+type loggedReply struct {
+	Ch      types.ChannelID
+	Dst     types.PID
+	Kind    types.Kind
+	Payload []byte
+}
+
+var _ kernel.Server = (*Server)(nil)
+
+// New creates a file-server instance over a formatted volume. The primary
+// passes mountNow=true; the twin defers mounting until promotion (its view
+// of the dual-ported disk is only needed then).
+func New(pid types.PID, cluster types.ClusterID, d *disk.Disk, super disk.BlockID, mountNow bool) (*Server, error) {
+	s := &Server{
+		pid:          pid,
+		cluster:      cluster,
+		disk:         d,
+		super:        super,
+		bindings:     make(map[types.ChannelID]*binding),
+		pending:      make(map[string]pendingPair),
+		services:     make(map[string]serviceReg),
+		pendingServe: make(map[string][]pendingPair),
+		nextChan:     1,
+		SyncEvery:    16,
+	}
+	if mountNow {
+		v, err := mount(d, cluster, super)
+		if err != nil {
+			return nil, err
+		}
+		s.vol = v
+	}
+	return s, nil
+}
+
+// PID implements kernel.Server.
+func (s *Server) PID() types.PID { return s.pid }
+
+// Super returns the superblock id of the mounted volume (needed to mount a
+// replacement twin on a restored cluster).
+func (s *Server) Super() disk.BlockID { return s.super }
+
+func (s *Server) allocChannel() types.ChannelID {
+	id := types.ChannelID(uint64(s.pid)<<40 | s.nextChan)
+	s.nextChan++
+	return id
+}
+
+// Receive implements kernel.Server.
+func (s *Server) Receive(ctx *kernel.ServerCtx, m *types.Message) {
+	rec := &requestRecord{ReqCh: m.Channel}
+	s.curRecord = rec
+	switch m.Kind {
+	case types.KindOpenRequest:
+		s.handleOpen(ctx, m)
+	case types.KindData:
+		s.handleFileOp(ctx, m)
+	default:
+		s.curRecord = nil
+		return
+	}
+	s.curRecord = nil
+	s.replyLog = append(s.replyLog, *rec)
+	if len(s.replyLog) > maxReplyLog {
+		s.replyLog = s.replyLog[len(s.replyLog)-maxReplyLog:]
+	}
+	s.sinceSync++
+	if s.sinceSync >= s.SyncEvery {
+		s.syncNow(ctx)
+	}
+}
+
+// sendReply routes one reply and logs it against the current request.
+func (s *Server) sendReply(ctx *kernel.ServerCtx, ch types.ChannelID, dst types.PID, kind types.Kind, payload []byte) {
+	if s.curRecord != nil {
+		s.curRecord.Replies = append(s.curRecord.Replies, loggedReply{Ch: ch, Dst: dst, Kind: kind, Payload: payload})
+	}
+	ctx.Reply(ch, dst, kind, payload)
+}
+
+// SyncNow forces an immediate flush-and-sync (used when a twin is
+// re-established on a restored cluster, so it starts from current state).
+// Call through kernel.ServerInject on the primary instance.
+func (s *Server) SyncNow(ctx *kernel.ServerCtx) { s.syncNow(ctx) }
+
+// syncNow flushes the cache to disk — committing, in the same atomic
+// superblock flip, a server record holding the sync blob and the
+// cumulative per-channel serviced counts — and then sends the explicit
+// server sync. The bulk of the server's state reaches the backup via the
+// dual-ported disk, and only the small request/binding state travels by
+// message (§7.9). If the cluster dies between the flush and the message
+// escaping, the promoted twin reads the record off the disk and reconciles
+// its saved queue against it (Promote), so no request's effects are ever
+// applied twice.
+func (s *Server) syncNow(ctx *kernel.ServerCtx) {
+	s.sinceSync = 0
+	if s.vol != nil {
+		if _, err := s.vol.flush(encodeServerRecord(s.SyncBlob(), ctx.ServicedCounts(), s.replyLog)); err != nil {
+			return
+		}
+	}
+	ctx.Sync()
+}
+
+// encodeServerRecord packs the sync blob, the cumulative serviced counts,
+// and the retained reply log for on-disk persistence.
+func encodeServerRecord(blob []byte, counts map[types.ChannelID]uint64, log []requestRecord) []byte {
+	w := wire.NewWriter(64 + len(blob))
+	w.Bytes32(blob)
+	chans := make([]types.ChannelID, 0, len(counts))
+	for ch := range counts {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+	w.U32(uint32(len(chans)))
+	for _, ch := range chans {
+		w.U64(uint64(ch))
+		w.U64(counts[ch])
+	}
+	w.U32(uint32(len(log)))
+	for _, rec := range log {
+		w.U64(uint64(rec.ReqCh))
+		w.U32(uint32(len(rec.Replies)))
+		for _, rp := range rec.Replies {
+			w.U64(uint64(rp.Ch))
+			w.U64(uint64(rp.Dst))
+			w.U8(uint8(rp.Kind))
+			w.Bytes32(rp.Payload)
+		}
+	}
+	return w.Bytes()
+}
+
+// decodeServerRecord unpacks an on-disk server record.
+func decodeServerRecord(b []byte) (blob []byte, counts map[types.ChannelID]uint64, log []requestRecord, err error) {
+	r := wire.NewReader(b)
+	blob = r.Bytes32()
+	n := r.U32()
+	counts = make(map[types.ChannelID]uint64, n)
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		ch := types.ChannelID(r.U64())
+		counts[ch] = r.U64()
+	}
+	nL := r.U32()
+	for i := uint32(0); i < nL && r.Err() == nil; i++ {
+		rec := requestRecord{ReqCh: types.ChannelID(r.U64())}
+		nR := r.U32()
+		for j := uint32(0); j < nR && r.Err() == nil; j++ {
+			rec.Replies = append(rec.Replies, loggedReply{
+				Ch:      types.ChannelID(r.U64()),
+				Dst:     types.PID(r.U64()),
+				Kind:    types.Kind(r.U8()),
+				Payload: r.Bytes32(),
+			})
+		}
+		log = append(log, rec)
+	}
+	if err := r.Done(); err != nil {
+		return nil, nil, nil, fmt.Errorf("fileserver: server record: %w", err)
+	}
+	return blob, counts, log, nil
+}
+
+// handleOpen services one open request (§7.4.1).
+func (s *Server) handleOpen(ctx *kernel.ServerCtx, m *types.Message) {
+	req, err := kernel.DecodeOpenRequest(m.Payload)
+	if err != nil {
+		return
+	}
+	fail := func(msg string) {
+		r := &kernel.OpenReply{Err: msg}
+		s.sendReply(ctx, m.Channel, m.Src, types.KindOpenReply, r.Encode())
+	}
+	switch {
+	case strings.HasPrefix(req.Name, "chan:"):
+		if p, ok := s.pending[req.Name]; ok && p.Opener != req.Opener {
+			delete(s.pending, req.Name)
+			ch := s.allocChannel()
+			toFirst := &kernel.OpenReply{
+				Channel:           ch,
+				Peer:              req.Opener,
+				PeerCluster:       req.OpenerCluster,
+				PeerBackupCluster: req.OpenerBackupCluster,
+			}
+			toSecond := &kernel.OpenReply{
+				Channel:           ch,
+				Peer:              p.Opener,
+				PeerCluster:       p.OpenerCluster,
+				PeerBackupCluster: p.OpenerBackup,
+			}
+			s.sendReply(ctx, p.ControlCh, p.Opener, types.KindOpenReply, toFirst.Encode())
+			s.sendReply(ctx, m.Channel, m.Src, types.KindOpenReply, toSecond.Encode())
+			return
+		}
+		s.pending[req.Name] = pendingPair{
+			Opener:        req.Opener,
+			ControlCh:     m.Channel,
+			OpenerCluster: req.OpenerCluster,
+			OpenerBackup:  req.OpenerBackupCluster,
+		}
+		// No reply yet: the opener blocks until a partner arrives.
+		return
+
+	case strings.HasPrefix(req.Name, "serve:"):
+		svcName := strings.TrimPrefix(req.Name, "serve:")
+		if _, dup := s.services[svcName]; dup {
+			fail("service already registered")
+			return
+		}
+		listenCh := s.allocChannel()
+		svc := serviceReg{
+			Listener:        req.Opener,
+			ListenCh:        listenCh,
+			ListenerCluster: req.OpenerCluster,
+			ListenerBackup:  req.OpenerBackupCluster,
+		}
+		s.services[svcName] = svc
+		loc, _ := ctx.Directory().Service(s.pid)
+		reply := &kernel.OpenReply{
+			Channel:           listenCh,
+			Peer:              s.pid,
+			PeerCluster:       loc.Primary,
+			PeerBackupCluster: loc.Backup,
+			PeerIsServer:      true,
+		}
+		s.sendReply(ctx, m.Channel, m.Src, types.KindOpenReply, reply.Encode())
+		// Clients that dialed early connect now, in arrival order; their
+		// accept notices trail the registration reply in FIFO order.
+		for _, pp := range s.pendingServe[svcName] {
+			s.connectClient(ctx, svc, pp)
+		}
+		delete(s.pendingServe, svcName)
+		return
+
+	case strings.HasPrefix(req.Name, "dial:"):
+		svcName := strings.TrimPrefix(req.Name, "dial:")
+		pp := pendingPair{
+			Opener:        req.Opener,
+			ControlCh:     m.Channel,
+			OpenerCluster: req.OpenerCluster,
+			OpenerBackup:  req.OpenerBackupCluster,
+		}
+		if svc, ok := s.services[svcName]; ok {
+			s.connectClient(ctx, svc, pp)
+		} else {
+			// The client blocks until the listener registers.
+			s.pendingServe[svcName] = append(s.pendingServe[svcName], pp)
+		}
+		return
+
+	case strings.HasPrefix(req.Name, "tty:"):
+		var term int
+		if _, err := fmt.Sscanf(req.Name, "tty:%d", &term); err != nil {
+			fail("bad terminal name")
+			return
+		}
+		ttyLoc, ok := ctx.Directory().Service(directory.PIDTTYServer)
+		if !ok {
+			fail("no terminal server")
+			return
+		}
+		ch := s.allocChannel()
+		s.bindings[ch] = &binding{Kind: bindTTY, Name: req.Name, User: req.Opener}
+		// Tell the terminal server about the binding before replying, so
+		// bus total order guarantees it knows the channel before the
+		// user's first write arrives.
+		bind := ttyserver.EncodeBind(ch, term, req.Opener)
+		s.sendReply(ctx, ch, directory.PIDTTYServer, types.KindData, bind)
+		reply := &kernel.OpenReply{
+			Channel:           ch,
+			Peer:              directory.PIDTTYServer,
+			PeerCluster:       ttyLoc.Primary,
+			PeerBackupCluster: ttyLoc.Backup,
+			PeerIsServer:      true,
+		}
+		s.sendReply(ctx, m.Channel, m.Src, types.KindOpenReply, reply.Encode())
+		return
+
+	default: // ordinary file
+		if s.vol == nil {
+			fail("file system not mounted")
+			return
+		}
+		s.vol.create(req.Name)
+		ch := s.allocChannel()
+		s.bindings[ch] = &binding{Kind: bindFile, Name: req.Name, User: req.Opener}
+		loc, _ := ctx.Directory().Service(s.pid)
+		reply := &kernel.OpenReply{
+			Channel:           ch,
+			Peer:              s.pid,
+			PeerCluster:       loc.Primary,
+			PeerBackupCluster: loc.Backup,
+			PeerIsServer:      true,
+		}
+		s.sendReply(ctx, m.Channel, m.Src, types.KindOpenReply, reply.Encode())
+		return
+	}
+}
+
+// connectClient joins a dialing client to a registered listener: a fresh
+// channel, an open reply to the client, and an accept notice (also an open
+// reply, describing the client end) on the listening channel.
+func (s *Server) connectClient(ctx *kernel.ServerCtx, svc serviceReg, pp pendingPair) {
+	ch := s.allocChannel()
+	accept := &kernel.OpenReply{
+		Channel:           ch,
+		Peer:              pp.Opener,
+		PeerCluster:       pp.OpenerCluster,
+		PeerBackupCluster: pp.OpenerBackup,
+	}
+	toClient := &kernel.OpenReply{
+		Channel:           ch,
+		Peer:              svc.Listener,
+		PeerCluster:       svc.ListenerCluster,
+		PeerBackupCluster: svc.ListenerBackup,
+	}
+	s.sendReply(ctx, svc.ListenCh, svc.Listener, types.KindOpenReply, accept.Encode())
+	s.sendReply(ctx, pp.ControlCh, pp.Opener, types.KindOpenReply, toClient.Encode())
+}
+
+// handleFileOp services one request on a bound file channel.
+func (s *Server) handleFileOp(ctx *kernel.ServerCtx, m *types.Message) {
+	b, ok := s.bindings[m.Channel]
+	if !ok || b.Kind != bindFile {
+		r := &Reply{Err: "unknown channel"}
+		s.sendReply(ctx, m.Channel, m.Src, types.KindData, r.Encode())
+		return
+	}
+	req, err := DecodeRequest(m.Payload)
+	if err != nil {
+		r := &Reply{Err: "bad request"}
+		s.sendReply(ctx, m.Channel, m.Src, types.KindData, r.Encode())
+		return
+	}
+	reply := s.execute(b, req)
+	s.sendReply(ctx, m.Channel, b.User, types.KindData, reply.Encode())
+}
+
+// execute applies one file operation to the volume and the channel cursor.
+func (s *Server) execute(b *binding, req *Request) *Reply {
+	if s.vol == nil {
+		return &Reply{Err: "file system not mounted"}
+	}
+	switch req.Op {
+	case OpRead:
+		data, ok, err := s.vol.readFile(b.Name)
+		if err != nil {
+			return &Reply{Err: err.Error()}
+		}
+		if !ok {
+			return &Reply{Err: "not found"}
+		}
+		off := b.Offset
+		if off > int64(len(data)) {
+			off = int64(len(data))
+		}
+		end := off + int64(req.Count)
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		out := append([]byte(nil), data[off:end]...)
+		b.Offset = end
+		return &Reply{Data: out, Size: int64(len(data))}
+	case OpWrite:
+		if err := s.vol.writeFile(b.Name, b.Offset, req.Data); err != nil {
+			return &Reply{Err: err.Error()}
+		}
+		b.Offset += int64(len(req.Data))
+		sz, _ := s.vol.size(b.Name)
+		return &Reply{Size: sz}
+	case OpAppend:
+		sz, ok := s.vol.size(b.Name)
+		if !ok {
+			return &Reply{Err: "not found"}
+		}
+		if err := s.vol.writeFile(b.Name, sz, req.Data); err != nil {
+			return &Reply{Err: err.Error()}
+		}
+		b.Offset = sz + int64(len(req.Data))
+		return &Reply{Size: b.Offset}
+	case OpSeek:
+		b.Offset = req.Offset
+		return &Reply{Size: b.Offset}
+	case OpStat:
+		sz, ok := s.vol.size(b.Name)
+		if !ok {
+			return &Reply{Err: "not found"}
+		}
+		return &Reply{Size: sz}
+	case OpTrunc:
+		if err := s.vol.truncate(b.Name, req.Offset); err != nil {
+			return &Reply{Err: err.Error()}
+		}
+		return &Reply{Size: req.Offset}
+	case OpUnlink:
+		s.vol.unlink(b.Name)
+		return &Reply{}
+	default:
+		return &Reply{Err: "bad op"}
+	}
+}
+
+// SyncBlob implements kernel.Server: channel bindings, pending pairings,
+// and the channel-allocation cursor — everything not recoverable from the
+// dual-ported disk.
+func (s *Server) SyncBlob() []byte {
+	w := wire.NewWriter(64)
+	w.U64(s.nextChan)
+	chans := make([]types.ChannelID, 0, len(s.bindings))
+	for ch := range s.bindings {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+	w.U32(uint32(len(chans)))
+	for _, ch := range chans {
+		b := s.bindings[ch]
+		w.U64(uint64(ch))
+		w.U8(b.Kind)
+		w.String(b.Name)
+		w.I64(b.Offset)
+		w.U64(uint64(b.User))
+	}
+	names := make([]string, 0, len(s.pending))
+	for n := range s.pending {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w.U32(uint32(len(names)))
+	for _, n := range names {
+		p := s.pending[n]
+		w.String(n)
+		w.U64(uint64(p.Opener))
+		w.U64(uint64(p.ControlCh))
+		w.I32(int32(p.OpenerCluster))
+		w.I32(int32(p.OpenerBackup))
+	}
+	svcNames := make([]string, 0, len(s.services))
+	for n := range s.services {
+		svcNames = append(svcNames, n)
+	}
+	sort.Strings(svcNames)
+	w.U32(uint32(len(svcNames)))
+	for _, n := range svcNames {
+		v := s.services[n]
+		w.String(n)
+		w.U64(uint64(v.Listener))
+		w.U64(uint64(v.ListenCh))
+		w.I32(int32(v.ListenerCluster))
+		w.I32(int32(v.ListenerBackup))
+	}
+	psNames := make([]string, 0, len(s.pendingServe))
+	for n := range s.pendingServe {
+		psNames = append(psNames, n)
+	}
+	sort.Strings(psNames)
+	w.U32(uint32(len(psNames)))
+	for _, n := range psNames {
+		list := s.pendingServe[n]
+		w.String(n)
+		w.U32(uint32(len(list)))
+		for _, p := range list {
+			w.U64(uint64(p.Opener))
+			w.U64(uint64(p.ControlCh))
+			w.I32(int32(p.OpenerCluster))
+			w.I32(int32(p.OpenerBackup))
+		}
+	}
+	return w.Bytes()
+}
+
+// ApplySync implements kernel.Server.
+func (s *Server) ApplySync(blob []byte) {
+	r := wire.NewReader(blob)
+	nextChan := r.U64()
+	nB := r.U32()
+	bindings := make(map[types.ChannelID]*binding, nB)
+	for i := uint32(0); i < nB && r.Err() == nil; i++ {
+		ch := types.ChannelID(r.U64())
+		bindings[ch] = &binding{
+			Kind:   r.U8(),
+			Name:   r.String(),
+			Offset: r.I64(),
+			User:   types.PID(r.U64()),
+		}
+	}
+	nP := r.U32()
+	pending := make(map[string]pendingPair, nP)
+	for i := uint32(0); i < nP && r.Err() == nil; i++ {
+		n := r.String()
+		pending[n] = pendingPair{
+			Opener:        types.PID(r.U64()),
+			ControlCh:     types.ChannelID(r.U64()),
+			OpenerCluster: types.ClusterID(r.I32()),
+			OpenerBackup:  types.ClusterID(r.I32()),
+		}
+	}
+	nS := r.U32()
+	services := make(map[string]serviceReg, nS)
+	for i := uint32(0); i < nS && r.Err() == nil; i++ {
+		n := r.String()
+		services[n] = serviceReg{
+			Listener:        types.PID(r.U64()),
+			ListenCh:        types.ChannelID(r.U64()),
+			ListenerCluster: types.ClusterID(r.I32()),
+			ListenerBackup:  types.ClusterID(r.I32()),
+		}
+	}
+	nPS := r.U32()
+	pendingServe := make(map[string][]pendingPair, nPS)
+	for i := uint32(0); i < nPS && r.Err() == nil; i++ {
+		n := r.String()
+		cnt := r.U32()
+		var list []pendingPair
+		for j := uint32(0); j < cnt && r.Err() == nil; j++ {
+			list = append(list, pendingPair{
+				Opener:        types.PID(r.U64()),
+				ControlCh:     types.ChannelID(r.U64()),
+				OpenerCluster: types.ClusterID(r.I32()),
+				OpenerBackup:  types.ClusterID(r.I32()),
+			})
+		}
+		pendingServe[n] = list
+	}
+	if r.Done() != nil {
+		return
+	}
+	s.nextChan = nextChan
+	s.bindings = bindings
+	s.pending = pending
+	s.services = services
+	s.pendingServe = pendingServe
+}
+
+// Promote implements kernel.Server: mount the committed file system from
+// the shared disk (the state as of the last flush — older blocks were never
+// destroyed before their replacement committed), reconcile the saved queue
+// against the on-disk server record, and replay what remains.
+//
+// The reconciliation closes the crash window between a flush and its
+// server-sync message: the record carries the cumulative serviced counts
+// as of the commit, so saved requests whose effects are already on disk
+// are dropped here (their replies are covered by the reply-suppression
+// counts) instead of being applied a second time.
+func (s *Server) Promote(ctx *kernel.ServerCtx, saved []*types.Message) {
+	v, err := mount(s.disk, s.cluster, s.super)
+	if err != nil {
+		return
+	}
+	s.vol = v
+	if v.persisted != nil {
+		blob, diskCum, replyLog, err := decodeServerRecord(v.persisted)
+		if err == nil {
+			s.ApplySync(blob)
+			applied := ctx.DiscardedCounts()
+			// Drop, per channel and oldest first, the requests the disk
+			// already reflects beyond what live syncs discarded — and
+			// re-send their logged replies (reply suppression silences
+			// the ones that already escaped the failed primary).
+			extra := make(map[types.ChannelID]uint64)
+			total := uint64(0)
+			for ch, n := range diskCum {
+				if n > applied[ch] {
+					extra[ch] = n - applied[ch]
+					total += n - applied[ch]
+				}
+			}
+			// The log holds the most recent serviced requests per
+			// channel; skip the prefix already covered by live syncs.
+			logByCh := make(map[types.ChannelID][]requestRecord)
+			for _, rec := range replyLog {
+				logByCh[rec.ReqCh] = append(logByCh[rec.ReqCh], rec)
+			}
+			for ch, lst := range logByCh {
+				if n := extra[ch]; uint64(len(lst)) > n {
+					logByCh[ch] = lst[uint64(len(lst))-n:]
+				}
+			}
+			if total > 0 {
+				kept := saved[:0]
+				for _, m := range saved {
+					if n := extra[m.Channel]; n > 0 {
+						extra[m.Channel] = n - 1
+						ctx.NoteServiced(m.Channel, 1)
+						if lst := logByCh[m.Channel]; len(lst) > 0 {
+							rec := lst[0]
+							logByCh[m.Channel] = lst[1:]
+							for _, rp := range rec.Replies {
+								ctx.Reply(rp.Ch, rp.Dst, rp.Kind, rp.Payload)
+							}
+						}
+						continue
+					}
+					kept = append(kept, m)
+				}
+				saved = kept
+			}
+			s.replyLog = append([]requestRecord(nil), replyLog...)
+		}
+	}
+	for _, m := range saved {
+		switch m.Kind {
+		case types.KindOpenRequest:
+			s.handleOpen(ctx, m)
+		case types.KindData:
+			s.handleFileOp(ctx, m)
+		}
+	}
+}
+
+// Register wires a file-server pair onto two disk-attached kernels: primary
+// instance on ka, active backup twin on kb, over a freshly formatted volume.
+func Register(ka, kb *kernel.Kernel, d *disk.Disk) (*Server, *Server, error) {
+	super, err := Format(d, ka.ID())
+	if err != nil {
+		return nil, nil, err
+	}
+	pid := directory.PIDFileServer
+	primary, err := New(pid, ka.ID(), d, super, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	twin, err := New(pid, kb.ID(), d, super, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	ka.RegisterServer(primary, routing.Primary, ka.ID())
+	kb.RegisterServer(twin, routing.Backup, ka.ID())
+	ka.Directory().SetService(pid, directory.ServiceLoc{Primary: ka.ID(), Backup: kb.ID()})
+	return primary, twin, nil
+}

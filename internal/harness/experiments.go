@@ -1,0 +1,396 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"auragen/internal/bus"
+	"auragen/internal/core"
+	"auragen/internal/guest"
+	"auragen/internal/trace"
+	"auragen/internal/types"
+	"auragen/internal/workload"
+)
+
+// NewSystem builds a system with every workload and harness guest
+// registered.
+func NewSystem(clusters int, syncReads uint32) (*core.System, error) {
+	reg := guest.NewRegistry()
+	workload.Register(reg)
+	RegisterGuests(reg)
+	return core.New(core.Options{
+		Clusters:  clusters,
+		SyncReads: syncReads,
+		SyncTicks: 1 << 40, // read-count-triggered syncs only, unless asked
+	}, reg)
+}
+
+// Row is one table row of an experiment: a parameter point and its
+// measurements. String renders "k=v" pairs in insertion order.
+type Row struct {
+	Keys []string
+	Vals map[string]string
+}
+
+// NewRow builds an empty row.
+func NewRow() *Row { return &Row{Vals: make(map[string]string)} }
+
+// Add appends one measurement.
+func (r *Row) Add(k string, format string, v ...any) *Row {
+	if _, dup := r.Vals[k]; !dup {
+		r.Keys = append(r.Keys, k)
+	}
+	r.Vals[k] = fmt.Sprintf(format, v...)
+	return r
+}
+
+func (r *Row) String() string {
+	out := ""
+	for i, k := range r.Keys {
+		if i > 0 {
+			out += "  "
+		}
+		out += fmt.Sprintf("%s=%s", k, r.Vals[k])
+	}
+	return out
+}
+
+// E1ThreeWayDelivery measures per-message cost of an echo round trip with
+// fault tolerance on (three-way routes) versus off (single destination),
+// reproducing §8.1: three-way delivery costs one bus transmission per
+// message and the extra copies are executive-processor work.
+func E1ThreeWayDelivery(msgs, size int, ft bool) (*Row, error) {
+	// Four clusters so the destination's backup and the sender's backup
+	// are distinct: a data message then reaches three clusters.
+	sys, err := NewSystem(4, 1<<30) // effectively no syncs: isolate delivery
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	backup := core.NoBackup
+	if ft {
+		backup = types.ClusterID(0)
+	}
+	if _, err := sys.Spawn("echo-server", []byte("e1"), core.SpawnConfig{Cluster: 2, BackupCluster: backup}); err != nil {
+		return nil, err
+	}
+	clientBackup := core.NoBackup
+	if ft {
+		clientBackup = types.ClusterID(3)
+	}
+	before := sys.Metrics().Snapshot()
+	start := time.Now()
+	pid, err := sys.Spawn("echo-client", []byte(fmt.Sprintf("e1 %d %d", msgs, size)), core.SpawnConfig{Cluster: 1, BackupCluster: clientBackup})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.WaitExit(pid, 120*time.Second); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	row := NewRow().
+		Add("ft", "%v", ft).
+		Add("size", "%dB", size).
+		Add("msgs", "%d", msgs).
+		Add("us_per_msg", "%.2f", float64(elapsed.Microseconds())/float64(2*msgs)).
+		Add("transmissions_per_msg", "%.2f", float64(d["bus_transmissions"])/float64(2*msgs)).
+		Add("deliveries_per_transmission", "%.2f", float64(d["bus_deliveries"])/float64(d["bus_transmissions"]))
+	return row, nil
+}
+
+// E2SyncVsCheckpoint compares the message-based incremental sync against
+// the §2 explicit full checkpoint, holding the workload fixed while the
+// resident state grows.
+func E2SyncVsCheckpoint(statePages, txns int, syncReads uint32, fullCheckpoint bool) (*Row, error) {
+	sys, err := NewSystem(3, syncReads)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	// A bank whose account table spans ~statePages pages: each account
+	// costs ~24 bytes in the heap image, so scale the account count.
+	pageSize := 1024
+	accounts := statePages * pageSize / 24
+	if accounts < 8 {
+		accounts = 8
+	}
+	serverArgs := fmt.Sprintf("e2 %d %d 1", accounts, 1000)
+	if _, err := sys.Spawn("bank-server", []byte(serverArgs), core.SpawnConfig{
+		Cluster:        2,
+		BackupCluster:  0,
+		SyncReads:      syncReads,
+		FullCheckpoint: fullCheckpoint,
+	}); err != nil {
+		return nil, err
+	}
+	plan := workload.TxnPlan{Accounts: accounts, Txns: txns, Amount: 3, Seed: 7}
+	before := sys.Metrics().Snapshot()
+	start := time.Now()
+	pid, err := sys.Spawn("teller", []byte(fmt.Sprintf("e2 -1 %s", plan.Encode())), core.SpawnConfig{Cluster: 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.WaitExit(pid, 300*time.Second); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	mode := "auragen-dirty"
+	if fullCheckpoint {
+		mode = "full-checkpoint"
+	}
+	row := NewRow().
+		Add("mode", "%s", mode).
+		Add("state_pages", "%d", statePages).
+		Add("sync_every", "%d", syncReads).
+		Add("txns", "%d", txns).
+		Add("us_per_txn", "%.2f", float64(elapsed.Microseconds())/float64(txns)).
+		Add("pages_per_sync", "%.1f", safeDiv(float64(d["pages_out"]), float64(d["syncs"]))).
+		Add("page_kb_total", "%d", d["page_bytes"]/1024).
+		Add("syncs", "%d", d["syncs"])
+	return row, nil
+}
+
+// E3SyncCost measures sync overhead as a function of the pages dirtied per
+// interval (§8.3: the primary is interrupted only long enough to enqueue
+// its dirty pages and the sync message).
+func E3SyncCost(dirtyPages, requests int, syncReads uint32) (*Row, error) {
+	sys, err := NewSystem(3, syncReads)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	if _, err := sys.Spawn("dirtier", []byte(fmt.Sprintf("e3 %d", dirtyPages)), core.SpawnConfig{
+		Cluster: 2, BackupCluster: 0, SyncReads: syncReads,
+	}); err != nil {
+		return nil, err
+	}
+	before := sys.Metrics().Snapshot()
+	start := time.Now()
+	pid, err := sys.Spawn("pulser", []byte(fmt.Sprintf("e3 %d", requests)), core.SpawnConfig{Cluster: 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.WaitExit(pid, 300*time.Second); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	row := NewRow().
+		Add("dirty_pages", "%d", dirtyPages).
+		Add("sync_every", "%d", syncReads).
+		Add("requests", "%d", requests).
+		Add("us_per_req", "%.2f", float64(elapsed.Microseconds())/float64(requests)).
+		Add("pages_per_sync", "%.1f", safeDiv(float64(d["pages_out"]), float64(d["syncs"]))).
+		Add("syncs", "%d", d["syncs"])
+	return row, nil
+}
+
+// E4DeferredBackup measures the §7.7/§8.2 deferral win: short-lived forked
+// children never acquire a real backup (only a birth notice), versus
+// eagerly-created head-of-family processes doing the same work.
+func E4DeferredBackup(children int, eager bool) (*Row, error) {
+	sys, err := NewSystem(3, 8)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	before := sys.Metrics().Snapshot()
+	start := time.Now()
+	if eager {
+		// Eager comparator: every worker is a head of family, whose
+		// backup shell is created when the primary is created (§7.7).
+		var pids []types.PID
+		for i := 0; i < children; i++ {
+			pid, err := sys.Spawn("short-lived", nil, core.SpawnConfig{Cluster: 2, BackupCluster: 0})
+			if err != nil {
+				return nil, err
+			}
+			pids = append(pids, pid)
+		}
+		for _, pid := range pids {
+			if err := sys.WaitExit(pid, 60*time.Second); err != nil {
+				return nil, err
+			}
+		}
+		sys.Settle(5 * time.Second)
+	} else {
+		parent, err := sys.Spawn("forker", []byte(fmt.Sprint(children)), core.SpawnConfig{Cluster: 2, BackupCluster: 0})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.WaitExit(parent, 60*time.Second); err != nil {
+			return nil, err
+		}
+		sys.Settle(5 * time.Second)
+	}
+	elapsed := time.Since(start)
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	mode := "fork-deferred"
+	if eager {
+		mode = "eager-headoffamily"
+	}
+	row := NewRow().
+		Add("mode", "%s", mode).
+		Add("children", "%d", children).
+		Add("us_per_child", "%.1f", float64(elapsed.Microseconds())/float64(children)).
+		Add("birth_notices", "%d", d["birth_notices"]).
+		Add("backups_created", "%d", d["backups_created"]).
+		Add("backups_avoided", "%d", d["backups_avoided"])
+	return row, nil
+}
+
+// E5Recovery measures recovery latency and roll-forward length as a
+// function of the sync interval (work since last sync) and the number of
+// processes lost with the cluster (§6, §8.4).
+func E5Recovery(syncReads uint32, procs, txnsPerProc int) (*Row, error) {
+	sys, err := NewSystem(3, syncReads)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	var clients []types.PID
+	for i := 0; i < procs; i++ {
+		name := fmt.Sprintf("e5-%d", i)
+		if _, err := sys.Spawn("echo-server", []byte(name), core.SpawnConfig{
+			Cluster: 2, BackupCluster: 0, SyncReads: syncReads,
+		}); err != nil {
+			return nil, err
+		}
+		pid, err := sys.Spawn("echo-client", []byte(fmt.Sprintf("%s %d 64", name, txnsPerProc)), core.SpawnConfig{Cluster: 1})
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, pid)
+	}
+
+	// Crash the server cluster mid-run.
+	deadline := time.Now().Add(30 * time.Second)
+	target := uint64(procs * txnsPerProc / 2)
+	for sys.Metrics().PrimaryDeliveries.Load() < target && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	before := sys.Metrics().Snapshot()
+	if err := sys.Crash(2); err != nil {
+		return nil, err
+	}
+	for _, pid := range clients {
+		if err := sys.WaitExit(pid, 300*time.Second); err != nil {
+			return nil, err
+		}
+	}
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	row := NewRow().
+		Add("sync_every", "%d", syncReads).
+		Add("procs", "%d", procs).
+		Add("recoveries", "%d", d["recoveries"]).
+		Add("replayed_msgs", "%d", d["replayed_messages"]).
+		Add("suppressed_sends", "%d", d["suppressed_sends"]).
+		Add("pages_fetched", "%d", d["pages_fetched"]).
+		Add("recovery_ms_total", "%.2f", float64(d["recovery_nanos"])/1e6).
+		Add("recovery_ms_per_proc", "%.3f", safeDiv(float64(d["recovery_nanos"])/1e6, float64(d["recoveries"])))
+	return row, nil
+}
+
+// E7BackupModes runs one crash against a process in each backup mode and
+// reports whether (and where) a new backup exists afterwards (§7.3).
+func E7BackupModes(mode types.BackupMode) (*Row, error) {
+	sys, err := NewSystem(4, 8)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	if _, err := sys.Spawn("echo-server", []byte("e7"), core.SpawnConfig{
+		Cluster: 2, BackupCluster: 3, Mode: mode,
+	}); err != nil {
+		return nil, err
+	}
+	pid, err := sys.Spawn("echo-client", []byte("e7 2000 64"), core.SpawnConfig{Cluster: 1})
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for sys.Metrics().PrimaryDeliveries.Load() < 500 && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	start := time.Now()
+	if err := sys.Crash(2); err != nil {
+		return nil, err
+	}
+	if err := sys.WaitExit(pid, 120*time.Second); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	// Find the server (its pid is the first user pid).
+	newBackup := "none"
+	for _, p := range sys.Directory().Procs() {
+		loc, _ := sys.Directory().Proc(p)
+		if loc.Cluster == 3 && loc.BackupCluster != types.NoCluster {
+			newBackup = loc.BackupCluster.String()
+		}
+	}
+	row := NewRow().
+		Add("mode", "%s", mode).
+		Add("survived", "%v", true).
+		Add("new_backup", "%s", newBackup).
+		Add("backups_created_after_crash", "%d", sys.Metrics().BackupsCreated.Load()).
+		Add("ms_to_finish_after_crash", "%.1f", float64(elapsed.Microseconds())/1000)
+	return row, nil
+}
+
+// E9BusAtomicity measures raw bus multicast throughput by target count,
+// demonstrating the §5.1/§8.1 claim that fan-out costs no extra
+// transmissions.
+func E9BusAtomicity(targets, msgs int) *Row {
+	m := &trace.Metrics{}
+	b := bus.New(m)
+	inboxes := make([]*bus.Inbox, targets)
+	for i := 0; i < targets; i++ {
+		inboxes[i] = b.Attach(types.ClusterID(i))
+	}
+	route := types.Route{Dst: 0, DstBackup: types.NoCluster, SrcBackup: types.NoCluster}
+	if targets > 1 {
+		route.DstBackup = 1
+	}
+	if targets > 2 {
+		route.SrcBackup = 2
+	}
+	payload := make([]byte, 256)
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		_ = b.Broadcast(&types.Message{Kind: types.KindData, Route: route, Payload: payload})
+	}
+	elapsed := time.Since(start)
+	// Pushes are synchronous: every delivery is already queued.
+	total := 0
+	for i := 0; i < targets; i++ {
+		total += inboxes[i].Len()
+		b.Detach(types.ClusterID(i))
+	}
+	return NewRow().
+		Add("targets", "%d", targets).
+		Add("msgs", "%d", msgs).
+		Add("ns_per_multicast", "%.0f", float64(elapsed.Nanoseconds())/float64(msgs)).
+		Add("transmissions", "%d", m.BusTransmissions.Load()).
+		Add("deliveries", "%d", total)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

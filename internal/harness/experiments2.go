@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"auragen/internal/core"
+	"auragen/internal/fileserver"
+	"auragen/internal/guest"
+	"auragen/internal/ttyserver"
+	"auragen/internal/workload"
+)
+
+// E6SendSuppression crashes a bank server at a chosen point in the
+// exchange and verifies exactly-once semantics end to end: conservation
+// holds, every teller finishes, and the roll-forward suppressed at least
+// the replies the failed primary had already sent (§5.4).
+func E6SendSuppression(txns int, crashAfterDeliveries uint64) (*Row, error) {
+	sys, err := NewSystem(3, 8)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	const accounts, initBalance = 16, 500
+	if _, err := sys.Spawn("bank-server", []byte(fmt.Sprintf("e6 %d %d 1", accounts, initBalance)), core.SpawnConfig{
+		Cluster: 2, BackupCluster: 0,
+	}); err != nil {
+		return nil, err
+	}
+	plan := workload.TxnPlan{Accounts: accounts, Txns: txns, Amount: 3, Seed: 11}
+	pid, err := sys.Spawn("teller", []byte(fmt.Sprintf("e6 -1 %s", plan.Encode())), core.SpawnConfig{Cluster: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for sys.Metrics().PrimaryDeliveries.Load() < crashAfterDeliveries && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := sys.Crash(2); err != nil {
+		return nil, err
+	}
+	if err := sys.WaitExit(pid, 120*time.Second); err != nil {
+		return nil, err
+	}
+
+	// Audit: conservation must hold exactly.
+	if _, err := sys.Spawn("auditor", []byte("e6 31"), core.SpawnConfig{Cluster: 1}); err != nil {
+		return nil, err
+	}
+	total := int64(-1)
+	deadline = time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && total == -1 {
+		for _, line := range sys.TerminalOutput(31) {
+			if strings.HasPrefix(line, "audit total=") {
+				fmt.Sscanf(line, "audit total=%d", &total)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	want := int64(accounts * initBalance)
+	row := NewRow().
+		Add("crash_after", "%d", crashAfterDeliveries).
+		Add("txns", "%d", txns).
+		Add("conserved", "%v", total == want).
+		Add("total", "%d", total).
+		Add("suppressed_sends", "%d", sys.Metrics().SuppressedSends.Load()).
+		Add("replayed_msgs", "%d", sys.Metrics().ReplayedMessages.Load())
+	if total != want {
+		return row, fmt.Errorf("harness: E6 conservation violated: total=%d want=%d", total, want)
+	}
+	return row, nil
+}
+
+// E8FileServerSync measures file-append throughput against the server's
+// sync cadence, and optionally crashes the file server's cluster mid-run
+// to show the shadow-block layout handing a consistent file system to the
+// twin (§7.9).
+func E8FileServerSync(appends, syncEvery int, crash bool) (*Row, error) {
+	sys, err := NewSystem(3, 16)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+	sys.SetFileServerSyncEvery(syncEvery)
+
+	// A writer process appends fixed-size records and verifies final size.
+	sys.Register("e8-writer", guest.ReactorFactory(func() guest.Handler {
+		return guest.HandlerFuncs{
+			StartFunc: func(p guest.API, st *guest.State) error {
+				fd, err := p.Open("/e8/log")
+				if err != nil {
+					return err
+				}
+				rec := workload.Pad("record", 64)
+				for i := 0; i < appends; i++ {
+					if _, err := p.Call(fd, fileserver.AppendReq(rec)); err != nil {
+						return err
+					}
+				}
+				reply, err := p.Call(fd, fileserver.StatReq())
+				if err != nil {
+					return err
+				}
+				rp, err := fileserver.DecodeReply(reply)
+				if err != nil {
+					return err
+				}
+				tty, err := p.Open("tty:32")
+				if err != nil {
+					return err
+				}
+				if err := p.Write(tty, ttyserver.WriteReq(fmt.Sprintf("e8 size=%d", rp.Size))); err != nil {
+					return err
+				}
+				st.Exit()
+				return nil
+			},
+		}
+	}))
+
+	before := sys.Metrics().Snapshot()
+	start := time.Now()
+	pid, err := sys.Spawn("e8-writer", nil, core.SpawnConfig{Cluster: 2, BackupCluster: 1})
+	if err != nil {
+		return nil, err
+	}
+	if crash {
+		deadline := time.Now().Add(30 * time.Second)
+		for sys.Metrics().PrimaryDeliveries.Load() < uint64(appends/2) && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		if err := sys.Crash(0); err != nil { // the file server's cluster
+			return nil, err
+		}
+	}
+	if err := sys.WaitExit(pid, 300*time.Second); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	// The final report write is asynchronous; give it a moment to drain.
+	wantSize := fmt.Sprintf("e8 size=%d", appends*64)
+	sizeOK := false
+	for waitTTY := time.Now().Add(10 * time.Second); !sizeOK && time.Now().Before(waitTTY); {
+		for _, line := range sys.TerminalOutput(32) {
+			if line == wantSize {
+				sizeOK = true
+			}
+		}
+		if !sizeOK {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	reads, writes := sys.FSDisk().Stats()
+	row := NewRow().
+		Add("sync_every", "%d", syncEvery).
+		Add("crash", "%v", crash).
+		Add("appends", "%d", appends).
+		Add("us_per_append", "%.2f", float64(elapsed.Microseconds())/float64(appends)).
+		Add("size_exact", "%v", sizeOK).
+		Add("disk_writes", "%d", writes).
+		Add("disk_reads", "%d", reads).
+		Add("server_syncs", "%d", d["syncs"])
+	if !sizeOK {
+		return row, fmt.Errorf("harness: E8 file size wrong after crash=%v: want %q, terminal=%v, guestErrs=%v", crash, wantSize, sys.TerminalOutput(32), sys.GuestErrors())
+	}
+	return row, nil
+}

@@ -1,0 +1,261 @@
+// Package harness builds the systems and workloads behind every
+// experiment in EXPERIMENTS.md (E1–E9). The benchmark targets in
+// bench_test.go and the aurobench table printer both call into here, so a
+// reported row and a testing.B series always measure the same code path.
+package harness
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"auragen/internal/guest"
+	"auragen/internal/types"
+)
+
+// EchoServer listens on "serve:<name>" and echoes every request back on
+// its channel. Args: "<name>".
+type EchoServer struct{}
+
+// Start implements guest.Handler.
+func (EchoServer) Start(p guest.API, st *guest.State) error {
+	fd, err := p.Open("serve:" + string(p.Args()))
+	if err != nil {
+		return err
+	}
+	st.PutInt64("listen", int64(fd))
+	return nil
+}
+
+// OnMessage implements guest.Handler.
+func (EchoServer) OnMessage(p guest.API, st *guest.State, fd types.FD, data []byte) error {
+	if int64(fd) == st.GetInt64("listen") {
+		nfd, err := p.Accept(data)
+		if err != nil {
+			return err
+		}
+		st.PutInt64(fmt.Sprintf("conn/%d", int64(nfd)), 1)
+		return nil
+	}
+	if _, ok := st.Get(fmt.Sprintf("conn/%d", int64(fd))); !ok {
+		return nil
+	}
+	return p.Write(fd, data)
+}
+
+// OnSignal implements guest.Handler.
+func (EchoServer) OnSignal(p guest.API, st *guest.State, sig types.Signal) error { return nil }
+
+// EchoClient dials "<name>" and plays count ping-pongs of size bytes, then
+// exits. Args: "<name> <count> <size>".
+type EchoClient struct{}
+
+func echoClientArgs(p guest.API) (name string, count, size int, err error) {
+	_, err = fmt.Sscanf(string(p.Args()), "%s %d %d", &name, &count, &size)
+	return
+}
+
+// Start implements guest.Handler.
+func (EchoClient) Start(p guest.API, st *guest.State) error {
+	name, count, size, err := echoClientArgs(p)
+	if err != nil {
+		return fmt.Errorf("echo client: bad args %q: %v", p.Args(), err)
+	}
+	fd, err := p.Open("dial:" + name)
+	if err != nil {
+		return err
+	}
+	st.PutInt64("fd", int64(fd))
+	if count == 0 {
+		st.Exit()
+		return nil
+	}
+	return p.Write(fd, payload(0, size))
+}
+
+// OnMessage implements guest.Handler.
+func (EchoClient) OnMessage(p guest.API, st *guest.State, fd types.FD, data []byte) error {
+	if int64(fd) != st.GetInt64("fd") {
+		return nil
+	}
+	name, count, size, err := echoClientArgs(p)
+	if err != nil {
+		return err
+	}
+	_ = name
+	done := st.Add("done", 1)
+	if int(done) >= count {
+		st.Exit()
+		return nil
+	}
+	return p.Write(fd, payload(uint64(done), size))
+}
+
+// OnSignal implements guest.Handler.
+func (EchoClient) OnSignal(p guest.API, st *guest.State, sig types.Signal) error { return nil }
+
+func payload(seq uint64, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	out := make([]byte, size)
+	binary.LittleEndian.PutUint64(out, seq)
+	return out
+}
+
+// Dirtier listens on "serve:<name>"; each request makes it dirty a fixed
+// number of pages of its address space (a controlled write-set between
+// syncs, for the E3 sweep) before replying. Args: "<name> <pages>".
+type Dirtier struct{}
+
+// Start implements guest.Handler.
+func (Dirtier) Start(p guest.API, st *guest.State) error {
+	parts := strings.Fields(string(p.Args()))
+	if len(parts) != 2 {
+		return fmt.Errorf("dirtier: bad args %q", p.Args())
+	}
+	fd, err := p.Open("serve:" + parts[0])
+	if err != nil {
+		return err
+	}
+	st.PutInt64("listen", int64(fd))
+	pages, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return err
+	}
+	st.PutInt64("pages", int64(pages))
+	return nil
+}
+
+// OnMessage implements guest.Handler.
+func (Dirtier) OnMessage(p guest.API, st *guest.State, fd types.FD, data []byte) error {
+	if int64(fd) == st.GetInt64("listen") {
+		nfd, err := p.Accept(data)
+		if err != nil {
+			return err
+		}
+		st.PutInt64("conn", int64(nfd))
+		return nil
+	}
+	if int64(fd) != st.GetInt64("conn") {
+		return nil
+	}
+	serial := st.Add("serial", 1)
+	pages := st.GetInt64("pages")
+	pageSize := int64(p.Space().PageSize())
+	var stamp [8]byte
+	binary.LittleEndian.PutUint64(stamp[:], uint64(serial))
+	// Dirty `pages` distinct pages above the KV heap region. The write
+	// value changes each request, so every touched page is genuinely
+	// dirty at the next sync.
+	const heapGuard = 64 // pages reserved for the KV heap image
+	for i := int64(0); i < pages; i++ {
+		p.Space().WriteAt((heapGuard+i)*pageSize, stamp[:])
+	}
+	return p.Write(fd, stamp[:])
+}
+
+// OnSignal implements guest.Handler.
+func (Dirtier) OnSignal(p guest.API, st *guest.State, sig types.Signal) error { return nil }
+
+// Pulser dials a Dirtier (or any server) and fires count requests,
+// waiting for each reply. Args: "<name> <count>".
+type Pulser struct{}
+
+// Start implements guest.Handler.
+func (Pulser) Start(p guest.API, st *guest.State) error {
+	var name string
+	var count int
+	if _, err := fmt.Sscanf(string(p.Args()), "%s %d", &name, &count); err != nil {
+		return fmt.Errorf("pulser: bad args %q: %v", p.Args(), err)
+	}
+	fd, err := p.Open("dial:" + name)
+	if err != nil {
+		return err
+	}
+	st.PutInt64("fd", int64(fd))
+	if count == 0 {
+		st.Exit()
+		return nil
+	}
+	return p.Write(fd, []byte("pulse"))
+}
+
+// OnMessage implements guest.Handler.
+func (Pulser) OnMessage(p guest.API, st *guest.State, fd types.FD, data []byte) error {
+	if int64(fd) != st.GetInt64("fd") {
+		return nil
+	}
+	var name string
+	var count int
+	if _, err := fmt.Sscanf(string(p.Args()), "%s %d", &name, &count); err != nil {
+		return err
+	}
+	done := st.Add("done", 1)
+	if int(done) >= count {
+		st.Exit()
+		return nil
+	}
+	return p.Write(fd, []byte("pulse"))
+}
+
+// OnSignal implements guest.Handler.
+func (Pulser) OnSignal(p guest.API, st *guest.State, sig types.Signal) error { return nil }
+
+// ShortLived performs a tiny amount of work and exits without ever
+// reading, so it never syncs and never needs a real backup (§7.7). Args:
+// ignored.
+type ShortLived struct{}
+
+// Start implements guest.Handler.
+func (ShortLived) Start(p guest.API, st *guest.State) error {
+	st.Add("work", 1)
+	st.Exit()
+	return nil
+}
+
+// OnMessage implements guest.Handler.
+func (ShortLived) OnMessage(p guest.API, st *guest.State, fd types.FD, data []byte) error {
+	return nil
+}
+
+// OnSignal implements guest.Handler.
+func (ShortLived) OnSignal(p guest.API, st *guest.State, sig types.Signal) error { return nil }
+
+// Forker forks n ShortLived children, then exits after they are launched.
+// Args: "<n>".
+type Forker struct{}
+
+// Start implements guest.Handler.
+func (Forker) Start(p guest.API, st *guest.State) error {
+	n, err := strconv.Atoi(string(p.Args()))
+	if err != nil {
+		return fmt.Errorf("forker: bad args %q", p.Args())
+	}
+	for i := 0; i < n; i++ {
+		if _, err := p.Fork("short-lived", nil); err != nil {
+			return err
+		}
+	}
+	st.Exit()
+	return nil
+}
+
+// OnMessage implements guest.Handler.
+func (Forker) OnMessage(p guest.API, st *guest.State, fd types.FD, data []byte) error {
+	return nil
+}
+
+// OnSignal implements guest.Handler.
+func (Forker) OnSignal(p guest.API, st *guest.State, sig types.Signal) error { return nil }
+
+// RegisterGuests installs the harness programs into a registry.
+func RegisterGuests(reg *guest.Registry) {
+	reg.Register("echo-server", guest.ReactorFactory(func() guest.Handler { return EchoServer{} }))
+	reg.Register("echo-client", guest.ReactorFactory(func() guest.Handler { return EchoClient{} }))
+	reg.Register("dirtier", guest.ReactorFactory(func() guest.Handler { return Dirtier{} }))
+	reg.Register("pulser", guest.ReactorFactory(func() guest.Handler { return Pulser{} }))
+	reg.Register("short-lived", guest.ReactorFactory(func() guest.Handler { return ShortLived{} }))
+	reg.Register("forker", guest.ReactorFactory(func() guest.Handler { return Forker{} }))
+}

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+
+	"auragen/internal/types"
+)
+
+// Each experiment function is load-bearing for bench_test.go and
+// cmd/aurobench; these smoke tests run them at tiny parameter points so a
+// regression fails fast in `go test` rather than only under -bench.
+
+func TestE1Smoke(t *testing.T) {
+	for _, ft := range []bool{false, true} {
+		row, err := E1ThreeWayDelivery(40, 64, ft)
+		if err != nil {
+			t.Fatalf("ft=%v: %v", ft, err)
+		}
+		got, _ := strconv.ParseFloat(row.Vals["deliveries_per_transmission"], 64)
+		if ft && got < 2.5 {
+			t.Errorf("ft=true deliveries/transmission = %v, want ~3", got)
+		}
+		if !ft && got > 1.5 {
+			t.Errorf("ft=false deliveries/transmission = %v, want ~1", got)
+		}
+	}
+}
+
+func TestE2Smoke(t *testing.T) {
+	dirty, err := E2SyncVsCheckpoint(32, 60, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := E2SyncVsCheckpoint(32, 60, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dKB, _ := strconv.Atoi(dirty.Vals["page_kb_total"])
+	fKB, _ := strconv.Atoi(full.Vals["page_kb_total"])
+	if fKB <= dKB {
+		t.Errorf("full checkpoint copied %d KB <= dirty %d KB; expected more", fKB, dKB)
+	}
+}
+
+func TestE3Smoke(t *testing.T) {
+	small, err := E3SyncCost(1, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := E3SyncCost(64, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := strconv.ParseFloat(small.Vals["pages_per_sync"], 64)
+	bp, _ := strconv.ParseFloat(big.Vals["pages_per_sync"], 64)
+	if bp <= sp {
+		t.Errorf("pages/sync did not grow with dirty set: %v vs %v", sp, bp)
+	}
+}
+
+func TestE4Smoke(t *testing.T) {
+	row, err := E4DeferredBackup(10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Vals["backups_created"] != "0" {
+		t.Errorf("deferred mode created backups: %s", row.Vals["backups_created"])
+	}
+	if row.Vals["birth_notices"] != "10" {
+		t.Errorf("birth notices = %s, want 10", row.Vals["birth_notices"])
+	}
+}
+
+func TestE5Smoke(t *testing.T) {
+	row, err := E5Recovery(16, 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Vals["recoveries"] != "1" {
+		t.Errorf("recoveries = %s", row.Vals["recoveries"])
+	}
+}
+
+func TestE6Smoke(t *testing.T) {
+	row, err := E6SendSuppression(300, 80)
+	if err != nil {
+		t.Fatalf("%v (%s)", err, row)
+	}
+	if row.Vals["conserved"] != "true" {
+		t.Errorf("conservation: %s", row)
+	}
+}
+
+func TestE7Smoke(t *testing.T) {
+	row, err := E7BackupModes(types.Fullback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Vals["new_backup"] == "none" {
+		t.Error("fullback got no new backup")
+	}
+	row, err = E7BackupModes(types.Quarterback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Vals["new_backup"] != "none" {
+		t.Errorf("quarterback got a new backup: %s", row.Vals["new_backup"])
+	}
+}
+
+func TestE8Smoke(t *testing.T) {
+	if _, err := E8FileServerSync(60, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := E8FileServerSync(60, 8, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE9Smoke(t *testing.T) {
+	row := E9BusAtomicity(3, 500)
+	if row.Vals["transmissions"] != "500" {
+		t.Errorf("transmissions = %s", row.Vals["transmissions"])
+	}
+	if row.Vals["deliveries"] != "1500" {
+		t.Errorf("deliveries = %s", row.Vals["deliveries"])
+	}
+}
+
+func TestRow(t *testing.T) {
+	r := NewRow().Add("a", "%d", 1).Add("b", "%s", "x").Add("a", "%d", 2)
+	if got := r.String(); got != "a=2  b=x" {
+		t.Fatalf("Row.String = %q", got)
+	}
+}

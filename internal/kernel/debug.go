@@ -1,0 +1,52 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"auragen/internal/routing"
+	"auragen/internal/types"
+)
+
+// DumpState renders the kernel's process, backup, and routing state for
+// post-mortem debugging of tests and scenarios.
+func (k *Kernel) DumpState() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s crashed=%v stopped=%v outgoing=%d held=%d arrival=%d\n",
+		k.id, k.crashed, k.stopped, len(k.outgoing), len(k.held), k.arrival)
+
+	var pids []int
+	for pid := range k.procs {
+		pids = append(pids, int(pid))
+	}
+	sort.Ints(pids)
+	for _, pi := range pids {
+		p := k.procs[types.PID(pi)]
+		fmt.Fprintf(&b, "  proc %s prog=%s epoch=%d reads=%d ticks=%d recovered=%v suppressTotal=%d signalNext=%v exited=%v\n",
+			p.pid, p.program, p.epoch, p.readsSinceSync, p.ticksSinceSync, p.recovered, p.suppressTotal, p.signalNext, p.exited)
+		for _, e := range k.table.OwnedBy(p.pid, routing.Primary) {
+			fmt.Fprintf(&b, "    P %s\n", e)
+		}
+	}
+	var bpids []int
+	for pid := range k.backups {
+		bpids = append(bpids, int(pid))
+	}
+	sort.Ints(bpids)
+	for _, pi := range bpids {
+		bp := k.backups[types.PID(pi)]
+		fmt.Fprintf(&b, "  backup %s prog=%s epoch=%d synced=%v exitedPending=%v primaryCluster=%v\n",
+			bp.pid, bp.program, bp.epoch, bp.synced, bp.exitedPending, bp.primaryCluster)
+		for _, e := range k.table.OwnedBy(bp.pid, routing.Backup) {
+			fmt.Fprintf(&b, "    B %s\n", e)
+		}
+	}
+	for pid, host := range k.servers {
+		fmt.Fprintf(&b, "  server %s role=%s primaryCluster=%v saved=%d\n",
+			pid, host.role, host.primaryCluster, len(host.saved))
+	}
+	return b.String()
+}

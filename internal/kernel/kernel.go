@@ -1,0 +1,707 @@
+// Package kernel implements the Auros operating-system kernel of one
+// cluster (§7.2): the message system integrated with process management.
+//
+// Following the paper's split, the kernel performs only cluster-local
+// functions — scheduling processes (goroutines), local routing tables,
+// message handling — while globally consistent services live in server
+// processes (page server, file server, process server, tty server). The
+// executive processor is modeled by two goroutines: a transmit loop that
+// drains the cluster's outgoing queue onto the intercluster bus in FIFO
+// order, and a receive loop that dispatches arriving messages to primary
+// destinations, backup save queues, and sender-backup write counts (§7.4.2).
+//
+// Kernels are not synchronized and are not backed up; only an independent
+// copy runs in each cluster (§7.2). All state a backup process needs is
+// carried by messages: saved queues, sync messages, birth notices, and page
+// accounts.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"auragen/internal/bus"
+	"auragen/internal/directory"
+	"auragen/internal/guest"
+	"auragen/internal/memory"
+	"auragen/internal/routing"
+	"auragen/internal/trace"
+	"auragen/internal/types"
+)
+
+// Default sync triggers (§7.8). Both are per-process tunable via SpawnOpts.
+const (
+	// DefaultSyncReads forces a sync after this many reads since the last
+	// sync.
+	DefaultSyncReads uint32 = 32
+	// DefaultSyncTicks forces a sync after this much virtual execution
+	// time since the last sync.
+	DefaultSyncTicks uint64 = 1024
+)
+
+// Config assembles a kernel's dependencies.
+type Config struct {
+	ID       types.ClusterID
+	Bus      *bus.Bus
+	Dir      *directory.Directory
+	Registry *guest.Registry
+	Metrics  *trace.Metrics
+	Log      *trace.EventLog // may be nil
+	PageSize int             // 0 means memory.DefaultPageSize
+
+	// SyncReads/SyncTicks are the cluster-wide default sync triggers;
+	// zero selects the package defaults.
+	SyncReads uint32
+	SyncTicks uint64
+}
+
+// Kernel is one cluster's operating system kernel.
+type Kernel struct {
+	id      types.ClusterID
+	bus     *bus.Bus
+	dir     *directory.Directory
+	reg     *guest.Registry
+	metrics *trace.Metrics
+	log     *trace.EventLog
+
+	pageSize  int
+	syncReads uint32
+	syncTicks uint64
+
+	inbox *bus.Inbox
+
+	mu     sync.Mutex
+	txCond *sync.Cond
+
+	outgoing []*types.Message
+	// held parks outgoing messages whose fullback destination lost its
+	// backup, until a BackupUp notice arrives (§7.10.1 step 4).
+	held map[types.PID][]*types.Message
+
+	crashed bool
+	stopped bool
+
+	table   *routing.Table
+	procs   map[types.PID]*PCB
+	backups map[types.PID]*BackupPCB
+	// births holds unconsumed birth records by parent pid, in fork order
+	// (§7.7, §7.10.2).
+	births map[types.PID][]*BirthNotice
+	// nondetLogs accumulates, per backed-up sender, the piggybacked
+	// results of its nondeterministic events since its last sync (§10).
+	nondetLogs map[types.PID][]uint64
+	servers    map[types.PID]*ServerHost
+	pager      PagerSink
+
+	arrival types.Seq
+
+	// guestErrs retains the most recent guest failures for post-mortems
+	// (software faults are outside the paper's fault model, but tests and
+	// the harness need to see them).
+	guestErrs []string
+
+	wg sync.WaitGroup
+}
+
+// PagerSink is the page server instance attached to a pager cluster. Both
+// the primary and its mirror receive the same ordered stream of page-outs,
+// sync commits, and frees (see internal/pager for the design note).
+type PagerSink interface {
+	HandlePageOut(po *PageOut)
+	HandleSyncCommit(pid types.PID, epoch types.Epoch)
+	HandleFree(pids []types.PID)
+	// HandlePageRequest returns the backup page account of pid.
+	HandlePageRequest(pid types.PID) []memory.Page
+	// HandleCrash tells the pager a cluster failed so it can roll
+	// uncommitted primary accounts back to the backup accounts of
+	// processes that lived there.
+	HandleCrash(crashed types.ClusterID)
+	// HandleCrashPID rolls back one process's account (an isolatable
+	// single-process failure, §10).
+	HandleCrashPID(pid types.PID)
+}
+
+// New constructs a kernel and attaches it to the bus. Call Start to begin
+// executive processing.
+func New(cfg Config) *Kernel {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = memory.DefaultPageSize
+	}
+	if cfg.SyncReads == 0 {
+		cfg.SyncReads = DefaultSyncReads
+	}
+	if cfg.SyncTicks == 0 {
+		cfg.SyncTicks = DefaultSyncTicks
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &trace.Metrics{}
+	}
+	k := &Kernel{
+		id:         cfg.ID,
+		bus:        cfg.Bus,
+		dir:        cfg.Dir,
+		reg:        cfg.Registry,
+		metrics:    cfg.Metrics,
+		log:        cfg.Log,
+		pageSize:   cfg.PageSize,
+		syncReads:  cfg.SyncReads,
+		syncTicks:  cfg.SyncTicks,
+		held:       make(map[types.PID][]*types.Message),
+		table:      routing.NewTable(),
+		procs:      make(map[types.PID]*PCB),
+		backups:    make(map[types.PID]*BackupPCB),
+		births:     make(map[types.PID][]*BirthNotice),
+		nondetLogs: make(map[types.PID][]uint64),
+		servers:    make(map[types.PID]*ServerHost),
+	}
+	k.txCond = sync.NewCond(&k.mu)
+	k.inbox = cfg.Bus.Attach(cfg.ID)
+	return k
+}
+
+// ID returns the cluster id.
+func (k *Kernel) ID() types.ClusterID { return k.id }
+
+// Table exposes the routing table (tests and the scenario renderer).
+func (k *Kernel) Table() *routing.Table { return k.table }
+
+// Metrics returns the shared metrics sink.
+func (k *Kernel) Metrics() *trace.Metrics { return k.metrics }
+
+// Directory returns the shared directory.
+func (k *Kernel) Directory() *directory.Directory { return k.dir }
+
+// SetPager attaches a page-server instance to this cluster.
+func (k *Kernel) SetPager(p PagerSink) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.pager = p
+}
+
+// Start launches the executive processor loops.
+func (k *Kernel) Start() {
+	k.wg.Add(2)
+	go k.txLoop()
+	go k.rxLoop()
+}
+
+// Crash simulates a hardware failure taking the whole cluster down: all
+// processing stops abruptly and volatile state (outgoing queue, routing
+// tables, process memory) is lost with the cluster. Blocked syscalls return
+// types.ErrCrashed so process goroutines unwind.
+func (k *Kernel) Crash() {
+	k.mu.Lock()
+	k.crashed = true
+	k.outgoing = nil
+	for _, p := range k.procs {
+		p.crashed = true
+		p.cond.Broadcast()
+	}
+	k.txCond.Broadcast()
+	k.mu.Unlock()
+	// Detach closes the inbox, ending the receive loop.
+	k.bus.Detach(k.id)
+}
+
+// Stop shuts the kernel down cleanly (test teardown). Unlike Crash it does
+// not simulate a failure, but process goroutines are interrupted the same
+// way.
+func (k *Kernel) Stop() {
+	k.mu.Lock()
+	k.stopped = true
+	for _, p := range k.procs {
+		p.crashed = true
+		p.cond.Broadcast()
+	}
+	k.txCond.Broadcast()
+	k.mu.Unlock()
+	k.bus.Detach(k.id)
+}
+
+// Wait blocks until the executive loops have exited (after Crash or Stop).
+func (k *Kernel) Wait() { k.wg.Wait() }
+
+// Crashed reports whether the cluster has failed.
+func (k *Kernel) Crashed() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.crashed
+}
+
+// GuestErrors returns the recent guest error strings (newest last).
+func (k *Kernel) GuestErrors() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]string, len(k.guestErrs))
+	copy(out, k.guestErrs)
+	return out
+}
+
+// recordGuestErrLocked appends to the bounded guest-error ring.
+func (k *Kernel) recordGuestErrLocked(msg string) {
+	k.guestErrs = append(k.guestErrs, msg)
+	if len(k.guestErrs) > 32 {
+		k.guestErrs = k.guestErrs[len(k.guestErrs)-32:]
+	}
+}
+
+// Proc returns the live PCB for pid, if present.
+func (k *Kernel) Proc(pid types.PID) (*PCB, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Backup returns the backup record for pid, if present.
+func (k *Kernel) Backup(pid types.PID) (*BackupPCB, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	b, ok := k.backups[pid]
+	return b, ok
+}
+
+// NumProcs returns the number of live processes.
+func (k *Kernel) NumProcs() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.procs)
+}
+
+// sendLocked places a message on the cluster's outgoing queue. The caller
+// holds k.mu. Messages leave the cluster in the order they are placed here
+// (§7.8's safety argument for sync messages depends on this FIFO order).
+func (k *Kernel) sendLocked(m *types.Message) {
+	if k.crashed || k.stopped {
+		return
+	}
+	k.outgoing = append(k.outgoing, m)
+	k.txCond.Signal()
+}
+
+// txLoop is the executive processor's transmit half: it drains the
+// outgoing queue onto the bus, one message at a time, in order.
+func (k *Kernel) txLoop() {
+	defer k.wg.Done()
+	for {
+		k.mu.Lock()
+		for len(k.outgoing) == 0 && !k.crashed && !k.stopped {
+			k.txCond.Wait()
+		}
+		if k.crashed || k.stopped {
+			k.mu.Unlock()
+			return
+		}
+		m := k.outgoing[0]
+		k.outgoing = k.outgoing[1:]
+		k.mu.Unlock()
+		var err error
+		if m.Kind == types.KindBackupUp {
+			// Backup-up notices go to every live cluster, like crash
+			// notices (§7.10.1 step 1 waits on them system-wide).
+			err = k.bus.BroadcastAll(m)
+		} else {
+			err = k.bus.Broadcast(m)
+		}
+		if err != nil {
+			// Both physical buses down: an untolerated multiple failure.
+			// The message is lost; higher layers observe the stall.
+			k.log.Add(trace.EvSend, fmt.Sprintf("%s: bus failure: %v", k.id, err))
+		}
+	}
+}
+
+// rxLoop is the executive processor's receive half.
+func (k *Kernel) rxLoop() {
+	defer k.wg.Done()
+	for {
+		m, ok := k.inbox.Pop()
+		if !ok {
+			return
+		}
+		k.dispatch(m)
+	}
+}
+
+// dispatch routes one arriving message according to the §5.1 protocol: the
+// message protocol lets the executive determine whether it is for the
+// primary destination, the destination's backup, or the sender's backup,
+// and a single cluster may play several of those roles for one message.
+func (k *Kernel) dispatch(m *types.Message) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.crashed || k.stopped {
+		return
+	}
+	k.arrival++
+	m.Seq = k.arrival
+
+	switch m.Kind {
+	case types.KindData, types.KindOpenRequest, types.KindOpenReply, types.KindSignal:
+		k.dispatchChannelMessage(m)
+	case types.KindSync:
+		k.dispatchSync(m)
+	case types.KindBirthNotice:
+		if m.Route.Dst == k.id {
+			k.applyBirthNoticeLocked(m)
+		}
+	case types.KindExitNotice:
+		k.dispatchExitNotice(m)
+	case types.KindPageOut:
+		if k.pager != nil {
+			if po, err := DecodePageOut(m.Payload); err == nil {
+				k.pager.HandlePageOut(po)
+			}
+		}
+	case types.KindPageRequest:
+		k.dispatchPageRequest(m)
+	case types.KindPageReply:
+		k.dispatchPageReply(m)
+	case types.KindCrashNotice:
+		if cn, err := DecodeCrashNotice(m.Payload); err == nil {
+			if cn.PID == types.NoPID {
+				k.handleCrashLocked(cn.Crashed)
+			} else {
+				k.handleProcCrashLocked(cn.Crashed, cn.PID)
+			}
+		}
+	case types.KindBackupUp:
+		if bu, err := DecodeBackupUp(m.Payload); err == nil {
+			k.handleBackupUpLocked(bu)
+		}
+	case types.KindBackupCreate:
+		if m.Route.Dst == k.id {
+			k.applyBackupImageLocked(m)
+		}
+	case types.KindBackupAck:
+		if m.Route.Dst == k.id {
+			if ba, err := DecodeBackupAck(m.Payload); err == nil {
+				k.handleBackupAckLocked(ba)
+			}
+		}
+	case types.KindServerSync:
+		k.dispatchServerSync(m)
+	case types.KindKernelReport:
+		if host, ok := k.servers[m.Dst]; ok && host.role == routing.Primary {
+			host.impl.Receive(k.serverCtx(host), m)
+		}
+	}
+}
+
+// dispatchChannelMessage handles the three §5.1 roles for channel-carried
+// messages.
+func (k *Kernel) dispatchChannelMessage(m *types.Message) {
+	// Signals sent without a resolved channel id are bound to the target's
+	// signal channel on arrival.
+	if m.Kind == types.KindSignal && m.Channel == types.NoChannel {
+		if p, ok := k.procs[m.Dst]; ok {
+			m.Channel = p.signalCh
+		} else if b, ok := k.backups[m.Dst]; ok {
+			m.Channel = b.signalCh
+		}
+	}
+
+	// Role 1: primary destination — queue for reading, wake any waiter.
+	if m.Route.Dst == k.id {
+		if host, ok := k.servers[m.Dst]; ok {
+			if host.role == routing.Primary {
+				k.metrics.PrimaryDeliveries.Add(1)
+				// Count the request now so the next server sync tells the
+				// twin to discard its saved copy (§7.9).
+				host.requestsHandled[m.Channel]++
+				host.servicedCum[m.Channel]++
+				host.impl.Receive(k.serverCtx(host), m)
+			}
+		} else {
+			if m.Kind == types.KindOpenReply {
+				k.adoptOpenReplyLocked(m, routing.Primary)
+			}
+			if e, ok := k.table.Lookup(m.Channel, m.Dst, routing.Primary); ok && !e.Closed {
+				e.Enqueue(m)
+				k.metrics.PrimaryDeliveries.Add(1)
+				if p, ok := k.procs[m.Dst]; ok {
+					p.cond.Broadcast()
+				}
+			}
+		}
+	}
+
+	// Role 2: destination's backup — queue and save, wake nothing.
+	//
+	// If the backup has already been promoted (the destination's old
+	// cluster crashed and this cluster took over), the message is an
+	// in-flight straggler routed before its sender processed the crash
+	// notice: deliver it to the promoted primary instead, and forward a
+	// save-only copy to the new backup if one exists. Dropping it would
+	// lose a message the failed destination never saw.
+	if m.Route.DstBackup == k.id {
+		saved := m
+		if m.Route.Dst == k.id {
+			// The same cluster plays both roles; keep independent copies.
+			saved = m.Clone()
+			saved.Seq = m.Seq
+		}
+		if host, ok := k.servers[m.Dst]; ok {
+			switch {
+			case host.role == routing.Backup:
+				host.saved = append(host.saved, saved)
+				k.metrics.BackupSaves.Add(1)
+			case m.Route.Dst != k.id:
+				// Promoted twin: service the straggler as primary.
+				k.metrics.PrimaryDeliveries.Add(1)
+				host.requestsHandled[m.Channel]++
+				host.servicedCum[m.Channel]++
+				host.impl.Receive(k.serverCtx(host), saved)
+			}
+		} else {
+			if m.Kind == types.KindOpenReply {
+				k.adoptOpenReplyLocked(saved, routing.Backup)
+			}
+			if e, ok := k.table.Lookup(m.Channel, m.Dst, routing.Backup); ok {
+				e.Enqueue(saved)
+				k.metrics.BackupSaves.Add(1)
+			} else if p, ok := k.procs[m.Dst]; ok && m.Route.Dst != k.id {
+				if pe, ok := k.table.Lookup(m.Channel, m.Dst, routing.Primary); ok && !pe.Closed {
+					pe.Enqueue(saved)
+					k.metrics.PrimaryDeliveries.Add(1)
+					p.cond.Broadcast()
+					if p.backupCluster != types.NoCluster {
+						fwd := saved.Clone()
+						fwd.Seq = 0
+						fwd.Route = types.Route{
+							Dst:       types.NoCluster,
+							DstBackup: p.backupCluster,
+							SrcBackup: types.NoCluster,
+						}
+						k.sendLocked(fwd)
+					}
+				}
+			}
+		}
+	}
+
+	// Role 3: sender's backup — count and discard.
+	if m.Route.SrcBackup == k.id {
+		e, ok := k.table.Lookup(m.Channel, m.Src, routing.Backup)
+		if !ok {
+			// Defensive: create the count-holding entry on demand (it
+			// normally exists from the open reply or birth notice).
+			e = &routing.Entry{
+				Channel:            m.Channel,
+				Owner:              m.Src,
+				Peer:               m.Dst,
+				Role:               routing.Backup,
+				PeerCluster:        m.Route.Dst,
+				PeerBackupCluster:  m.Route.DstBackup,
+				OwnerBackupCluster: k.id,
+			}
+			k.table.Add(e)
+		}
+		e.WritesSinceSync++
+		k.metrics.SenderBackupCounts.Add(1)
+		if len(m.Nondet) > 0 {
+			k.nondetLogs[m.Src] = append(k.nondetLogs[m.Src], m.Nondet...)
+		}
+	}
+}
+
+// adoptOpenReplyLocked creates the routing-table entry for the channel a
+// successful open reply announces (§7.4.1: "The arrival of an open reply at
+// a backup cluster causes the creation of the backup routing table entry";
+// the primary cluster creates its entry the same way so that messages from
+// the fast-moving peer have a queue before the opener returns from open).
+func (k *Kernel) adoptOpenReplyLocked(m *types.Message, role routing.Role) {
+	or, err := DecodeOpenReply(m.Payload)
+	if err != nil || or.Err != "" || or.Channel == types.NoChannel {
+		return
+	}
+	if _, ok := k.table.Lookup(or.Channel, m.Dst, role); ok {
+		return // already present (recovery replay)
+	}
+	ownerBackup := types.NoCluster
+	if loc, ok := k.dir.Proc(m.Dst); ok {
+		ownerBackup = loc.BackupCluster
+	}
+	k.table.Add(&routing.Entry{
+		Channel:            or.Channel,
+		Owner:              m.Dst,
+		Peer:               or.Peer,
+		Role:               role,
+		PeerCluster:        or.PeerCluster,
+		PeerBackupCluster:  or.PeerBackupCluster,
+		OwnerBackupCluster: ownerBackup,
+		PeerIsServer:       or.PeerIsServer,
+	})
+}
+
+// dispatchPageRequest serves a recovery page fetch if this cluster hosts
+// the page server primary.
+func (k *Kernel) dispatchPageRequest(m *types.Message) {
+	if m.Route.Dst != k.id || k.pager == nil {
+		return
+	}
+	pr, err := DecodePageRequest(m.Payload)
+	if err != nil {
+		return
+	}
+	pages := k.pager.HandlePageRequest(pr.PID)
+	reply := &PageReply{PID: pr.PID, Pages: pages}
+	k.sendLocked(&types.Message{
+		Kind:    types.KindPageReply,
+		Dst:     pr.PID,
+		Route:   types.Route{Dst: pr.ReplyTo, DstBackup: types.NoCluster, SrcBackup: types.NoCluster},
+		Payload: reply.Encode(),
+	})
+}
+
+// dispatchPageReply hands a restored page account to the promoted process
+// waiting on it.
+func (k *Kernel) dispatchPageReply(m *types.Message) {
+	if m.Route.Dst != k.id {
+		return
+	}
+	pr, err := DecodePageReply(m.Payload)
+	if err != nil {
+		return
+	}
+	p, ok := k.procs[pr.PID]
+	if !ok || p.pageWait == nil {
+		return
+	}
+	select {
+	case p.pageWait <- pr.Pages:
+	default:
+	}
+}
+
+// dispatchExitNotice reclaims backup state for an exited process, or marks
+// it pending if the fork that created it could still be replayed (§7.7).
+func (k *Kernel) dispatchExitNotice(m *types.Message) {
+	en, err := DecodeExitNotice(m.Payload)
+	if err != nil {
+		return
+	}
+	if m.Route.Dst == k.id {
+		if en.NeverSynced {
+			k.metrics.BackupsAvoided.Add(1)
+		}
+		if en.Parent != types.NoPID {
+			if _, parentAlive := k.dir.Proc(en.Parent); parentAlive {
+				// Parent may yet replay the fork; retain state until the
+				// parent's next sync frees it.
+				if b, ok := k.backups[en.PID]; ok {
+					b.exitedPending = true
+				}
+				k.freePIDsLocked(en.FreePIDs)
+				return
+			}
+		}
+		k.freePIDsLocked(append([]types.PID{en.PID}, en.FreePIDs...))
+	}
+	if k.pager != nil && (m.Route.DstBackup == k.id || m.Route.SrcBackup == k.id) {
+		if en.Parent == types.NoPID {
+			k.pager.HandleFree(append([]types.PID{en.PID}, en.FreePIDs...))
+		} else {
+			k.pager.HandleFree(en.FreePIDs)
+		}
+	}
+}
+
+// freePIDsLocked drops backup records, birth records, and saved entries for
+// the given pids.
+func (k *Kernel) freePIDsLocked(pids []types.PID) {
+	for _, pid := range pids {
+		delete(k.backups, pid)
+		delete(k.nondetLogs, pid)
+		k.table.RemoveOwnedBy(pid, routing.Backup)
+		for parent, list := range k.births {
+			kept := list[:0]
+			for _, bn := range list {
+				if bn.Child != pid {
+					kept = append(kept, bn)
+				}
+			}
+			if len(kept) == 0 {
+				delete(k.births, parent)
+			} else {
+				k.births[parent] = kept
+			}
+		}
+	}
+}
+
+// dispatchServerSync applies a peripheral server's explicit sync at its
+// backup twin (§7.9): update internal state, discard saved requests already
+// serviced by the primary, and zero the writes-since-sync counts used for
+// reply suppression.
+func (k *Kernel) dispatchServerSync(m *types.Message) {
+	if m.Route.Dst != k.id {
+		return
+	}
+	ss, err := DecodeServerSyncMsg(m.Payload)
+	if err != nil {
+		return
+	}
+	host, ok := k.servers[ss.PID]
+	if !ok || host.role != routing.Backup {
+		return
+	}
+	host.impl.ApplySync(ss.Blob)
+	// Discard already-serviced saved requests, per channel, oldest first.
+	for ch, n := range ss.Discards {
+		kept := host.saved[:0]
+		for _, sm := range host.saved {
+			if n > 0 && sm.Channel == ch {
+				n--
+				host.discardedCum[ch]++
+				k.metrics.MessagesDiscarded.Add(1)
+				continue
+			}
+			kept = append(kept, sm)
+		}
+		host.saved = kept
+	}
+	// Zero this server's send counts (same rule as user sync, §5.2).
+	for _, e := range k.table.OwnedBy(ss.PID, routing.Backup) {
+		e.WritesSinceSync = 0
+	}
+}
+
+// waitLocked blocks the calling process goroutine on its condition
+// variable until pred returns true or the process/cluster dies. Returns
+// an error when interrupted.
+func (k *Kernel) waitLocked(p *PCB, pred func() bool) error {
+	for !pred() {
+		if p.crashed || k.crashed {
+			return types.ErrCrashed
+		}
+		if k.stopped {
+			return types.ErrShutdown
+		}
+		p.cond.Wait()
+	}
+	if p.crashed || k.crashed {
+		return types.ErrCrashed
+	}
+	if k.stopped {
+		return types.ErrShutdown
+	}
+	return nil
+}
+
+// nowNanos is the kernel's local clock. It is environmental state (§7.5):
+// only servers may expose it to user processes, via message.
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+// sortedFDs returns the process's open descriptors in ascending order, for
+// deterministic iteration.
+func sortedFDs(p *PCB) []types.FD {
+	fds := make([]types.FD, 0, len(p.fds))
+	for fd := range p.fds {
+		fds = append(fds, fd)
+	}
+	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
+	return fds
+}

@@ -1,0 +1,236 @@
+package kernel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"auragen/internal/memory"
+	"auragen/internal/types"
+)
+
+func TestSyncMsgRoundTrip(t *testing.T) {
+	in := &SyncMsg{
+		PID:            101,
+		Epoch:          7,
+		Program:        "bank-server",
+		Mode:           types.Fullback,
+		Family:         100,
+		Parent:         100,
+		Args:           []byte("bank 20 1000 3"),
+		PrimaryCluster: 2,
+		Regs:           []byte{1, 2, 3},
+		NextFD:         5,
+		SignalNext:     true,
+		SigIgnore:      []types.Signal{types.SigUser},
+		SignalChannel:  9,
+		Channels: []ChannelInfo{
+			{Channel: 3, FD: 0, Reads: 4, Peer: 3, PeerCluster: 0, PeerBackupCluster: 1, PeerIsServer: true},
+			{Channel: 12, FD: 2, Reads: 0, Peer: 102, PeerCluster: 1, PeerBackupCluster: types.NoCluster},
+		},
+		ClosedChannels: []types.ChannelID{4, 5},
+		FreePIDs:       []types.PID{103},
+		Suppress:       map[types.ChannelID]uint32{12: 3},
+	}
+	out, err := DecodeSyncMsg(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestSyncMsgMinimal(t *testing.T) {
+	in := &SyncMsg{PID: 1, Program: "p"}
+	out, err := DecodeSyncMsg(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PID != 1 || out.Program != "p" || out.Suppress != nil {
+		t.Fatalf("minimal round trip: %+v", out)
+	}
+}
+
+func TestSyncMsgRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSyncMsg([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	valid := (&SyncMsg{PID: 1}).Encode()
+	if _, err := DecodeSyncMsg(append(valid, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestBirthNoticeRoundTrip(t *testing.T) {
+	in := &BirthNotice{
+		Parent:         100,
+		Child:          105,
+		Program:        "short-lived",
+		Args:           []byte("x"),
+		Mode:           types.Halfback,
+		Family:         100,
+		PrimaryCluster: 2,
+		SignalChannel:  44,
+		Channels: []ChannelInfo{
+			{Channel: 41, FD: 0, Peer: 3, PeerCluster: 0, PeerBackupCluster: 1, PeerIsServer: true},
+		},
+	}
+	out, err := DecodeBirthNotice(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestOpenRequestReplyRoundTrip(t *testing.T) {
+	req := &OpenRequest{Opener: 101, Name: "serve:bank", OpenerCluster: 2, OpenerBackupCluster: 0}
+	gotReq, err := DecodeOpenRequest(req.Encode())
+	if err != nil || !reflect.DeepEqual(req, gotReq) {
+		t.Fatalf("request: %v %+v", err, gotReq)
+	}
+	rep := &OpenReply{Channel: 99, Peer: 101, PeerCluster: 2, PeerBackupCluster: 0, PeerIsServer: false, Err: ""}
+	gotRep, err := DecodeOpenReply(rep.Encode())
+	if err != nil || !reflect.DeepEqual(rep, gotRep) {
+		t.Fatalf("reply: %v %+v", err, gotRep)
+	}
+	errRep := &OpenReply{Err: "not found"}
+	gotErr, err := DecodeOpenReply(errRep.Encode())
+	if err != nil || gotErr.Err != "not found" {
+		t.Fatalf("error reply: %v %+v", err, gotErr)
+	}
+}
+
+func TestPagePayloadsRoundTrip(t *testing.T) {
+	po := &PageOut{PID: 7, Epoch: 3, From: 2, Page: memory.Page{No: 9, Data: []byte{1, 2, 3}}}
+	gotPO, err := DecodePageOut(po.Encode())
+	if err != nil || gotPO.PID != 7 || gotPO.Epoch != 3 || gotPO.From != 2 ||
+		gotPO.Page.No != 9 || !bytes.Equal(gotPO.Page.Data, []byte{1, 2, 3}) {
+		t.Fatalf("page-out: %v %+v", err, gotPO)
+	}
+	pr := &PageRequest{PID: 7, ReplyTo: 1}
+	gotPR, err := DecodePageRequest(pr.Encode())
+	if err != nil || !reflect.DeepEqual(pr, gotPR) {
+		t.Fatalf("page request: %v %+v", err, gotPR)
+	}
+	rep := &PageReply{PID: 7, Pages: []memory.Page{{No: 1, Data: []byte{5}}, {No: 2, Data: []byte{6}}}}
+	gotRep, err := DecodePageReply(rep.Encode())
+	if err != nil || len(gotRep.Pages) != 2 || gotRep.Pages[1].Data[0] != 6 {
+		t.Fatalf("page reply: %v %+v", err, gotRep)
+	}
+}
+
+func TestExitNoticeRoundTrip(t *testing.T) {
+	in := &ExitNotice{PID: 105, Parent: 100, NeverSynced: true, FreePIDs: []types.PID{106, 107}}
+	out, err := DecodeExitNotice(in.Encode())
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("%v %+v", err, out)
+	}
+}
+
+func TestCrashNoticeAndBackupUpRoundTrip(t *testing.T) {
+	cn := &CrashNotice{Crashed: 5}
+	gotCN, err := DecodeCrashNotice(cn.Encode())
+	if err != nil || gotCN.Crashed != 5 {
+		t.Fatalf("crash notice: %v %+v", err, gotCN)
+	}
+	bu := &BackupUp{PID: 101, BackupCluster: 3}
+	gotBU, err := DecodeBackupUp(bu.Encode())
+	if err != nil || !reflect.DeepEqual(bu, gotBU) {
+		t.Fatalf("backup up: %v %+v", err, gotBU)
+	}
+}
+
+func TestBackupImageRoundTrip(t *testing.T) {
+	in := &BackupImage{
+		Sync: &SyncMsg{PID: 101, Epoch: 4, Program: "echo-server", Args: []byte("x")},
+		Queues: []SavedMessage{
+			{Channel: 7, Kind: types.KindData, Src: 102, Seq: 11, Payload: []byte("a")},
+			{Channel: 8, Kind: types.KindSignal, Src: 1, Seq: 12, Payload: []byte{2}},
+		},
+		Writes:       map[types.ChannelID]uint32{7: 2},
+		BornChildren: [][]byte{{9, 9}},
+	}
+	out, err := DecodeBackupImage(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Sync.PID != 101 || out.Sync.Epoch != 4 {
+		t.Fatalf("sync part: %+v", out.Sync)
+	}
+	if !reflect.DeepEqual(in.Queues, out.Queues) || !reflect.DeepEqual(in.Writes, out.Writes) {
+		t.Fatalf("queues/writes mismatch")
+	}
+	if len(out.BornChildren) != 1 || !bytes.Equal(out.BornChildren[0], []byte{9, 9}) {
+		t.Fatal("born children mismatch")
+	}
+}
+
+func TestServerSyncMsgRoundTrip(t *testing.T) {
+	in := &ServerSyncMsg{PID: 3, Blob: []byte("state"), Discards: map[types.ChannelID]uint32{4: 2, 9: 1}}
+	out, err := DecodeServerSyncMsg(in.Encode())
+	if err != nil || !reflect.DeepEqual(in, out) {
+		t.Fatalf("%v %+v", err, out)
+	}
+}
+
+func TestProcProtocolRoundTrip(t *testing.T) {
+	op, arg, err := DecodeProcRequest(EncodeProcRequest(ProcOpAlarm, 12345))
+	if err != nil || op != ProcOpAlarm || arg != 12345 {
+		t.Fatalf("request: %v %d %d", err, op, arg)
+	}
+	op, val, err := DecodeProcReply(EncodeProcReply(ProcOpTime, 999))
+	if err != nil || op != ProcOpTime || val != 999 {
+		t.Fatalf("reply: %v %d %d", err, op, val)
+	}
+}
+
+func TestQuickSyncMsgRoundTrip(t *testing.T) {
+	f := func(pid uint32, epoch uint16, prog string, regs []byte, nextFD uint8, sigNext bool) bool {
+		in := &SyncMsg{
+			PID:        types.PID(pid),
+			Epoch:      types.Epoch(epoch),
+			Program:    prog,
+			Regs:       regs,
+			NextFD:     types.FD(nextFD),
+			SignalNext: sigNext,
+		}
+		out, err := DecodeSyncMsg(in.Encode())
+		if err != nil {
+			return false
+		}
+		return out.PID == in.PID && out.Epoch == in.Epoch && out.Program == in.Program &&
+			bytes.Equal(out.Regs, in.Regs) && out.NextFD == in.NextFD && out.SignalNext == in.SignalNext
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodersNeverPanicOnArbitraryBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		// Every decoder must fail gracefully on corrupt payloads; the
+		// kernel drops bad messages rather than crashing the cluster.
+		DecodeSyncMsg(b)
+		DecodeBirthNotice(b)
+		DecodeOpenRequest(b)
+		DecodeOpenReply(b)
+		DecodePageOut(b)
+		DecodePageRequest(b)
+		DecodePageReply(b)
+		DecodeExitNotice(b)
+		DecodeCrashNotice(b)
+		DecodeBackupUp(b)
+		DecodeBackupImage(b)
+		DecodeServerSyncMsg(b)
+		DecodeProcRequest(b)
+		DecodeProcReply(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

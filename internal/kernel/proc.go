@@ -1,0 +1,546 @@
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"auragen/internal/guest"
+	"auragen/internal/memory"
+	"auragen/internal/routing"
+	"auragen/internal/types"
+	"auragen/internal/wire"
+)
+
+// Proc is the kernel's implementation of the guest.API syscall surface. One
+// Proc serves one process goroutine; it is not safe for concurrent use by
+// multiple goroutines, matching the single thread of control of a UNIX
+// process.
+type Proc struct {
+	k *Kernel
+	p *PCB
+}
+
+var _ guest.API = (*Proc)(nil)
+
+// PID implements guest.API.
+func (pr *Proc) PID() types.PID { return pr.p.pid }
+
+// Args implements guest.API.
+func (pr *Proc) Args() []byte { return pr.p.args }
+
+// Recovered implements guest.API.
+func (pr *Proc) Recovered() bool { return pr.p.recovered }
+
+// Space implements guest.API.
+func (pr *Proc) Space() *memory.AddressSpace { return pr.p.space }
+
+// Tick implements guest.API.
+func (pr *Proc) Tick(n uint64) {
+	pr.k.mu.Lock()
+	pr.p.ticksSinceSync += n
+	pr.k.mu.Unlock()
+}
+
+// IgnoreSignal implements guest.API.
+func (pr *Proc) IgnoreSignal(sig types.Signal, ignore bool) error {
+	pr.k.mu.Lock()
+	defer pr.k.mu.Unlock()
+	if ignore {
+		pr.p.sigIgnore[sig] = true
+	} else {
+		delete(pr.p.sigIgnore, sig)
+	}
+	return nil
+}
+
+// Write implements guest.API (§7.4.2: the message is placed on the
+// cluster's outgoing queue and the call returns).
+func (pr *Proc) Write(fd types.FD, data []byte) error {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.writeLocked(p, fd, types.KindData, data)
+}
+
+// writeLocked routes one outgoing message, applying the §5.4 redundant-send
+// suppression: if the channel's remaining writes-since-sync count is
+// positive the message was already sent by the failed primary, so the count
+// is decremented and the message discarded.
+func (k *Kernel) writeLocked(p *PCB, fd types.FD, kind types.Kind, data []byte) error {
+	ch, ok := p.fds[fd]
+	if !ok {
+		return fmt.Errorf("kernel: %s fd %d: %w", p.pid, fd, types.ErrBadFD)
+	}
+	e, ok := k.table.Lookup(ch, p.pid, routing.Primary)
+	if !ok || e.Closed {
+		return fmt.Errorf("kernel: %s %s: %w", p.pid, ch, types.ErrChannelClosed)
+	}
+	// A fullback peer that lost its backup is unusable until its new
+	// backup is announced (§7.10.1).
+	if e.Unusable {
+		if err := k.waitLocked(p, func() bool { return !e.Unusable }); err != nil {
+			return err
+		}
+	}
+	if n := p.suppress[ch]; n > 0 {
+		if n == 1 {
+			delete(p.suppress, ch)
+		} else {
+			p.suppress[ch] = n - 1
+		}
+		p.suppressTotal--
+		k.metrics.SuppressedSends.Add(1)
+		return nil
+	}
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	msg := &types.Message{
+		Kind:    kind,
+		Channel: ch,
+		Src:     p.pid,
+		Dst:     e.Peer,
+		Route:   e.Route(),
+		Payload: payload,
+	}
+	// Piggyback pending nondeterministic-event results (§10): the copy
+	// at the sender's backup logs them.
+	if len(p.nondetPending) > 0 && msg.Route.SrcBackup != types.NoCluster {
+		msg.Nondet = p.nondetPending
+		p.nondetPending = nil
+	}
+	k.sendLocked(msg)
+	return nil
+}
+
+// Read implements guest.API: block until a message arrives on fd (§7.5.1:
+// reads are synchronous; a read cannot return "no message found" because
+// the backup on roll-forward might not find its queue in the same state).
+func (pr *Proc) Read(fd types.FD) ([]byte, error) {
+	return pr.read(fd, true)
+}
+
+// read implements Read; gated selects whether this call is an
+// establishment pause point (true for direct guest reads by read-safe
+// guests; false for the reply half of Call, whose request half has already
+// escaped and must not be re-executed by a replay from a pause here).
+func (pr *Proc) read(fd types.FD, gated bool) ([]byte, error) {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ch, ok := p.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("kernel: %s fd %d: %w", p.pid, fd, types.ErrBadFD)
+	}
+	var msg *types.Message
+	for msg == nil {
+		// For guests whose reads are state-capturable points (the VM),
+		// a read is also an establishment pause point.
+		if gated && p.readSafe && (p.establishing || p.establishSyncPending) {
+			if _, err := k.establishGateLocked(p); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		interrupted := false
+		err := k.waitLocked(p, func() bool {
+			if gated && p.readSafe && (p.establishing || p.establishSyncPending) {
+				interrupted = true
+				return true
+			}
+			e, ok := k.table.Lookup(ch, p.pid, routing.Primary)
+			if !ok {
+				return false
+			}
+			m, ok := e.Dequeue()
+			if !ok {
+				return false
+			}
+			e.ReadsSinceSync++
+			p.readsSinceSync++
+			msg = m
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if interrupted {
+			continue
+		}
+	}
+	return msg.Payload, nil
+}
+
+// ReadAny implements guest.API: the bunch/which multiplexed read (§7.5.1).
+// Arrival sequence numbers make the choice deterministic and replicable by
+// the backup.
+func (pr *Proc) ReadAny(fds []types.FD) (types.FD, []byte, error) {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	var gotFD types.FD
+	var msg *types.Message
+	err := k.waitLocked(p, func() bool {
+		fd, e := k.lowestSeqLocked(p, fds)
+		if e == nil {
+			return false
+		}
+		m, _ := e.Dequeue()
+		e.ReadsSinceSync++
+		p.readsSinceSync++
+		gotFD, msg = fd, m
+		return true
+	})
+	if err != nil {
+		return types.NoFD, nil, err
+	}
+	return gotFD, msg.Payload, nil
+}
+
+// lowestSeqLocked finds the open descriptor among fds whose head message
+// has the lowest arrival sequence number.
+func (k *Kernel) lowestSeqLocked(p *PCB, fds []types.FD) (types.FD, *routing.Entry) {
+	var bestFD types.FD = types.NoFD
+	var bestEntry *routing.Entry
+	var bestSeq types.Seq
+	for _, fd := range fds {
+		ch, ok := p.fds[fd]
+		if !ok {
+			continue
+		}
+		e, ok := k.table.Lookup(ch, p.pid, routing.Primary)
+		if !ok {
+			continue
+		}
+		if m, ok := e.Peek(); ok && (bestEntry == nil || m.Seq < bestSeq) {
+			bestFD, bestEntry, bestSeq = fd, e, m.Seq
+		}
+	}
+	return bestFD, bestEntry
+}
+
+// Call implements guest.API: a write requiring an answer cannot return
+// until that answer arrives (§7.5.1).
+func (pr *Proc) Call(fd types.FD, req []byte) ([]byte, error) {
+	if err := pr.Write(fd, req); err != nil {
+		return nil, err
+	}
+	return pr.read(fd, false)
+}
+
+// callKind is Call with an explicit message kind (open requests).
+func (pr *Proc) callKind(fd types.FD, kind types.Kind, req []byte) ([]byte, error) {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	err := k.writeLocked(p, fd, kind, req)
+	k.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return pr.read(fd, false)
+}
+
+// Open implements guest.API (§7.4.1): an open request travels on the
+// preexisting file-server channel; the reply creates the routing entries
+// and is paired with a fresh descriptor.
+func (pr *Proc) Open(name string) (types.FD, error) {
+	k, p := pr.k, pr.p
+	req := &OpenRequest{
+		Opener:              p.pid,
+		Name:                name,
+		OpenerCluster:       k.id,
+		OpenerBackupCluster: p.backupCluster,
+	}
+	replyBytes, err := pr.callKind(0, types.KindOpenRequest, req.Encode())
+	if err != nil {
+		return types.NoFD, err
+	}
+	reply, err := DecodeOpenReply(replyBytes)
+	if err != nil {
+		return types.NoFD, err
+	}
+	if reply.Err != "" {
+		return types.NoFD, fmt.Errorf("kernel: open %q: %s", name, reply.Err)
+	}
+
+	return pr.bindChannel(reply)
+}
+
+// bindChannel installs the routing entry for a freshly opened or accepted
+// channel and assigns the next descriptor.
+func (pr *Proc) bindChannel(reply *OpenReply) (types.FD, error) {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	// The entry normally exists already (created when the open reply was
+	// dispatched); create it defensively otherwise.
+	if _, ok := k.table.Lookup(reply.Channel, p.pid, routing.Primary); !ok {
+		k.table.Add(&routing.Entry{
+			Channel:            reply.Channel,
+			Owner:              p.pid,
+			Peer:               reply.Peer,
+			Role:               routing.Primary,
+			PeerCluster:        reply.PeerCluster,
+			PeerBackupCluster:  reply.PeerBackupCluster,
+			OwnerBackupCluster: p.backupCluster,
+			PeerIsServer:       reply.PeerIsServer,
+		})
+	}
+	fd := p.nextFD
+	p.nextFD++
+	p.fds[fd] = reply.Channel
+	return fd, nil
+}
+
+// Accept implements guest.API: bind the channel announced by an accept
+// notice (an open reply delivered on a listening channel) to a fresh
+// descriptor.
+func (pr *Proc) Accept(notice []byte) (types.FD, error) {
+	reply, err := DecodeOpenReply(notice)
+	if err != nil {
+		return types.NoFD, err
+	}
+	if reply.Err != "" {
+		return types.NoFD, fmt.Errorf("kernel: accept: %s", reply.Err)
+	}
+	return pr.bindChannel(reply)
+}
+
+// Close implements guest.API. The entry is removed locally and reported in
+// the next sync message so the backup removes its entry too (§7.8).
+func (pr *Proc) Close(fd types.FD) error {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ch, ok := p.fds[fd]
+	if !ok {
+		return fmt.Errorf("kernel: %s fd %d: %w", p.pid, fd, types.ErrBadFD)
+	}
+	delete(p.fds, fd)
+	k.table.Remove(ch, p.pid, routing.Primary)
+	p.closedSinceSync = append(p.closedSinceSync, ch)
+	return nil
+}
+
+// NextEvent implements guest.API: the deterministic main-loop input point.
+//
+// Rules (in order):
+//  1. Ignored signals are consumed immediately and counted as reads
+//     (§7.5.2).
+//  2. If the last sync recorded "a signal is next" (signalNext), deliver
+//     it first — this reproduces the primary's handling point exactly.
+//  3. Otherwise, a pending unignored signal forces a sync just prior to
+//     handling (§7.5.2) — but not while roll-forward suppression counts
+//     remain, because the escaped send prefix must be regenerated from the
+//     same read sequence the primary executed before signals may
+//     reorder it.
+//  4. Otherwise deliver the lowest-arrival-sequence message across all
+//     open channels (bunch/which semantics, §7.5.1).
+func (pr *Proc) NextEvent() (guest.Event, error) {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	defer k.mu.Unlock()
+
+	for {
+		if p.crashed || k.crashed {
+			return guest.Event{}, types.ErrCrashed
+		}
+		if k.stopped {
+			return guest.Event{}, types.ErrShutdown
+		}
+
+		// NextEvent is a state-capturable boundary: pause here during
+		// online backup establishment, and run the establishment sync
+		// before consuming anything afterwards.
+		if p.establishing || p.establishSyncPending {
+			retry, err := k.establishGateLocked(p)
+			if err != nil {
+				return guest.Event{}, err
+			}
+			if retry {
+				continue
+			}
+		}
+
+		sigEntry, _ := k.table.Lookup(p.signalCh, p.pid, routing.Primary)
+
+		// Rule 1: consume ignored signals.
+		if sigEntry != nil {
+			for {
+				m, ok := sigEntry.Peek()
+				if !ok {
+					break
+				}
+				sig := decodeSignal(m)
+				if !p.sigIgnore[sig] {
+					break
+				}
+				sigEntry.Dequeue()
+				sigEntry.ReadsSinceSync++
+				p.readsSinceSync++
+			}
+		}
+
+		// Rule 2: a sync recorded the signal-handling point.
+		if p.signalNext {
+			if sigEntry != nil {
+				if m, ok := sigEntry.Dequeue(); ok {
+					sigEntry.ReadsSinceSync++
+					p.readsSinceSync++
+					p.signalNext = false
+					return guest.Event{Signal: decodeSignal(m), IsSignal: true}, nil
+				}
+			}
+			p.signalNext = false
+		}
+
+		// Rule 3: sync just prior to handling a pending signal.
+		if p.suppressTotal == 0 && sigEntry != nil && sigEntry.QueueLen() > 0 {
+			k.mu.Unlock()
+			err := k.syncProcess(p, true)
+			k.mu.Lock()
+			if err != nil {
+				return guest.Event{}, err
+			}
+			continue
+		}
+
+		// Rule 4: lowest-sequence message across open channels.
+		if fd, e := k.lowestSeqLocked(p, sortedFDs(p)); e != nil {
+			m, _ := e.Dequeue()
+			e.ReadsSinceSync++
+			p.readsSinceSync++
+			return guest.Event{FD: fd, Data: m.Payload}, nil
+		}
+
+		p.cond.Wait()
+	}
+}
+
+// SyncPoint implements guest.API: synchronize if a trigger has fired
+// (§7.8). It is also the universal establishment pause point — the guest
+// has declared its state capturable here.
+func (pr *Proc) SyncPoint() error {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	for p.establishing || p.establishSyncPending {
+		if _, err := k.establishGateLocked(p); err != nil {
+			k.mu.Unlock()
+			return err
+		}
+	}
+	due := p.readsSinceSync >= p.syncReads || p.ticksSinceSync >= p.syncTicks
+	k.mu.Unlock()
+	if !due {
+		return nil
+	}
+	return k.syncProcess(p, false)
+}
+
+// Time implements guest.API (§7.5.1: "Time sends a request via message,
+// and receives its answer via message. The backup will have the same
+// response available.")
+func (pr *Proc) Time() (int64, error) {
+	reply, err := pr.Call(1, EncodeProcRequest(ProcOpTime, 0))
+	if err != nil {
+		return 0, err
+	}
+	op, val, err := DecodeProcReply(reply)
+	if err != nil || op != ProcOpTime {
+		return 0, fmt.Errorf("kernel: bad time reply: %v", err)
+	}
+	return int64(val), nil
+}
+
+// Alarm implements guest.API (§7.5.2).
+func (pr *Proc) Alarm(d time.Duration) error {
+	return pr.Write(1, EncodeProcRequest(ProcOpAlarm, uint64(d)))
+}
+
+// Nondet implements guest.API (§10): log-and-replay for nondeterministic
+// events, piggybacked on outgoing messages.
+func (pr *Proc) Nondet(compute func() uint64) (uint64, error) {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	if p.crashed || k.crashed {
+		k.mu.Unlock()
+		return 0, types.ErrCrashed
+	}
+	if len(p.nondetLog) > 0 {
+		v := p.nondetLog[0]
+		p.nondetLog = p.nondetLog[1:]
+		k.mu.Unlock()
+		return v, nil
+	}
+	k.mu.Unlock()
+	// Run the event outside the kernel lock (it is guest code).
+	v := compute()
+	k.mu.Lock()
+	p.nondetPending = append(p.nondetPending, v)
+	k.mu.Unlock()
+	return v, nil
+}
+
+// Fork implements guest.API (§7.7).
+func (pr *Proc) Fork(program string, args []byte) (types.PID, error) {
+	k, p := pr.k, pr.p
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p.crashed || k.crashed {
+		return types.NoPID, types.ErrCrashed
+	}
+	return k.forkLocked(p, program, args)
+}
+
+// decodeSignal extracts the signal number from a KindSignal message.
+func decodeSignal(m *types.Message) types.Signal {
+	if len(m.Payload) == 0 {
+		return types.SigNone
+	}
+	return types.Signal(m.Payload[0])
+}
+
+// Process-server request ops, shared by the kernel syscalls and the
+// process server implementation.
+const (
+	// ProcOpTime asks for the current time in nanoseconds.
+	ProcOpTime uint8 = 1
+	// ProcOpAlarm schedules a SigAlarm after the given number of
+	// nanoseconds.
+	ProcOpAlarm uint8 = 2
+	// ProcOpWhere asks for the cluster currently hosting a pid.
+	ProcOpWhere uint8 = 3
+	// ProcOpCount asks for the number of known processes.
+	ProcOpCount uint8 = 4
+)
+
+// EncodeProcRequest builds a process-server request.
+func EncodeProcRequest(op uint8, arg uint64) []byte {
+	w := wire.NewWriter(9)
+	w.U8(op)
+	w.U64(arg)
+	return w.Bytes()
+}
+
+// DecodeProcRequest parses a process-server request.
+func DecodeProcRequest(b []byte) (op uint8, arg uint64, err error) {
+	r := wire.NewReader(b)
+	op = r.U8()
+	arg = r.U64()
+	return op, arg, r.Done()
+}
+
+// EncodeProcReply builds a process-server reply.
+func EncodeProcReply(op uint8, val uint64) []byte {
+	w := wire.NewWriter(9)
+	w.U8(op)
+	w.U64(val)
+	return w.Bytes()
+}
+
+// DecodeProcReply parses a process-server reply.
+func DecodeProcReply(b []byte) (op uint8, val uint64, err error) {
+	r := wire.NewReader(b)
+	op = r.U8()
+	val = r.U64()
+	return op, val, r.Done()
+}

@@ -1,0 +1,333 @@
+package kernel
+
+import (
+	"sort"
+
+	"auragen/internal/directory"
+	"auragen/internal/memory"
+	"auragen/internal/routing"
+	"auragen/internal/trace"
+	"auragen/internal/types"
+)
+
+// syncProcess synchronizes a primary with its backup (§7.8). It runs on the
+// process's own goroutine ("the sync operation at the primary's end"), in
+// two parts:
+//
+//  1. The paging mechanism ships every page modified since the last sync to
+//     the page server.
+//  2. A sync message carrying the cluster-independent state and per-channel
+//     information goes to the backup's cluster, the page server, and the
+//     page server's backup — one atomic bus multicast, so "the page account
+//     will not be updated unless the backup definitely is brought up to the
+//     state of the primary."
+//
+// The primary continues as soon as both are on the outgoing queue. If the
+// cluster crashes before the sync message leaves, the backup simply takes
+// over from the previous sync; outgoing FIFO order guarantees no later
+// message overtakes the sync message (§7.8).
+//
+// signalNext records that the process is about to handle an asynchronous
+// signal (§7.5.2); the backup then handles that signal first on recovery,
+// at exactly the same place as the primary.
+func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
+	k.mu.Lock()
+	backup := p.backupCluster
+	if p.crashed || k.crashed {
+		k.mu.Unlock()
+		return types.ErrCrashed
+	}
+	if backup == types.NoCluster {
+		// No backup exists (quarterback after a crash, or fault tolerance
+		// disabled): reset the trigger counters but KEEP the dirty set and
+		// the channel/children deltas accumulating — a later online
+		// establishment (§7.3 halfback re-backup) ships exactly the pages
+		// modified since the last page-out, and must not find them
+		// discarded.
+		p.readsSinceSync = 0
+		p.ticksSinceSync = 0
+		for _, e := range k.table.OwnedBy(p.pid, routing.Primary) {
+			e.ReadsSinceSync = 0
+		}
+		if signalNext {
+			p.signalNext = true
+		}
+		k.mu.Unlock()
+		return nil
+	}
+	k.mu.Unlock()
+
+	// Part 1a: let the guest put all of its state into the address space.
+	// Guest code runs outside the kernel lock, in "user mode".
+	p.g.FlushState()
+	regs := p.g.MarshalRegs()
+
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p.crashed || k.crashed {
+		return types.ErrCrashed
+	}
+
+	pagerLoc, _ := k.dir.Service(directory.PIDPageServer)
+	epoch := p.epoch + 1
+
+	// An establishment sync reports zero reads: the new backup's save
+	// queues contain only unread messages (see establish.go).
+	zeroReads := p.establishSyncPending
+	p.establishSyncPending = false
+
+	// Part 1b: ship dirty pages to the page server (primary account). In
+	// the baseline mode the entire resident data space goes instead,
+	// reproducing the §2 strawman's cost profile.
+	var pages []memory.Page
+	if p.fullCheckpoint {
+		pages = p.space.SnapshotAll()
+		p.space.ClearDirty()
+	} else {
+		pages = p.space.TakeDirty()
+	}
+	for _, pg := range pages {
+		po := &PageOut{PID: p.pid, Epoch: epoch, From: k.id, Page: pg}
+		k.sendLocked(&types.Message{
+			Kind:    types.KindPageOut,
+			Src:     p.pid,
+			Dst:     directory.PIDPageServer,
+			Route:   types.Route{Dst: pagerLoc.Primary, DstBackup: pagerLoc.Backup, SrcBackup: types.NoCluster},
+			Payload: po.Encode(),
+		})
+		k.metrics.PagesOut.Add(1)
+		k.metrics.PageBytes.Add(uint64(len(pg.Data)))
+	}
+
+	// Part 2: construct and send the sync message.
+	sm := &SyncMsg{
+		PID:            p.pid,
+		Epoch:          epoch,
+		Program:        p.program,
+		Mode:           p.mode,
+		Family:         p.family,
+		Parent:         p.parent,
+		Args:           p.args,
+		PrimaryCluster: k.id,
+		Regs:           regs,
+		NextFD:         p.nextFD,
+		SignalNext:     signalNext,
+		SigIgnore:      sigSetToSlice(p.sigIgnore),
+		SignalChannel:  p.signalCh,
+		ClosedChannels: p.closedSinceSync,
+		FreePIDs:       p.exitedChildren,
+	}
+	for _, fd := range sortedFDs(p) {
+		ch := p.fds[fd]
+		e, ok := k.table.Lookup(ch, p.pid, routing.Primary)
+		if !ok {
+			continue
+		}
+		reads := e.ReadsSinceSync
+		if zeroReads {
+			reads = 0
+		}
+		sm.Channels = append(sm.Channels, ChannelInfo{
+			Channel:           ch,
+			FD:                fd,
+			Reads:             reads,
+			Peer:              e.Peer,
+			PeerCluster:       e.PeerCluster,
+			PeerBackupCluster: e.PeerBackupCluster,
+			PeerIsServer:      e.PeerIsServer,
+		})
+		e.ReadsSinceSync = 0
+	}
+	if sigE, ok := k.table.Lookup(p.signalCh, p.pid, routing.Primary); ok {
+		reads := sigE.ReadsSinceSync
+		if zeroReads {
+			reads = 0
+		}
+		sm.Channels = append(sm.Channels, ChannelInfo{
+			Channel: p.signalCh,
+			FD:      types.NoFD,
+			Reads:   reads,
+			Peer:    directory.PIDKernel,
+		})
+		sigE.ReadsSinceSync = 0
+	}
+	if p.suppressTotal > 0 {
+		sm.Suppress = make(map[types.ChannelID]uint32, len(p.suppress))
+		for ch, n := range p.suppress {
+			sm.Suppress[ch] = n
+		}
+	}
+	if len(p.nondetLog) > 0 {
+		sm.NondetRemaining = append([]uint64(nil), p.nondetLog...)
+	}
+	if zeroReads {
+		sm.Establish = true
+		sm.EstablishDupes = p.establishDupes
+		p.establishDupes = nil
+	}
+	// Events captured by this sync need no log entry anymore.
+	p.nondetPending = nil
+
+	k.sendLocked(&types.Message{
+		Kind:    types.KindSync,
+		Src:     p.pid,
+		Dst:     p.pid,
+		Route:   types.Route{Dst: backup, DstBackup: pagerLoc.Primary, SrcBackup: pagerLoc.Backup},
+		Payload: sm.Encode(),
+	})
+
+	p.epoch = epoch
+	p.readsSinceSync = 0
+	p.ticksSinceSync = 0
+	p.closedSinceSync = nil
+	p.exitedChildren = nil
+	p.signalNext = signalNext
+	k.metrics.Syncs.Add(1)
+	if signalNext {
+		k.metrics.SyncForced.Add(1)
+	}
+	k.log.Add(trace.EvSync, p.pid.String())
+	return nil
+}
+
+// dispatchSync handles a KindSync arrival: the backup's kernel brings the
+// backup record up to the primary's state; the page server (and its mirror)
+// commits the backup page account for the same epoch. One cluster may play
+// both roles.
+func (k *Kernel) dispatchSync(m *types.Message) {
+	sm, err := DecodeSyncMsg(m.Payload)
+	if err != nil {
+		return
+	}
+	if m.Route.Dst == k.id {
+		k.applySyncLocked(sm)
+	}
+	if k.pager != nil && (m.Route.DstBackup == k.id || m.Route.SrcBackup == k.id) {
+		k.pager.HandleSyncCommit(sm.PID, sm.Epoch)
+		if len(sm.FreePIDs) > 0 {
+			k.pager.HandleFree(sm.FreePIDs)
+		}
+	}
+}
+
+// applySyncLocked updates the backup record and its routing entries from a
+// sync message (§7.8, backup side): bind new channels to fds, remove closed
+// channels, discard messages the primary already read, and reset the
+// writes-since-sync counts.
+func (k *Kernel) applySyncLocked(sm *SyncMsg) {
+	b, ok := k.backups[sm.PID]
+	if !ok {
+		// First sync of a process whose birth record was lost (or a
+		// head-of-family spawned before this cluster joined): create the
+		// record now — §7.7: "the first sync causes the backup to be
+		// created."
+		b = &BackupPCB{pid: sm.PID}
+		k.backups[sm.PID] = b
+	}
+	if !b.synced {
+		b.synced = true
+		k.metrics.BackupsCreated.Add(1)
+	}
+	b.program = sm.Program
+	b.args = sm.Args
+	b.mode = sm.Mode
+	b.family = sm.Family
+	b.parent = sm.Parent
+	b.primaryCluster = sm.PrimaryCluster
+	b.epoch = sm.Epoch
+	b.regs = sm.Regs
+	b.nextFD = sm.NextFD
+	b.signalNext = sm.SignalNext
+	b.sigIgnore = sigSliceToSet(sm.SigIgnore)
+	b.signalCh = sm.SignalChannel
+	b.fds = make(map[types.FD]types.ChannelID, len(sm.Channels))
+
+	for _, ci := range sm.Channels {
+		if ci.FD != types.NoFD {
+			b.fds[ci.FD] = ci.Channel
+		}
+		e, ok := k.table.Lookup(ci.Channel, sm.PID, routing.Backup)
+		if !ok {
+			e = &routing.Entry{
+				Channel:            ci.Channel,
+				Owner:              sm.PID,
+				Peer:               ci.Peer,
+				Role:               routing.Backup,
+				PeerCluster:        ci.PeerCluster,
+				PeerBackupCluster:  ci.PeerBackupCluster,
+				OwnerBackupCluster: k.id,
+				PeerIsServer:       ci.PeerIsServer,
+			}
+			k.table.Add(e)
+		}
+		if ci.Reads > 0 {
+			n := e.DiscardFront(ci.Reads)
+			k.metrics.MessagesDiscarded.Add(uint64(n))
+		}
+	}
+	for _, ch := range sm.ClosedChannels {
+		k.table.Remove(ch, sm.PID, routing.Backup)
+	}
+	// Reset the writes-since-sync counts: normally to zero, or to the
+	// still-recovering primary's outstanding suppression debt.
+	for _, e := range k.table.OwnedBy(sm.PID, routing.Backup) {
+		e.WritesSinceSync = sm.Suppress[e.Channel]
+	}
+	if sm.Establish {
+		k.rebuildEstablishQueuesLocked(sm)
+	}
+	// Likewise the nondet log (§10): events before the sync are part of
+	// the captured state.
+	if len(sm.NondetRemaining) > 0 {
+		k.nondetLogs[sm.PID] = append([]uint64(nil), sm.NondetRemaining...)
+	} else {
+		delete(k.nondetLogs, sm.PID)
+	}
+	k.freePIDsLocked(sm.FreePIDs)
+}
+
+// rebuildEstablishQueuesLocked reorders a freshly established backup's
+// saved queues after the establishment sync arrives: forwarded copies
+// (save-only routes) represent the primary's pre-cutover queue and come
+// first, in their original order; direct copies follow, minus the earliest
+// EstablishDupes[ch] per channel, which double-cover forwarded originals
+// (their senders had already switched routes). Sequence numbers are
+// re-stamped so which/lowest-seq replay follows the rebuilt order.
+func (k *Kernel) rebuildEstablishQueuesLocked(sm *SyncMsg) {
+	entries := k.table.OwnedBy(sm.PID, routing.Backup)
+	type saved struct {
+		e *routing.Entry
+		m *types.Message
+	}
+	var forwards, directs []saved
+	for _, e := range entries {
+		for i, n := 0, e.QueueLen(); i < n; i++ {
+			m, _ := e.Dequeue()
+			if m.Route.Dst == types.NoCluster {
+				forwards = append(forwards, saved{e, m})
+			} else {
+				directs = append(directs, saved{e, m})
+			}
+		}
+	}
+	sort.SliceStable(forwards, func(i, j int) bool { return forwards[i].m.Seq < forwards[j].m.Seq })
+	sort.SliceStable(directs, func(i, j int) bool { return directs[i].m.Seq < directs[j].m.Seq })
+	drop := make(map[types.ChannelID]uint32, len(sm.EstablishDupes))
+	for ch, n := range sm.EstablishDupes {
+		drop[ch] = n
+	}
+	for _, s := range forwards {
+		k.arrival++
+		s.m.Seq = k.arrival
+		s.e.Enqueue(s.m)
+	}
+	for _, s := range directs {
+		if n := drop[s.m.Channel]; n > 0 {
+			drop[s.m.Channel] = n - 1
+			continue
+		}
+		k.arrival++
+		s.m.Seq = k.arrival
+		s.e.Enqueue(s.m)
+	}
+}

@@ -1,0 +1,62 @@
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+func BenchmarkWriteAt(b *testing.B) {
+	for _, span := range []int{8, 256, 4096} {
+		b.Run(fmt.Sprintf("span=%d", span), func(b *testing.B) {
+			a := NewAddressSpace(1024)
+			data := make([]byte, span)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data[0] = byte(i) // force a real change
+				a.WriteAt(int64(i%64)*1024, data)
+			}
+		})
+	}
+}
+
+func BenchmarkTakeDirty(b *testing.B) {
+	for _, pages := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("pages=%d", pages), func(b *testing.B) {
+			a := NewAddressSpace(1024)
+			stamp := make([]byte, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(stamp, uint64(i)+1)
+				for p := 0; p < pages; p++ {
+					a.WriteAt(int64(p)*1024, stamp)
+				}
+				if got := a.TakeDirty(); len(got) != pages {
+					b.Fatalf("dirty = %d", len(got))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKVFlush(b *testing.B) {
+	for _, keys := range []int{16, 256} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			kv, _ := NewKV(NewAddressSpace(1024))
+			for i := 0; i < keys; i++ {
+				kv.PutUint64(fmt.Sprintf("key/%04d", i), uint64(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kv.PutUint64("key/0000", uint64(i))
+				kv.Flush()
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"auragen/internal/wire"
+)
+
+// KV is a deterministic key/value heap stored inside an AddressSpace.
+//
+// Guest programs keep all mutable state here so that the process state is
+// exactly its address space, as the paper requires: the sync snapshot
+// ("changes in the address space", §7.8) then captures guest state with
+// page granularity, and restoring the backup page account reconstitutes the
+// guest byte-for-byte.
+//
+// Mutations are buffered in an ordinary map; Flush serializes the map into
+// the address space with sorted keys so identical logical states produce
+// identical bytes (and therefore identical dirty-page sets across primary
+// and backup). The kernel calls Flush as the first step of every sync.
+type KV struct {
+	space *AddressSpace
+	data  map[string][]byte
+	// flushedLen is the length of the last serialized image, so Flush can
+	// zero the tail when the heap shrinks.
+	flushedLen int
+}
+
+const kvMagic uint32 = 0x41555232 // "AUR2"
+
+// NewKV returns a KV backed by space, initialized from the bytes already
+// present there (an empty space yields an empty heap). Recovery constructs
+// a KV over the restored page account to recover guest state.
+func NewKV(space *AddressSpace) (*KV, error) {
+	kv := &KV{space: space, data: make(map[string][]byte)}
+	if err := kv.load(); err != nil {
+		return nil, err
+	}
+	return kv, nil
+}
+
+// load deserializes the heap image at offset 0 of the address space.
+func (kv *KV) load() error {
+	var hdr [8]byte
+	kv.space.ReadAt(0, hdr[:])
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	if magic == 0 {
+		// Fresh address space: empty heap.
+		kv.flushedLen = 0
+		return nil
+	}
+	if magic != kvMagic {
+		return fmt.Errorf("memory: KV heap has bad magic %#x", magic)
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > wire.MaxBytes {
+		return fmt.Errorf("memory: KV heap length %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	kv.space.ReadAt(8, body)
+	r := wire.NewReader(body)
+	count := r.U32()
+	for i := uint32(0); i < count; i++ {
+		k := r.String()
+		v := r.Bytes32()
+		if r.Err() != nil {
+			break
+		}
+		kv.data[k] = v
+	}
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("memory: KV heap corrupt: %w", err)
+	}
+	kv.flushedLen = 8 + int(n)
+	return nil
+}
+
+// Flush serializes the heap into the address space. Only bytes that differ
+// from the previous image dirty their pages (WriteAt diffs), so the sync
+// cost tracks the amount of state actually changed.
+func (kv *KV) Flush() {
+	keys := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := wire.NewWriter(64 + kv.flushedLen)
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.Bytes32(kv.data[k])
+	}
+	body := w.Bytes()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], kvMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	kv.space.WriteAt(0, hdr[:])
+	kv.space.WriteAt(8, body)
+	newLen := 8 + len(body)
+	if newLen < kv.flushedLen {
+		// Zero the stale tail so shrink + regrow cannot resurrect old
+		// bytes and the image stays canonical.
+		kv.space.WriteAt(int64(newLen), make([]byte, kv.flushedLen-newLen))
+	}
+	kv.flushedLen = newLen
+}
+
+// Get returns the value stored under key and whether it was present. The
+// returned slice is the stored one; callers must not mutate it (use Put).
+func (kv *KV) Get(key string) ([]byte, bool) {
+	v, ok := kv.data[key]
+	return v, ok
+}
+
+// Put stores a copy of value under key.
+func (kv *KV) Put(key string, value []byte) {
+	c := make([]byte, len(value))
+	copy(c, value)
+	kv.data[key] = c
+}
+
+// Delete removes key if present.
+func (kv *KV) Delete(key string) { delete(kv.data, key) }
+
+// Len returns the number of keys.
+func (kv *KV) Len() int { return len(kv.data) }
+
+// Keys returns every key in sorted order.
+func (kv *KV) Keys() []string {
+	keys := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GetString returns the value under key as a string ("" if absent).
+func (kv *KV) GetString(key string) string {
+	v, _ := kv.Get(key)
+	return string(v)
+}
+
+// PutString stores a string value.
+func (kv *KV) PutString(key, value string) { kv.Put(key, []byte(value)) }
+
+// GetUint64 returns the value under key as a uint64 (0 if absent or
+// malformed).
+func (kv *KV) GetUint64(key string) uint64 {
+	v, ok := kv.Get(key)
+	if !ok || len(v) != 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+// PutUint64 stores a uint64 value.
+func (kv *KV) PutUint64(key string, value uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], value)
+	kv.Put(key, b[:])
+}
+
+// GetInt64 returns the value under key as an int64 (0 if absent).
+func (kv *KV) GetInt64(key string) int64 { return int64(kv.GetUint64(key)) }
+
+// PutInt64 stores an int64 value.
+func (kv *KV) PutInt64(key string, value int64) { kv.PutUint64(key, uint64(value)) }
+
+// Add adds delta to the int64 stored under key and returns the new value.
+func (kv *KV) Add(key string, delta int64) int64 {
+	v := kv.GetInt64(key) + delta
+	kv.PutInt64(key, v)
+	return v
+}

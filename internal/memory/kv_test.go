@@ -1,0 +1,194 @@
+package memory
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVBasicOps(t *testing.T) {
+	kv, err := NewKV(NewAddressSpace(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.Put("a", []byte{1, 2})
+	kv.PutString("b", "hello")
+	kv.PutUint64("c", 99)
+	kv.PutInt64("d", -5)
+
+	if v, ok := kv.Get("a"); !ok || !bytes.Equal(v, []byte{1, 2}) {
+		t.Errorf("Get(a) = %v, %v", v, ok)
+	}
+	if got := kv.GetString("b"); got != "hello" {
+		t.Errorf("GetString(b) = %q", got)
+	}
+	if got := kv.GetUint64("c"); got != 99 {
+		t.Errorf("GetUint64(c) = %d", got)
+	}
+	if got := kv.GetInt64("d"); got != -5 {
+		t.Errorf("GetInt64(d) = %d", got)
+	}
+	kv.Delete("a")
+	if _, ok := kv.Get("a"); ok {
+		t.Error("Delete did not remove key")
+	}
+	if kv.Len() != 3 {
+		t.Errorf("Len = %d, want 3", kv.Len())
+	}
+	if got := kv.Add("counter", 4); got != 4 {
+		t.Errorf("Add = %d", got)
+	}
+	if got := kv.Add("counter", -1); got != 3 {
+		t.Errorf("Add = %d", got)
+	}
+}
+
+func TestKVPutCopies(t *testing.T) {
+	kv, _ := NewKV(NewAddressSpace(64))
+	buf := []byte{1, 2, 3}
+	kv.Put("k", buf)
+	buf[0] = 9
+	if v, _ := kv.Get("k"); v[0] != 1 {
+		t.Fatal("Put did not copy the value")
+	}
+}
+
+func TestKVFlushLoadRoundTrip(t *testing.T) {
+	space := NewAddressSpace(128)
+	kv, _ := NewKV(space)
+	kv.PutString("account/alice", "100")
+	kv.PutString("account/bob", "250")
+	kv.PutUint64("txcount", 7)
+	kv.Flush()
+
+	// Reconstructing over the same space (as recovery does over a restored
+	// page account) must see identical state.
+	kv2, err := NewKV(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := kv2.GetString("account/alice"); got != "100" {
+		t.Errorf("alice = %q", got)
+	}
+	if got := kv2.GetString("account/bob"); got != "250" {
+		t.Errorf("bob = %q", got)
+	}
+	if got := kv2.GetUint64("txcount"); got != 7 {
+		t.Errorf("txcount = %d", got)
+	}
+}
+
+func TestKVFlushDeterministic(t *testing.T) {
+	// Same logical content inserted in different orders must serialize to
+	// identical bytes, so primary and backup dirty identical pages.
+	s1 := NewAddressSpace(64)
+	s2 := NewAddressSpace(64)
+	kv1, _ := NewKV(s1)
+	kv2, _ := NewKV(s2)
+	kv1.PutString("x", "1")
+	kv1.PutString("y", "2")
+	kv1.PutString("z", "3")
+	kv2.PutString("z", "3")
+	kv2.PutString("x", "1")
+	kv2.PutString("y", "2")
+	kv1.Flush()
+	kv2.Flush()
+	if !Equal(s1, s2) {
+		t.Fatal("insertion order leaked into serialized image")
+	}
+}
+
+func TestKVShrinkThenRegrow(t *testing.T) {
+	space := NewAddressSpace(64)
+	kv, _ := NewKV(space)
+	kv.PutString("big", "0123456789012345678901234567890123456789")
+	kv.Flush()
+	kv.Delete("big")
+	kv.PutString("s", "x")
+	kv.Flush()
+	kv2, err := NewKV(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv2.Len() != 1 || kv2.GetString("s") != "x" {
+		t.Fatalf("after shrink: keys=%v", kv2.Keys())
+	}
+	// Regrowing must not resurrect stale bytes.
+	kv2.PutString("big2", "abcdefghijabcdefghijabcdefghij")
+	kv2.Flush()
+	kv3, err := NewKV(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv3.GetString("big2") != "abcdefghijabcdefghijabcdefghij" {
+		t.Fatal("regrown value corrupt")
+	}
+}
+
+func TestKVUnchangedFlushDirtiesNothing(t *testing.T) {
+	space := NewAddressSpace(64)
+	kv, _ := NewKV(space)
+	kv.PutString("k", "v")
+	kv.Flush()
+	space.ClearDirty()
+	kv.Flush() // no logical change
+	if n := space.DirtyCount(); n != 0 {
+		t.Fatalf("no-op Flush dirtied %d pages", n)
+	}
+}
+
+func TestKVCorruptMagicRejected(t *testing.T) {
+	space := NewAddressSpace(64)
+	space.WriteAt(0, []byte{0xde, 0xad, 0xbe, 0xef, 1, 0, 0, 0})
+	if _, err := NewKV(space); err == nil {
+		t.Fatal("corrupt heap accepted")
+	}
+}
+
+func TestKVQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := NewAddressSpace(128)
+		kv, _ := NewKV(space)
+		shadow := make(map[string]string)
+		for i := 0; i < 50; i++ {
+			k := fmt.Sprintf("key%d", rng.Intn(20))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("val%d", rng.Int63())
+				kv.PutString(k, v)
+				shadow[k] = v
+			case 2:
+				kv.Delete(k)
+				delete(shadow, k)
+			}
+			if rng.Intn(5) == 0 {
+				kv.Flush()
+				reloaded, err := NewKV(space)
+				if err != nil {
+					return false
+				}
+				kv = reloaded
+			}
+		}
+		kv.Flush()
+		final, err := NewKV(space)
+		if err != nil {
+			return false
+		}
+		if final.Len() != len(shadow) {
+			return false
+		}
+		for k, v := range shadow {
+			if final.GetString(k) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

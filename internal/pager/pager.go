@@ -1,0 +1,326 @@
+// Package pager implements the global page server of §7.6: it keeps one
+// page account for each primary process and another for its backup. The
+// backup's account always contains the modified pages in their state as of
+// the last synchronization; the sync message commits the primary's account
+// onto the backup's, after which "only one copy of each page will exist" —
+// accounts share blocks until the primary modifies a page again.
+//
+// Deployment note (see DESIGN.md substitutions): the paper's page server is
+// a memory-locked peripheral server whose data lives on dual-ported disk.
+// Here each of the two page-server clusters runs one Server instance over
+// its own mirror of the disk pair. Both instances consume the identical,
+// totally ordered stream of page-outs, sync commits, and frees from the
+// bus, so they are deterministic replicas; when either cluster fails, the
+// survivor is already current, which is what lets recovery begin
+// immediately (§7.10.2: "Page servers and file servers must be available to
+// supply pages demanded by user processes' backups").
+package pager
+
+import (
+	"sort"
+	"sync"
+
+	"auragen/internal/disk"
+	"auragen/internal/kernel"
+	"auragen/internal/memory"
+	"auragen/internal/types"
+)
+
+// account maps page numbers to disk blocks.
+type account map[memory.PageNo]disk.BlockID
+
+// Server is one page-server instance. It implements kernel.PagerSink.
+type Server struct {
+	cluster types.ClusterID
+	disk    *disk.Disk
+
+	mu      sync.Mutex
+	primary map[types.PID]account
+	backup  map[types.PID]account
+	// epoch tracks the last committed epoch per pid.
+	epoch map[types.PID]types.Epoch
+	// primaryCluster records where each pid's primary last paged out
+	// from, so a crash rolls back exactly the accounts of lost primaries.
+	primaryCluster map[types.PID]types.ClusterID
+	// refs counts how many account slots reference each block, so blocks
+	// shared by primary and backup accounts are freed exactly once.
+	refs map[disk.BlockID]int
+}
+
+var _ kernel.PagerSink = (*Server)(nil)
+
+// New creates a page-server instance for the given cluster over its disk
+// mirror.
+func New(cluster types.ClusterID, d *disk.Disk) *Server {
+	return &Server{
+		cluster:        cluster,
+		disk:           d,
+		primary:        make(map[types.PID]account),
+		backup:         make(map[types.PID]account),
+		epoch:          make(map[types.PID]types.Epoch),
+		primaryCluster: make(map[types.PID]types.ClusterID),
+		refs:           make(map[disk.BlockID]int),
+	}
+}
+
+func (s *Server) incRef(b disk.BlockID) { s.refs[b]++ }
+
+func (s *Server) decRef(b disk.BlockID) {
+	s.refs[b]--
+	if s.refs[b] <= 0 {
+		delete(s.refs, b)
+		_ = s.disk.Free(s.cluster, b)
+	}
+}
+
+// HandlePageOut adds one modified page to the primary's account ("The page
+// server sees no difference between these pages and any other it receives.
+// It simply adds them to the primary's page account", §7.8).
+func (s *Server) HandlePageOut(po *kernel.PageOut) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.disk.Alloc(s.cluster)
+	if err != nil {
+		return
+	}
+	if err := s.disk.Write(s.cluster, id, po.Page.Data); err != nil {
+		return
+	}
+	acct := s.primary[po.PID]
+	if acct == nil {
+		acct = make(account)
+		s.primary[po.PID] = acct
+	}
+	if old, ok := acct[po.Page.No]; ok {
+		s.decRef(old)
+	}
+	acct[po.Page.No] = id
+	s.incRef(id)
+	s.primaryCluster[po.PID] = po.From
+}
+
+// HandleSyncCommit makes the backup's account identical to the primary's
+// (§7.8). Blocks become shared; two copies are kept only of pages modified
+// after this commit.
+func (s *Server) HandleSyncCommit(pid types.PID, epoch types.Epoch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.backup[pid]
+	fresh := make(account, len(s.primary[pid]))
+	for no, b := range s.primary[pid] {
+		fresh[no] = b
+		s.incRef(b)
+	}
+	s.backup[pid] = fresh
+	s.epoch[pid] = epoch
+	for _, b := range old {
+		s.decRef(b)
+	}
+}
+
+// HandleCrash rolls every process that ran on the crashed cluster back to
+// its committed state: page-outs after the last sync commit are discarded
+// (the sync message that would have committed them never escaped the
+// crashed cluster, or arrived and committed them already — §7.8's
+// atomicity argument).
+func (s *Server) HandleCrash(crashed types.ClusterID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for pid, where := range s.primaryCluster {
+		if where != crashed {
+			continue
+		}
+		old := s.primary[pid]
+		fresh := make(account, len(s.backup[pid]))
+		for no, b := range s.backup[pid] {
+			fresh[no] = b
+			s.incRef(b)
+		}
+		s.primary[pid] = fresh
+		for _, b := range old {
+			s.decRef(b)
+		}
+		delete(s.primaryCluster, pid)
+	}
+}
+
+// HandleCrashPID rolls one process's primary account back to its committed
+// backup account (a single-process failure, §10).
+func (s *Server) HandleCrashPID(pid types.PID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, known := s.primaryCluster[pid]; !known {
+		if _, any := s.primary[pid]; !any {
+			return
+		}
+	}
+	old := s.primary[pid]
+	fresh := make(account, len(s.backup[pid]))
+	for no, b := range s.backup[pid] {
+		fresh[no] = b
+		s.incRef(b)
+	}
+	s.primary[pid] = fresh
+	for _, b := range old {
+		s.decRef(b)
+	}
+	delete(s.primaryCluster, pid)
+}
+
+// HandleFree releases both accounts of the given pids (exited processes).
+func (s *Server) HandleFree(pids []types.PID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, pid := range pids {
+		for _, b := range s.primary[pid] {
+			s.decRef(b)
+		}
+		for _, b := range s.backup[pid] {
+			s.decRef(b)
+		}
+		delete(s.primary, pid)
+		delete(s.backup, pid)
+		delete(s.epoch, pid)
+		delete(s.primaryCluster, pid)
+	}
+}
+
+// HandlePageRequest returns the backup account's pages in ascending page
+// order — the address space as of the last synchronization (§6).
+func (s *Server) HandlePageRequest(pid types.PID) []memory.Page {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acct := s.backup[pid]
+	nos := make([]memory.PageNo, 0, len(acct))
+	for no := range acct {
+		nos = append(nos, no)
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	out := make([]memory.Page, 0, len(nos))
+	for _, no := range nos {
+		data, err := s.disk.Read(s.cluster, acct[no])
+		if err != nil {
+			continue
+		}
+		out = append(out, memory.Page{No: no, Data: data})
+	}
+	return out
+}
+
+// CloneFrom rebuilds this instance's tables and disk mirror from a healthy
+// peer — the resilver step when a pager cluster returns to service after a
+// failure. Call before exposing this instance to bus traffic; page-outs
+// processed by the source during the copy are not reflected, so the caller
+// restores service locations only afterwards (see core.RestoreCluster).
+func (s *Server) CloneFrom(src *Server) error {
+	src.mu.Lock()
+	type acctPage struct {
+		pid  types.PID
+		no   memory.PageNo
+		blk  disk.BlockID
+		prim bool
+	}
+	var pages []acctPage
+	for pid, acct := range src.primary {
+		for no, b := range acct {
+			pages = append(pages, acctPage{pid, no, b, true})
+		}
+	}
+	for pid, acct := range src.backup {
+		for no, b := range acct {
+			pages = append(pages, acctPage{pid, no, b, false})
+		}
+	}
+	blocks := make(map[disk.BlockID][]byte)
+	for _, p := range pages {
+		if _, done := blocks[p.blk]; done {
+			continue
+		}
+		data, err := src.disk.Read(src.cluster, p.blk)
+		if err != nil {
+			src.mu.Unlock()
+			return err
+		}
+		blocks[p.blk] = data
+	}
+	epochs := make(map[types.PID]types.Epoch, len(src.epoch))
+	for pid, e := range src.epoch {
+		epochs[pid] = e
+	}
+	primClusters := make(map[types.PID]types.ClusterID, len(src.primaryCluster))
+	for pid, c := range src.primaryCluster {
+		primClusters[pid] = c
+	}
+	src.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.primary = make(map[types.PID]account)
+	s.backup = make(map[types.PID]account)
+	s.refs = make(map[disk.BlockID]int)
+	s.epoch = epochs
+	s.primaryCluster = primClusters
+	// Blocks shared between accounts at the source stay shared here.
+	memo := make(map[disk.BlockID]disk.BlockID, len(blocks))
+	place := func(srcBlk disk.BlockID) (disk.BlockID, error) {
+		if b, ok := memo[srcBlk]; ok {
+			return b, nil
+		}
+		id, err := s.disk.Alloc(s.cluster)
+		if err != nil {
+			return disk.NoBlock, err
+		}
+		if err := s.disk.Write(s.cluster, id, blocks[srcBlk]); err != nil {
+			return disk.NoBlock, err
+		}
+		memo[srcBlk] = id
+		return id, nil
+	}
+	for _, p := range pages {
+		id, err := place(p.blk)
+		if err != nil {
+			return err
+		}
+		tbl := s.primary
+		if !p.prim {
+			tbl = s.backup
+		}
+		acct := tbl[p.pid]
+		if acct == nil {
+			acct = make(account)
+			tbl[p.pid] = acct
+		}
+		acct[p.no] = id
+		s.incRef(id)
+	}
+	return nil
+}
+
+// Epoch returns the last committed epoch for pid.
+func (s *Server) Epoch(pid types.PID) types.Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch[pid]
+}
+
+// AccountSizes returns (primary, backup) page counts for pid.
+func (s *Server) AccountSizes(pid types.PID) (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.primary[pid]), len(s.backup[pid])
+}
+
+// SharedBlocks returns how many blocks pid's two accounts share — after a
+// sync with no further modification this equals the account size ("After a
+// sync, only one copy of each page will exist").
+func (s *Server) SharedBlocks(pid types.PID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for no, b := range s.primary[pid] {
+		if s.backup[pid][no] == b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,178 @@
+package pager
+
+import (
+	"bytes"
+	"testing"
+
+	"auragen/internal/disk"
+	"auragen/internal/kernel"
+	"auragen/internal/memory"
+	"auragen/internal/types"
+)
+
+func newServer() *Server {
+	return New(0, disk.New("t", 1024, 0, 1))
+}
+
+func page(no memory.PageNo, fill byte) memory.Page {
+	d := make([]byte, 1024)
+	for i := range d {
+		d[i] = fill
+	}
+	return memory.Page{No: no, Data: d}
+}
+
+func out(pid types.PID, epoch types.Epoch, pg memory.Page) *kernel.PageOut {
+	return &kernel.PageOut{PID: pid, Epoch: epoch, From: 2, Page: pg}
+}
+
+func TestPageOutThenCommitVisibleToBackupAccount(t *testing.T) {
+	s := newServer()
+	s.HandlePageOut(out(7, 1, page(0, 0xAA)))
+	s.HandlePageOut(out(7, 1, page(3, 0xBB)))
+	if got := s.HandlePageRequest(7); len(got) != 0 {
+		t.Fatalf("uncommitted pages visible to backup: %d", len(got))
+	}
+	s.HandleSyncCommit(7, 1)
+	got := s.HandlePageRequest(7)
+	if len(got) != 2 {
+		t.Fatalf("backup account has %d pages, want 2", len(got))
+	}
+	if got[0].No != 0 || got[1].No != 3 {
+		t.Fatalf("pages out of order: %v %v", got[0].No, got[1].No)
+	}
+	if got[0].Data[0] != 0xAA || got[1].Data[0] != 0xBB {
+		t.Fatal("page contents wrong")
+	}
+}
+
+func TestCommitSharesBlocks(t *testing.T) {
+	s := newServer()
+	s.HandlePageOut(out(7, 1, page(0, 1)))
+	s.HandleSyncCommit(7, 1)
+	if n := s.SharedBlocks(7); n != 1 {
+		t.Fatalf("after sync, shared blocks = %d, want 1 (only one copy of each page)", n)
+	}
+	// Modifying the page diverges the accounts again.
+	s.HandlePageOut(out(7, 2, page(0, 2)))
+	if n := s.SharedBlocks(7); n != 0 {
+		t.Fatalf("after modification, shared = %d, want 0", n)
+	}
+	p, b := s.AccountSizes(7)
+	if p != 1 || b != 1 {
+		t.Fatalf("accounts = %d/%d", p, b)
+	}
+	// The backup still reads the old contents.
+	got := s.HandlePageRequest(7)
+	if got[0].Data[0] != 1 {
+		t.Fatal("backup account observed uncommitted modification")
+	}
+}
+
+func TestCrashRollsBackUncommittedPages(t *testing.T) {
+	s := newServer()
+	s.HandlePageOut(out(7, 1, page(0, 1)))
+	s.HandleSyncCommit(7, 1)
+	s.HandlePageOut(out(7, 2, page(0, 9))) // uncommitted epoch-2 page
+	s.HandleCrash(2)                       // the primary's cluster fails
+	// Primary account rolled back to the committed state.
+	got := s.HandlePageRequest(7)
+	if len(got) != 1 || got[0].Data[0] != 1 {
+		t.Fatalf("rollback failed: %v", got)
+	}
+	p, b := s.AccountSizes(7)
+	if p != 1 || b != 1 {
+		t.Fatalf("accounts after crash = %d/%d", p, b)
+	}
+	if n := s.SharedBlocks(7); n != 1 {
+		t.Fatalf("accounts should share after rollback, shared=%d", n)
+	}
+}
+
+func TestCrashLeavesOtherClustersAlone(t *testing.T) {
+	s := newServer()
+	s.HandlePageOut(out(7, 1, page(0, 1)))
+	s.HandleSyncCommit(7, 1)
+	s.HandlePageOut(out(7, 2, page(0, 9))) // uncommitted, primary on cluster 2
+	s.HandleCrash(3)                       // some other cluster
+	// pid 7's uncommitted page survives (its primary did not crash).
+	if n := s.SharedBlocks(7); n != 0 {
+		t.Fatal("unrelated crash rolled back a live primary's account")
+	}
+}
+
+func TestFreeReleasesBlocks(t *testing.T) {
+	s := newServer()
+	s.HandlePageOut(out(7, 1, page(0, 1)))
+	s.HandlePageOut(out(7, 1, page(1, 2)))
+	s.HandleSyncCommit(7, 1)
+	if s.disk.Blocks() == 0 {
+		t.Fatal("no blocks allocated")
+	}
+	s.HandleFree([]types.PID{7})
+	if n := s.disk.Blocks(); n != 0 {
+		t.Fatalf("%d blocks leaked after free", n)
+	}
+	if got := s.HandlePageRequest(7); len(got) != 0 {
+		t.Fatal("freed account still readable")
+	}
+}
+
+func TestOverwriteFreesReplacedBlock(t *testing.T) {
+	s := newServer()
+	s.HandlePageOut(out(7, 1, page(0, 1)))
+	s.HandlePageOut(out(7, 1, page(0, 2))) // same page again, pre-commit
+	if n := s.disk.Blocks(); n != 1 {
+		t.Fatalf("replaced uncommitted block not freed: %d blocks", n)
+	}
+	s.HandleSyncCommit(7, 1)
+	s.HandlePageOut(out(7, 2, page(0, 3)))
+	// Old block shared with backup: must NOT be freed.
+	got := s.HandlePageRequest(7)
+	if len(got) != 1 || got[0].Data[0] != 2 {
+		t.Fatalf("backup lost its shared block: %v", got)
+	}
+}
+
+func TestEpochTracked(t *testing.T) {
+	s := newServer()
+	if s.Epoch(7) != 0 {
+		t.Fatal("fresh epoch not 0")
+	}
+	s.HandleSyncCommit(7, 5)
+	if s.Epoch(7) != 5 {
+		t.Fatalf("epoch = %d", s.Epoch(7))
+	}
+}
+
+func TestMirroredInstancesConverge(t *testing.T) {
+	// Two instances fed the same ordered stream must serve identical
+	// backup accounts (the deterministic-replica property).
+	a := New(0, disk.New("a", 1024, 0, 1))
+	b := New(1, disk.New("b", 1024, 0, 1))
+	feed := func(s *Server) {
+		s.HandlePageOut(out(7, 1, page(0, 1)))
+		s.HandlePageOut(out(7, 1, page(2, 2)))
+		s.HandleSyncCommit(7, 1)
+		s.HandlePageOut(out(7, 2, page(0, 3)))
+		s.HandleSyncCommit(7, 2)
+		s.HandlePageOut(out(9, 1, page(0, 9)))
+		s.HandleSyncCommit(9, 1)
+		s.HandleFree([]types.PID{9})
+	}
+	feed(a)
+	feed(b)
+	pa := a.HandlePageRequest(7)
+	pb := b.HandlePageRequest(7)
+	if len(pa) != len(pb) {
+		t.Fatalf("account sizes differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].No != pb[i].No || !bytes.Equal(pa[i].Data, pb[i].Data) {
+			t.Fatalf("page %d differs", i)
+		}
+	}
+	if len(a.HandlePageRequest(9)) != 0 || len(b.HandlePageRequest(9)) != 0 {
+		t.Fatal("freed account persists")
+	}
+}

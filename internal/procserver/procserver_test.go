@@ -1,0 +1,61 @@
+package procserver
+
+import (
+	"testing"
+	"time"
+
+	"auragen/internal/types"
+)
+
+func TestSyncBlobRoundTrip(t *testing.T) {
+	a := New(4, nil)
+	deadline := time.Now().Add(time.Hour).UnixNano()
+	a.alarms[101] = deadline
+	a.alarms[102] = deadline + 5
+
+	b := New(4, nil)
+	b.ApplySync(a.SyncBlob())
+	if len(b.alarms) != 2 || b.alarms[101] != deadline || b.alarms[102] != deadline+5 {
+		t.Fatalf("alarms after apply: %v", b.alarms)
+	}
+}
+
+func TestApplySyncRejectsGarbage(t *testing.T) {
+	s := New(4, nil)
+	s.alarms[101] = 1
+	s.ApplySync([]byte{0xFF})
+	if len(s.alarms) != 1 {
+		t.Fatal("garbage blob clobbered alarms")
+	}
+}
+
+func TestEmptyBlobResets(t *testing.T) {
+	a := New(4, nil)
+	b := New(4, nil)
+	b.alarms[9] = 9
+	b.ApplySync(a.SyncBlob())
+	if len(b.alarms) != 0 {
+		t.Fatal("empty blob did not reset")
+	}
+}
+
+func TestArmAlarmReplacesTimer(t *testing.T) {
+	s := New(4, nil)
+	s.armAlarm(types.PID(101), time.Hour)
+	first := s.alarms[101]
+	s.armAlarm(types.PID(101), 2*time.Hour)
+	second := s.alarms[101]
+	if second <= first {
+		t.Fatal("re-arm did not move the deadline")
+	}
+	if len(s.timers) != 1 {
+		t.Fatalf("timers = %d, want 1", len(s.timers))
+	}
+	s.timers[101].Stop()
+}
+
+func TestPID(t *testing.T) {
+	if New(4, nil).PID() != 4 {
+		t.Fatal("PID wrong")
+	}
+}

@@ -1,0 +1,34 @@
+package routing
+
+import (
+	"testing"
+
+	"auragen/internal/types"
+)
+
+func BenchmarkLookup(b *testing.B) {
+	tb := NewTable()
+	for i := 0; i < 1024; i++ {
+		tb.Add(&Entry{Channel: types.ChannelID(i), Owner: types.PID(100 + i%32), Role: Primary})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := types.ChannelID(i % 1024)
+		if _, ok := tb.Lookup(ch, types.PID(100+int(ch)%32), Primary); !ok {
+			b.Fatal("missing entry")
+		}
+	}
+}
+
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	e := &Entry{Channel: 1, Owner: 100, Role: Primary}
+	m := &types.Message{Kind: types.KindData, Payload: make([]byte, 64)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Enqueue(m)
+		if _, ok := e.Dequeue(); !ok {
+			b.Fatal("empty")
+		}
+	}
+}

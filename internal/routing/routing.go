@@ -1,0 +1,290 @@
+// Package routing implements the cluster-local routing table of §7.4.1.
+//
+// One end of a channel is a routing-table entry. An entry carries (1) all
+// information needed to route a message to the primary destination and to
+// the backups of both destination and sender, (2) a queue of incoming
+// messages, and (3) status: the entry's role (primary end or backup end)
+// and whether the peer is a server.
+//
+// A channel between two backed-up processes therefore consists of four
+// entries: one for each primary and one for each backup, spread over up to
+// four clusters. Primary entries count reads-since-sync (reported in the
+// sync message so the backup can discard consumed messages); backup entries
+// hold the saved message queue and the writes-since-sync count used to
+// suppress redundant sends during roll-forward (§5.4).
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"auragen/internal/types"
+)
+
+// Role distinguishes the two kinds of routing-table entries.
+type Role uint8
+
+const (
+	// Primary marks the entry serving a live (primary) process end.
+	Primary Role = iota
+	// Backup marks the entry maintained on behalf of a process's backup.
+	Backup
+)
+
+func (r Role) String() string {
+	if r == Primary {
+		return "primary"
+	}
+	return "backup"
+}
+
+// Entry is one end of a channel in one cluster's routing table.
+type Entry struct {
+	Channel types.ChannelID
+	// Owner is the process this entry belongs to (the reader/writer for a
+	// Primary entry; the backed-up process for a Backup entry).
+	Owner types.PID
+	// Peer is the process at the other end of the channel.
+	Peer types.PID
+	Role Role
+
+	// Routing information for messages the owner writes on this channel.
+	PeerCluster        types.ClusterID
+	PeerBackupCluster  types.ClusterID
+	OwnerBackupCluster types.ClusterID
+
+	// PeerIsServer records whether the other end is a system or peripheral
+	// server (§7.4.1 status information).
+	PeerIsServer bool
+
+	// Unusable marks a channel whose peer was a fullback that crashed; it
+	// stays unusable until notification arrives of the new backup's
+	// location (§7.10.1 step 1).
+	Unusable bool
+
+	// Closed marks a channel whose peer end has closed.
+	Closed bool
+
+	// queue holds incoming messages in arrival order (already stamped with
+	// cluster arrival sequence numbers by the kernel).
+	queue []*types.Message
+
+	// ReadsSinceSync counts messages the owner has read from this channel
+	// since its last sync (Primary entries; reported in sync messages).
+	ReadsSinceSync uint32
+
+	// WritesSinceSync counts messages the owner has written on this
+	// channel since its last sync (Backup entries; incremented when the
+	// sender's-backup copy arrives, decremented during roll-forward to
+	// suppress resends).
+	WritesSinceSync uint32
+}
+
+// Enqueue appends a message to the entry's queue.
+func (e *Entry) Enqueue(m *types.Message) { e.queue = append(e.queue, m) }
+
+// Dequeue removes and returns the oldest queued message.
+func (e *Entry) Dequeue() (*types.Message, bool) {
+	if len(e.queue) == 0 {
+		return nil, false
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	return m, true
+}
+
+// Peek returns the oldest queued message without removing it.
+func (e *Entry) Peek() (*types.Message, bool) {
+	if len(e.queue) == 0 {
+		return nil, false
+	}
+	return e.queue[0], true
+}
+
+// QueueLen returns the number of queued messages.
+func (e *Entry) QueueLen() int { return len(e.queue) }
+
+// DiscardFront drops up to n messages from the front of the queue and
+// returns how many were dropped. Sync processing at the backup cluster uses
+// it: "if the count of reads since sync is positive, that many messages are
+// removed from the associated message queue" (§7.8).
+func (e *Entry) DiscardFront(n uint32) uint32 {
+	d := uint32(len(e.queue))
+	if n < d {
+		d = n
+	}
+	e.queue = e.queue[d:]
+	return d
+}
+
+// TakeQueue removes and returns the whole queue (roll-forward hands the
+// saved messages to the new primary's entry).
+func (e *Entry) TakeQueue() []*types.Message {
+	q := e.queue
+	e.queue = nil
+	return q
+}
+
+// Route assembles the bus route for a message the owner writes on this
+// channel.
+func (e *Entry) Route() types.Route {
+	return types.Route{
+		Dst:       e.PeerCluster,
+		DstBackup: e.PeerBackupCluster,
+		SrcBackup: e.OwnerBackupCluster,
+	}
+}
+
+func (e *Entry) String() string {
+	return fmt.Sprintf("%s %s owner=%s peer=%s@%v/%v ownerBackup=%v q=%d r=%d w=%d unusable=%v closed=%v",
+		e.Channel, e.Role, e.Owner, e.Peer, e.PeerCluster, e.PeerBackupCluster,
+		e.OwnerBackupCluster, len(e.queue), e.ReadsSinceSync, e.WritesSinceSync, e.Unusable, e.Closed)
+}
+
+type key struct {
+	ch    types.ChannelID
+	owner types.PID
+	role  Role
+}
+
+// Table is one cluster's routing table. It resides in kernel space and is
+// maintained by message-system code running on the work or executive
+// processors; a mutex stands in for the kernel-mode mutual exclusion.
+type Table struct {
+	mu      sync.Mutex
+	entries map[key]*Entry
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table {
+	return &Table{entries: make(map[key]*Entry)}
+}
+
+// Add inserts an entry. Adding a duplicate (channel, owner, role) replaces
+// the previous entry and returns it, which happens only when an open reply
+// is replayed during recovery.
+func (t *Table) Add(e *Entry) *Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := key{e.Channel, e.Owner, e.Role}
+	old := t.entries[k]
+	t.entries[k] = e
+	return old
+}
+
+// Lookup finds the entry for (channel, owner, role).
+func (t *Table) Lookup(ch types.ChannelID, owner types.PID, role Role) (*Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key{ch, owner, role}]
+	return e, ok
+}
+
+// Remove deletes the entry for (channel, owner, role) and returns it.
+func (t *Table) Remove(ch types.ChannelID, owner types.PID, role Role) (*Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := key{ch, owner, role}
+	e, ok := t.entries[k]
+	if ok {
+		delete(t.entries, k)
+	}
+	return e, ok
+}
+
+// OwnedBy returns every entry owned by pid with the given role, sorted by
+// channel for determinism.
+func (t *Table) OwnedBy(pid types.PID, role Role) []*Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Entry
+	for k, e := range t.entries {
+		if k.owner == pid && k.role == role {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
+	return out
+}
+
+// RemoveOwnedBy deletes every entry owned by pid with the given role and
+// returns them (sorted by channel). Used when a process exits or when a
+// backup is promoted.
+func (t *Table) RemoveOwnedBy(pid types.PID, role Role) []*Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Entry
+	for k, e := range t.entries {
+		if k.owner == pid && k.role == role {
+			out = append(out, e)
+			delete(t.entries, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Channel < out[j].Channel })
+	return out
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// All returns every entry, sorted by (channel, owner, role) for
+// deterministic iteration.
+func (t *Table) All() []*Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.Owner != b.Owner {
+			return a.Owner < b.Owner
+		}
+		return a.Role < b.Role
+	})
+	return out
+}
+
+// FixupCrash rewrites routing information after cluster crashed has failed
+// (§7.10.1 step 1): wherever the crashed cluster appears as a peer's
+// primary location, the peer's backup location takes its place; channels
+// whose peers are fullbacks are marked unusable until a BackupUp notice
+// arrives. fullback reports whether a pid's process runs in fullback mode.
+// It returns the entries that were marked unusable.
+func (t *Table) FixupCrash(crashed types.ClusterID, fullback func(types.PID) bool) []*Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var unusable []*Entry
+	for _, e := range t.entries {
+		if e.PeerCluster == crashed {
+			e.PeerCluster = e.PeerBackupCluster
+			e.PeerBackupCluster = types.NoCluster
+			if fullback != nil && fullback(e.Peer) {
+				e.Unusable = true
+				unusable = append(unusable, e)
+			}
+		} else if e.PeerBackupCluster == crashed {
+			// Peer survives but lost its backup; stop routing copies there.
+			e.PeerBackupCluster = types.NoCluster
+			if fullback != nil && fullback(e.Peer) {
+				// Peer is a fullback whose backup must be recreated before
+				// we resume sending it backup copies; sends stay usable.
+				e.Unusable = false
+			}
+		}
+		if e.OwnerBackupCluster == crashed {
+			e.OwnerBackupCluster = types.NoCluster
+		}
+	}
+	sort.Slice(unusable, func(i, j int) bool { return unusable[i].Channel < unusable[j].Channel })
+	return unusable
+}

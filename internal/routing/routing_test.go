@@ -1,0 +1,215 @@
+package routing
+
+import (
+	"testing"
+
+	"auragen/internal/types"
+)
+
+func entry(ch types.ChannelID, owner, peer types.PID, role Role) *Entry {
+	return &Entry{
+		Channel:            ch,
+		Owner:              owner,
+		Peer:               peer,
+		Role:               role,
+		PeerCluster:        1,
+		PeerBackupCluster:  2,
+		OwnerBackupCluster: 3,
+	}
+}
+
+func msg(seq types.Seq) *types.Message {
+	return &types.Message{Kind: types.KindData, Seq: seq}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := entry(1, 10, 20, Primary)
+	for i := 1; i <= 3; i++ {
+		e.Enqueue(msg(types.Seq(i)))
+	}
+	if p, ok := e.Peek(); !ok || p.Seq != 1 {
+		t.Fatal("Peek wrong")
+	}
+	for i := 1; i <= 3; i++ {
+		m, ok := e.Dequeue()
+		if !ok || m.Seq != types.Seq(i) {
+			t.Fatalf("dequeue %d: got %v ok=%v", i, m, ok)
+		}
+	}
+	if _, ok := e.Dequeue(); ok {
+		t.Fatal("dequeue from empty succeeded")
+	}
+}
+
+func TestDiscardFront(t *testing.T) {
+	e := entry(1, 10, 20, Backup)
+	for i := 1; i <= 5; i++ {
+		e.Enqueue(msg(types.Seq(i)))
+	}
+	if n := e.DiscardFront(3); n != 3 {
+		t.Fatalf("DiscardFront = %d", n)
+	}
+	if m, _ := e.Peek(); m.Seq != 4 {
+		t.Fatalf("front after discard = %d", m.Seq)
+	}
+	// Discarding more than queued drops what exists.
+	if n := e.DiscardFront(10); n != 2 {
+		t.Fatalf("over-discard = %d, want 2", n)
+	}
+	if e.QueueLen() != 0 {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestTakeQueue(t *testing.T) {
+	e := entry(1, 10, 20, Backup)
+	e.Enqueue(msg(1))
+	e.Enqueue(msg(2))
+	q := e.TakeQueue()
+	if len(q) != 2 || e.QueueLen() != 0 {
+		t.Fatal("TakeQueue wrong")
+	}
+}
+
+func TestRoute(t *testing.T) {
+	e := entry(1, 10, 20, Primary)
+	r := e.Route()
+	if r.Dst != 1 || r.DstBackup != 2 || r.SrcBackup != 3 {
+		t.Fatalf("Route = %+v", r)
+	}
+}
+
+func TestTableAddLookupRemove(t *testing.T) {
+	tb := NewTable()
+	e := entry(5, 10, 20, Primary)
+	if old := tb.Add(e); old != nil {
+		t.Fatal("Add returned an old entry for a fresh key")
+	}
+	got, ok := tb.Lookup(5, 10, Primary)
+	if !ok || got != e {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := tb.Lookup(5, 10, Backup); ok {
+		t.Fatal("Lookup found wrong role")
+	}
+	if _, ok := tb.Lookup(5, 99, Primary); ok {
+		t.Fatal("Lookup found wrong owner")
+	}
+	removed, ok := tb.Remove(5, 10, Primary)
+	if !ok || removed != e || tb.Len() != 0 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestTableAddReplaces(t *testing.T) {
+	tb := NewTable()
+	e1 := entry(5, 10, 20, Primary)
+	e2 := entry(5, 10, 20, Primary)
+	tb.Add(e1)
+	if old := tb.Add(e2); old != e1 {
+		t.Fatal("Add did not return replaced entry")
+	}
+	got, _ := tb.Lookup(5, 10, Primary)
+	if got != e2 {
+		t.Fatal("replacement not installed")
+	}
+}
+
+func TestOwnedBySortedByChannel(t *testing.T) {
+	tb := NewTable()
+	tb.Add(entry(9, 10, 20, Primary))
+	tb.Add(entry(3, 10, 20, Primary))
+	tb.Add(entry(6, 10, 20, Primary))
+	tb.Add(entry(4, 10, 20, Backup))  // different role
+	tb.Add(entry(5, 11, 20, Primary)) // different owner
+	got := tb.OwnedBy(10, Primary)
+	if len(got) != 3 {
+		t.Fatalf("OwnedBy returned %d entries", len(got))
+	}
+	for i, want := range []types.ChannelID{3, 6, 9} {
+		if got[i].Channel != want {
+			t.Errorf("entry %d channel = %d, want %d", i, got[i].Channel, want)
+		}
+	}
+}
+
+func TestRemoveOwnedBy(t *testing.T) {
+	tb := NewTable()
+	tb.Add(entry(1, 10, 20, Backup))
+	tb.Add(entry(2, 10, 20, Backup))
+	tb.Add(entry(3, 10, 20, Primary))
+	out := tb.RemoveOwnedBy(10, Backup)
+	if len(out) != 2 || tb.Len() != 1 {
+		t.Fatalf("RemoveOwnedBy: got %d removed, %d left", len(out), tb.Len())
+	}
+}
+
+func TestFixupCrashPromotesBackupCluster(t *testing.T) {
+	tb := NewTable()
+	e := entry(1, 10, 20, Primary) // peer primary on cluster 1, backup on 2
+	tb.Add(e)
+	tb.FixupCrash(1, nil)
+	if e.PeerCluster != 2 || e.PeerBackupCluster != types.NoCluster {
+		t.Fatalf("after fixup: peer=%v peerBackup=%v", e.PeerCluster, e.PeerBackupCluster)
+	}
+	if e.Unusable {
+		t.Fatal("non-fullback peer marked unusable")
+	}
+}
+
+func TestFixupCrashMarksFullbackUnusable(t *testing.T) {
+	tb := NewTable()
+	e := entry(1, 10, 20, Primary)
+	tb.Add(e)
+	unusable := tb.FixupCrash(1, func(p types.PID) bool { return p == 20 })
+	if len(unusable) != 1 || !e.Unusable {
+		t.Fatal("fullback peer not marked unusable")
+	}
+}
+
+func TestFixupCrashClearsLostBackups(t *testing.T) {
+	tb := NewTable()
+	e := entry(1, 10, 20, Primary) // owner backup on cluster 3
+	tb.Add(e)
+	tb.FixupCrash(3, nil)
+	if e.OwnerBackupCluster != types.NoCluster {
+		t.Fatal("owner's lost backup still routed")
+	}
+	if e.PeerCluster != 1 {
+		t.Fatal("peer cluster should be untouched")
+	}
+}
+
+func TestFixupCrashPeerLostBackup(t *testing.T) {
+	tb := NewTable()
+	e := entry(1, 10, 20, Primary) // peer backup on cluster 2
+	tb.Add(e)
+	tb.FixupCrash(2, nil)
+	if e.PeerBackupCluster != types.NoCluster {
+		t.Fatal("crashed peer-backup cluster still routed")
+	}
+	if e.PeerCluster != 1 || e.Unusable {
+		t.Fatal("peer primary must remain reachable")
+	}
+}
+
+func TestAllSortedDeterministically(t *testing.T) {
+	tb := NewTable()
+	tb.Add(entry(2, 10, 20, Backup))
+	tb.Add(entry(2, 10, 20, Primary))
+	tb.Add(entry(1, 11, 20, Primary))
+	tb.Add(entry(1, 10, 20, Primary))
+	all := tb.All()
+	if len(all) != 4 {
+		t.Fatalf("All returned %d", len(all))
+	}
+	if all[0].Channel != 1 || all[0].Owner != 10 {
+		t.Fatal("sort order wrong at 0")
+	}
+	if all[1].Channel != 1 || all[1].Owner != 11 {
+		t.Fatal("sort order wrong at 1")
+	}
+	if all[2].Role != Primary || all[3].Role != Backup {
+		t.Fatal("role tiebreak wrong")
+	}
+}

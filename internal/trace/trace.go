@@ -1,0 +1,234 @@
+// Package trace collects the counters and timings the experiment harness
+// reports: bus transmissions, per-role deliveries, pages copied, syncs,
+// recovery latency. All counters are safe for concurrent use.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates system-wide counters. The zero value is ready to use.
+// A single Metrics instance is shared by every cluster of one system so
+// that experiments see whole-system totals.
+type Metrics struct {
+	// BusTransmissions counts messages transmitted over the intercluster
+	// bus (each multicast counts once, per §8.1: "transmitted just once").
+	BusTransmissions atomic.Uint64
+	// BusDeliveries counts per-cluster deliveries (a three-way message
+	// adds up to three).
+	BusDeliveries atomic.Uint64
+	// BusBytes counts payload bytes transmitted (once per multicast).
+	BusBytes atomic.Uint64
+
+	// PrimaryDeliveries counts messages enqueued for primary destinations.
+	PrimaryDeliveries atomic.Uint64
+	// BackupSaves counts messages saved for destination backups.
+	BackupSaves atomic.Uint64
+	// SenderBackupCounts counts messages discarded at the sender's backup
+	// after incrementing the writes-since-sync count.
+	SenderBackupCounts atomic.Uint64
+
+	// Syncs counts completed user-process synchronizations.
+	Syncs atomic.Uint64
+	// SyncForced counts syncs forced by asynchronous signal delivery.
+	SyncForced atomic.Uint64
+	// PagesOut counts pages sent to the page server at sync.
+	PagesOut atomic.Uint64
+	// PageBytes counts page payload bytes sent to the page server.
+	PageBytes atomic.Uint64
+	// MessagesDiscarded counts saved backup messages discarded on sync.
+	MessagesDiscarded atomic.Uint64
+
+	// BackupsCreated counts backup process control blocks created.
+	BackupsCreated atomic.Uint64
+	// BirthNotices counts fork birth notices sent.
+	BirthNotices atomic.Uint64
+	// BackupsAvoided counts processes that exited before ever needing a
+	// backup (the §7.7 deferred-creation win).
+	BackupsAvoided atomic.Uint64
+
+	// Recoveries counts backup processes made runnable after a crash.
+	Recoveries atomic.Uint64
+	// ReplayedMessages counts saved messages re-read during roll-forward.
+	ReplayedMessages atomic.Uint64
+	// SuppressedSends counts sends suppressed by writes-since-sync counts
+	// during roll-forward (§5.4).
+	SuppressedSends atomic.Uint64
+	// PagesFetched counts pages restored from backup page accounts.
+	PagesFetched atomic.Uint64
+
+	// RecoveryNanos accumulates wall-clock recovery time (crash notice
+	// processed to all backups runnable), summed over crashes.
+	RecoveryNanos atomic.Int64
+	// Crashes counts cluster crashes handled.
+	Crashes atomic.Uint64
+}
+
+// AddRecovery records one crash-to-runnable recovery duration (one per
+// promoted process). Crashes is incremented separately by the failure
+// detector, once per cluster failure.
+func (m *Metrics) AddRecovery(d time.Duration) {
+	m.RecoveryNanos.Add(int64(d))
+}
+
+// Snapshot is a point-in-time copy of every counter, keyed by name.
+type Snapshot map[string]uint64
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		"bus_transmissions":    m.BusTransmissions.Load(),
+		"bus_deliveries":       m.BusDeliveries.Load(),
+		"bus_bytes":            m.BusBytes.Load(),
+		"primary_deliveries":   m.PrimaryDeliveries.Load(),
+		"backup_saves":         m.BackupSaves.Load(),
+		"sender_backup_counts": m.SenderBackupCounts.Load(),
+		"syncs":                m.Syncs.Load(),
+		"sync_forced":          m.SyncForced.Load(),
+		"pages_out":            m.PagesOut.Load(),
+		"page_bytes":           m.PageBytes.Load(),
+		"messages_discarded":   m.MessagesDiscarded.Load(),
+		"backups_created":      m.BackupsCreated.Load(),
+		"birth_notices":        m.BirthNotices.Load(),
+		"backups_avoided":      m.BackupsAvoided.Load(),
+		"recoveries":           m.Recoveries.Load(),
+		"replayed_messages":    m.ReplayedMessages.Load(),
+		"suppressed_sends":     m.SuppressedSends.Load(),
+		"pages_fetched":        m.PagesFetched.Load(),
+		"recovery_nanos":       uint64(m.RecoveryNanos.Load()),
+		"crashes":              m.Crashes.Load(),
+	}
+}
+
+// Delta returns after-minus-before for every counter.
+func (s Snapshot) Delta(before Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for k, v := range s {
+		out[k] = v - before[k]
+	}
+	return out
+}
+
+// String renders the snapshot with stable key order, one counter per line.
+func (s Snapshot) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-22s %d\n", k, s[k])
+	}
+	return b.String()
+}
+
+// EventKind labels entries in an EventLog.
+type EventKind uint8
+
+const (
+	// EvSend records a message placed on an outgoing queue.
+	EvSend EventKind = iota
+	// EvDeliver records a message delivered to a primary destination.
+	EvDeliver
+	// EvSave records a message saved for a destination backup.
+	EvSave
+	// EvSync records a completed synchronization.
+	EvSync
+	// EvCrash records a cluster crash.
+	EvCrash
+	// EvRecover records a backup made runnable.
+	EvRecover
+	// EvSuppress records a send suppressed during roll-forward.
+	EvSuppress
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvDeliver:
+		return "deliver"
+	case EvSave:
+		return "save"
+	case EvSync:
+		return "sync"
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	case EvSuppress:
+		return "suppress"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry in an EventLog.
+type Event struct {
+	Kind EventKind
+	When time.Time
+	// Note is a short human-readable annotation ("pid7 ch3 seq=12").
+	Note string
+}
+
+// EventLog is an optional bounded in-memory event recorder used by tests
+// and the scenario runner for post-mortem inspection. A nil *EventLog is
+// valid and records nothing, so hot paths can log unconditionally.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+}
+
+// NewEventLog returns a log that retains at most limit events (older events
+// are dropped). limit <= 0 means unbounded.
+func NewEventLog(limit int) *EventLog {
+	return &EventLog{limit: limit}
+}
+
+// Add appends one event. Safe on a nil receiver.
+func (l *EventLog) Add(kind EventKind, note string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Kind: kind, When: time.Now(), Note: note})
+	if l.limit > 0 && len(l.events) > l.limit {
+		l.events = l.events[len(l.events)-l.limit:]
+	}
+}
+
+// Events returns a copy of the recorded events in order.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Count returns the number of retained events of the given kind.
+func (l *EventLog) Count(kind EventKind) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

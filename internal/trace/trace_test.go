@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotAndDelta(t *testing.T) {
+	var m Metrics
+	m.BusTransmissions.Add(5)
+	m.Syncs.Add(2)
+	before := m.Snapshot()
+	m.BusTransmissions.Add(3)
+	m.Recoveries.Add(1)
+	d := m.Snapshot().Delta(before)
+	if d["bus_transmissions"] != 3 {
+		t.Errorf("delta transmissions = %d", d["bus_transmissions"])
+	}
+	if d["syncs"] != 0 {
+		t.Errorf("delta syncs = %d", d["syncs"])
+	}
+	if d["recoveries"] != 1 {
+		t.Errorf("delta recoveries = %d", d["recoveries"])
+	}
+}
+
+func TestSnapshotStringStableOrder(t *testing.T) {
+	var m Metrics
+	s1 := m.Snapshot().String()
+	s2 := m.Snapshot().String()
+	if s1 != s2 {
+		t.Fatal("String not deterministic")
+	}
+	if !strings.Contains(s1, "bus_transmissions") {
+		t.Fatal("missing counter in render")
+	}
+}
+
+func TestAddRecovery(t *testing.T) {
+	var m Metrics
+	m.AddRecovery(2 * time.Millisecond)
+	m.AddRecovery(3 * time.Millisecond)
+	if got := m.RecoveryNanos.Load(); got != int64(5*time.Millisecond) {
+		t.Fatalf("RecoveryNanos = %d", got)
+	}
+	if m.Crashes.Load() != 0 {
+		t.Fatal("AddRecovery must not count crashes")
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 10; i++ {
+		l.Add(EvSend, "m")
+	}
+	if got := len(l.Events()); got != 3 {
+		t.Fatalf("retained %d events, want 3", got)
+	}
+	if l.Count(EvSend) != 3 || l.Count(EvCrash) != 0 {
+		t.Fatal("Count wrong")
+	}
+}
+
+func TestNilEventLogSafe(t *testing.T) {
+	var l *EventLog
+	l.Add(EvSync, "x") // must not panic
+	if l.Events() != nil || l.Count(EvSync) != 0 {
+		t.Fatal("nil log returned data")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []EventKind{EvSend, EvDeliver, EvSave, EvSync, EvCrash, EvRecover, EvSuppress} {
+		if strings.HasPrefix(k.String(), "EventKind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(99).String() != "EventKind(99)" {
+		t.Error("unknown kind render wrong")
+	}
+}

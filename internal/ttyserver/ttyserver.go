@@ -1,0 +1,320 @@
+// Package ttyserver implements the terminal server (§7.6: "There is a tty
+// server in each cluster having terminals"). Terminals are external
+// devices: typed input enters the message world through the server's
+// device-driver path, and process output leaves it onto the terminal's
+// output log. Interrupts (control-C) become asynchronous signals delivered
+// as messages to the foreground process and its backup (§7.5.2).
+//
+// The tty server is a peripheral server: memory-resident, active backup
+// twin, explicit syncs. Input typed between the last sync and a crash is
+// lost with the cluster — just as characters in a real UART FIFO are — so
+// the server syncs after every injected line to keep that window minimal.
+package ttyserver
+
+import (
+	"sort"
+	"sync"
+
+	"auragen/internal/directory"
+	"auragen/internal/kernel"
+	"auragen/internal/routing"
+	"auragen/internal/types"
+	"auragen/internal/wire"
+)
+
+// Device is the external terminal hardware shared by the two clusters the
+// server pair runs in (terminals, like disks, are dual-ported, §7.1).
+// Output written here has left the fault domain: it is what the user saw.
+type Device struct {
+	mu      sync.Mutex
+	outputs map[int][]string
+	// seen tracks the highest write serial applied per channel: the
+	// device-level dedup that makes a promoted twin's replayed writes
+	// idempotent (the §7.9 analogue of a disk controller ignoring
+	// re-issued command ids).
+	seen map[types.ChannelID]uint64
+}
+
+// NewDevice creates the terminal hardware.
+func NewDevice() *Device {
+	return &Device{
+		outputs: make(map[int][]string),
+		seen:    make(map[types.ChannelID]uint64),
+	}
+}
+
+// Output returns the lines written to terminal term.
+func (d *Device) Output(term int) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.outputs[term]))
+	copy(out, d.outputs[term])
+	return out
+}
+
+func (d *Device) write(term int, line string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.outputs[term] = append(d.outputs[term], line)
+}
+
+// writeDedup applies a serialized channel write at most once.
+func (d *Device) writeDedup(term int, line string, ch types.ChannelID, serial uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if serial <= d.seen[ch] {
+		return
+	}
+	d.seen[ch] = serial
+	d.outputs[term] = append(d.outputs[term], line)
+}
+
+// Tty-server message ops carried in KindData payloads.
+const (
+	opBind  uint8 = 1 // file server announces a channel→terminal binding
+	opWrite uint8 = 2 // user writes a line to the terminal
+	opRead  uint8 = 3 // user requests the next input line
+)
+
+// EncodeBind builds the binding announcement the file server sends when a
+// user opens "tty:N".
+func EncodeBind(ch types.ChannelID, term int, user types.PID) []byte {
+	w := wire.NewWriter(24)
+	w.U8(opBind)
+	w.U64(uint64(ch))
+	w.I64(int64(term))
+	w.U64(uint64(user))
+	return w.Bytes()
+}
+
+// WriteReq builds a terminal write request.
+func WriteReq(line string) []byte {
+	w := wire.NewWriter(8 + len(line))
+	w.U8(opWrite)
+	w.String(line)
+	return w.Bytes()
+}
+
+// ReadReq builds a terminal read request; the reply payload is the next
+// input line.
+func ReadReq() []byte {
+	w := wire.NewWriter(1)
+	w.U8(opRead)
+	return w.Bytes()
+}
+
+type ttyBinding struct {
+	Term int
+	User types.PID
+}
+
+// Server is one tty-server instance.
+type Server struct {
+	pid    types.PID
+	device *Device
+
+	bindings map[types.ChannelID]ttyBinding
+	// writeSerials numbers each channel's terminal writes so the device
+	// can deduplicate replayed writes after a promotion.
+	writeSerials map[types.ChannelID]uint64
+	// inputs holds typed-but-unread lines per terminal.
+	inputs map[int][]string
+	// pendingReads holds read requests awaiting input, per terminal, in
+	// arrival order.
+	pendingReads map[int][]types.ChannelID
+}
+
+var _ kernel.Server = (*Server)(nil)
+
+// New creates a tty-server instance over the shared device.
+func New(pid types.PID, device *Device) *Server {
+	return &Server{
+		pid:          pid,
+		device:       device,
+		bindings:     make(map[types.ChannelID]ttyBinding),
+		writeSerials: make(map[types.ChannelID]uint64),
+		inputs:       make(map[int][]string),
+		pendingReads: make(map[int][]types.ChannelID),
+	}
+}
+
+// PID implements kernel.Server.
+func (s *Server) PID() types.PID { return s.pid }
+
+// Receive implements kernel.Server.
+func (s *Server) Receive(ctx *kernel.ServerCtx, m *types.Message) {
+	if m.Kind != types.KindData || len(m.Payload) == 0 {
+		return
+	}
+	r := wire.NewReader(m.Payload)
+	switch r.U8() {
+	case opBind:
+		ch := types.ChannelID(r.U64())
+		term := int(r.I64())
+		user := types.PID(r.U64())
+		if r.Done() == nil {
+			s.bindings[ch] = ttyBinding{Term: term, User: user}
+		}
+	case opWrite:
+		line := r.String()
+		if r.Done() != nil {
+			return
+		}
+		b, ok := s.bindings[m.Channel]
+		if !ok {
+			return
+		}
+		s.writeSerials[m.Channel]++
+		s.device.writeDedup(b.Term, line, m.Channel, s.writeSerials[m.Channel])
+		ctx.Sync()
+	case opRead:
+		b, ok := s.bindings[m.Channel]
+		if !ok {
+			return
+		}
+		if lines := s.inputs[b.Term]; len(lines) > 0 {
+			s.inputs[b.Term] = lines[1:]
+			ctx.Reply(m.Channel, b.User, types.KindData, []byte(lines[0]))
+		} else {
+			s.pendingReads[b.Term] = append(s.pendingReads[b.Term], m.Channel)
+		}
+		ctx.Sync()
+	}
+}
+
+// InjectInput is the device-driver path for typed input: deliver to the
+// oldest pending read or buffer it. Must be called through
+// kernel.ServerInject on the primary instance.
+func (s *Server) InjectInput(ctx *kernel.ServerCtx, term int, line string) {
+	if pend := s.pendingReads[term]; len(pend) > 0 {
+		ch := pend[0]
+		s.pendingReads[term] = pend[1:]
+		if b, ok := s.bindings[ch]; ok {
+			ctx.Reply(ch, b.User, types.KindData, []byte(line))
+		}
+	} else {
+		s.inputs[term] = append(s.inputs[term], line)
+	}
+	ctx.Sync()
+}
+
+// InjectInterrupt is the device-driver path for a control-C: an
+// asynchronous signal, sent via message to every process bound to the
+// terminal and to their backups (§7.5.2).
+func (s *Server) InjectInterrupt(ctx *kernel.ServerCtx, term int) {
+	users := make(map[types.PID]bool)
+	for _, b := range s.bindings {
+		if b.Term == term {
+			users[b.User] = true
+		}
+	}
+	pids := make([]types.PID, 0, len(users))
+	for pid := range users {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		ctx.SendSignal(pid, types.SigInt)
+	}
+}
+
+// SyncBlob implements kernel.Server.
+func (s *Server) SyncBlob() []byte {
+	w := wire.NewWriter(64)
+	chans := make([]types.ChannelID, 0, len(s.bindings))
+	for ch := range s.bindings {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool { return chans[i] < chans[j] })
+	w.U32(uint32(len(chans)))
+	for _, ch := range chans {
+		b := s.bindings[ch]
+		w.U64(uint64(ch))
+		w.I64(int64(b.Term))
+		w.U64(uint64(b.User))
+		w.U64(s.writeSerials[ch])
+	}
+	terms := make([]int, 0, len(s.inputs))
+	for t := range s.inputs {
+		terms = append(terms, t)
+	}
+	sort.Ints(terms)
+	w.U32(uint32(len(terms)))
+	for _, t := range terms {
+		w.I64(int64(t))
+		w.U32(uint32(len(s.inputs[t])))
+		for _, line := range s.inputs[t] {
+			w.String(line)
+		}
+	}
+	pterms := make([]int, 0, len(s.pendingReads))
+	for t := range s.pendingReads {
+		pterms = append(pterms, t)
+	}
+	sort.Ints(pterms)
+	w.U32(uint32(len(pterms)))
+	for _, t := range pterms {
+		w.I64(int64(t))
+		w.U32(uint32(len(s.pendingReads[t])))
+		for _, ch := range s.pendingReads[t] {
+			w.U64(uint64(ch))
+		}
+	}
+	return w.Bytes()
+}
+
+// ApplySync implements kernel.Server.
+func (s *Server) ApplySync(blob []byte) {
+	r := wire.NewReader(blob)
+	nB := r.U32()
+	bindings := make(map[types.ChannelID]ttyBinding, nB)
+	serials := make(map[types.ChannelID]uint64, nB)
+	for i := uint32(0); i < nB && r.Err() == nil; i++ {
+		ch := types.ChannelID(r.U64())
+		bindings[ch] = ttyBinding{Term: int(r.I64()), User: types.PID(r.U64())}
+		serials[ch] = r.U64()
+	}
+	nT := r.U32()
+	inputs := make(map[int][]string, nT)
+	for i := uint32(0); i < nT && r.Err() == nil; i++ {
+		t := int(r.I64())
+		n := r.U32()
+		for j := uint32(0); j < n && r.Err() == nil; j++ {
+			inputs[t] = append(inputs[t], r.String())
+		}
+	}
+	nP := r.U32()
+	pending := make(map[int][]types.ChannelID, nP)
+	for i := uint32(0); i < nP && r.Err() == nil; i++ {
+		t := int(r.I64())
+		n := r.U32()
+		for j := uint32(0); j < n && r.Err() == nil; j++ {
+			pending[t] = append(pending[t], types.ChannelID(r.U64()))
+		}
+	}
+	if r.Done() != nil {
+		return
+	}
+	s.bindings = bindings
+	s.writeSerials = serials
+	s.inputs = inputs
+	s.pendingReads = pending
+}
+
+// Promote implements kernel.Server.
+func (s *Server) Promote(ctx *kernel.ServerCtx, saved []*types.Message) {
+	for _, m := range saved {
+		s.Receive(ctx, m)
+	}
+}
+
+// Register wires a tty-server pair onto two terminal-equipped kernels.
+func Register(ka, kb *kernel.Kernel, device *Device) (*Server, *Server) {
+	pid := directory.PIDTTYServer
+	primary := New(pid, device)
+	twin := New(pid, device)
+	ka.RegisterServer(primary, routing.Primary, ka.ID())
+	kb.RegisterServer(twin, routing.Backup, ka.ID())
+	ka.Directory().SetService(pid, directory.ServiceLoc{Primary: ka.ID(), Backup: kb.ID()})
+	return primary, twin
+}

@@ -1,0 +1,50 @@
+package types
+
+import "errors"
+
+// Sentinel errors shared across subsystems. Errors wrap these so callers
+// can test with errors.Is.
+var (
+	// ErrCrashed is returned from any syscall issued by a process whose
+	// cluster has failed. The process goroutine unwinds; its backup takes
+	// over.
+	ErrCrashed = errors.New("auragen: cluster crashed")
+
+	// ErrShutdown is returned when the whole system is being torn down.
+	ErrShutdown = errors.New("auragen: system shutdown")
+
+	// ErrBadFD is returned for operations on descriptors that are not
+	// open.
+	ErrBadFD = errors.New("auragen: bad file descriptor")
+
+	// ErrNoProcess is returned when a PID does not name a live process.
+	ErrNoProcess = errors.New("auragen: no such process")
+
+	// ErrNoCluster is returned when a ClusterID does not name a live
+	// cluster.
+	ErrNoCluster = errors.New("auragen: no such cluster")
+
+	// ErrChannelClosed is returned when reading or writing a channel whose
+	// peer end has closed.
+	ErrChannelClosed = errors.New("auragen: channel closed")
+
+	// ErrExists is returned when creating a name that already exists.
+	ErrExists = errors.New("auragen: already exists")
+
+	// ErrNotFound is returned when a name cannot be resolved.
+	ErrNotFound = errors.New("auragen: not found")
+
+	// ErrNotSupported is returned for operations a given server or guest
+	// model does not implement.
+	ErrNotSupported = errors.New("auragen: not supported")
+
+	// ErrDeterminism is returned when a guest attempts an operation that
+	// would break the determinism requirement of §4 (for example reading
+	// environmental kernel state directly).
+	ErrDeterminism = errors.New("auragen: operation would violate determinism requirement")
+
+	// ErrTooManyFailures is returned when a second fault would make a
+	// process unrecoverable (the paper tolerates single-point failures;
+	// §3.1).
+	ErrTooManyFailures = errors.New("auragen: multiple failures exceed single-fault tolerance")
+)

@@ -1,0 +1,128 @@
+// Package types defines the core identifiers, message format, and backup
+// modes shared by every subsystem of the Auragen reproduction.
+//
+// The naming follows the paper: a processing unit is a "cluster", processes
+// are addressed by globally unique PIDs, and interprocess communication
+// happens over "channels" referenced locally by file descriptors.
+package types
+
+import "fmt"
+
+// ClusterID identifies one processing unit ("cluster", §7.1). Clusters are
+// numbered from 0. NoCluster marks an absent cluster (e.g. a process with no
+// backup).
+type ClusterID int32
+
+// NoCluster is the sentinel for "no such cluster".
+const NoCluster ClusterID = -1
+
+func (c ClusterID) String() string {
+	if c == NoCluster {
+		return "cluster(none)"
+	}
+	return fmt.Sprintf("cluster%d", int32(c))
+}
+
+// PID is a globally unique process identifier. The paper makes UNIX's
+// process id global precisely so that a backup sees the same pid as its
+// primary (§7.5.1); we allocate PIDs from the process server.
+type PID uint64
+
+// NoPID marks an absent process.
+const NoPID PID = 0
+
+func (p PID) String() string { return fmt.Sprintf("pid%d", uint64(p)) }
+
+// ChannelID names one interprocess channel globally. A channel connects
+// exactly two processes; each end is referenced locally by an FD. A channel
+// between two backed-up processes materializes as four routing-table
+// entries (§7.4.1).
+type ChannelID uint64
+
+// NoChannel marks an absent channel.
+const NoChannel ChannelID = 0
+
+func (c ChannelID) String() string { return fmt.Sprintf("ch%d", uint64(c)) }
+
+// FD is a process-local file descriptor returned by Open, as in UNIX. The
+// paper keeps the term even though channels need not represent files.
+type FD int32
+
+// NoFD marks an invalid descriptor.
+const NoFD FD = -1
+
+// Seq is a message sequence number assigned on arrival at a cluster
+// (§7.5.1: "Messages are given sequence numbers on arrival at a cluster so
+// that the behavior of which can be replicated by the backup").
+type Seq uint64
+
+// Epoch counts synchronizations of one process. Epoch 0 is the state at
+// process creation; each sync increments it. The page server uses epochs to
+// commit the backup page account atomically with the sync message.
+type Epoch uint32
+
+// BackupMode selects when (and whether) a new backup is created after a
+// crash (§7.3).
+type BackupMode uint8
+
+const (
+	// Quarterback processes run backed up until a crash occurs, but no new
+	// backup is created for them afterwards. The paper's default mode.
+	Quarterback BackupMode = iota
+	// Halfback processes get a new backup only when the cluster in which
+	// the original primary ran returns to service. Peripheral servers are
+	// halfbacks because primary and backup must sit in the two clusters
+	// wired to their device.
+	Halfback
+	// Fullback processes get a new backup created before the new primary
+	// begins executing; requires at least three clusters.
+	Fullback
+)
+
+func (m BackupMode) String() string {
+	switch m {
+	case Quarterback:
+		return "quarterback"
+	case Halfback:
+		return "halfback"
+	case Fullback:
+		return "fullback"
+	default:
+		return fmt.Sprintf("BackupMode(%d)", uint8(m))
+	}
+}
+
+// Signal numbers delivered over a process's signal channel (§7.5.2). Only
+// asynchronous signals travel as messages; synchronous faults (zero divide)
+// recur deterministically in the backup and need no logging.
+type Signal uint8
+
+const (
+	// SigNone is the zero value; never delivered.
+	SigNone Signal = iota
+	// SigInt corresponds to a control-C typed at a terminal.
+	SigInt
+	// SigAlarm is generated after an alarm() request elapses.
+	SigAlarm
+	// SigTerm asks the process to exit.
+	SigTerm
+	// SigUser is available to applications.
+	SigUser
+)
+
+func (s Signal) String() string {
+	switch s {
+	case SigNone:
+		return "SIGNONE"
+	case SigInt:
+		return "SIGINT"
+	case SigAlarm:
+		return "SIGALRM"
+	case SigTerm:
+		return "SIGTERM"
+	case SigUser:
+		return "SIGUSR"
+	default:
+		return fmt.Sprintf("Signal(%d)", uint8(s))
+	}
+}

@@ -1,0 +1,216 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembly text into a Program.
+//
+// Syntax, one statement per line (";" starts a comment):
+//
+//	.data ADDR "string"      initialized data at a fixed address
+//	label:                   jump target
+//	op operands              instruction; registers are r0..r15,
+//	                         immediates are Go-style integers or labels
+//
+// Jump targets may be labels or absolute instruction indices.
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		instr Instr
+		line  int
+		label string // unresolved jump target
+	}
+	p := &Program{Labels: make(map[string]int)}
+	var pend []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		// Data directive.
+		if strings.HasPrefix(line, ".data") {
+			rest := strings.TrimSpace(line[len(".data"):])
+			sp := strings.IndexAny(rest, " \t")
+			if sp < 0 {
+				return nil, fmt.Errorf("vm: line %d: .data needs ADDR and a string", lineNo+1)
+			}
+			addr, err := parseImm(rest[:sp])
+			if err != nil {
+				return nil, fmt.Errorf("vm: line %d: bad .data address: %v", lineNo+1, err)
+			}
+			strPart := strings.TrimSpace(rest[sp:])
+			s, err := strconv.Unquote(strPart)
+			if err != nil {
+				return nil, fmt.Errorf("vm: line %d: bad .data string: %v", lineNo+1, err)
+			}
+			p.Data = append(p.Data, DataSeg{Addr: addr, Data: []byte(s)})
+			continue
+		}
+
+		// Labels (possibly several on one line, possibly with an
+		// instruction after the last one).
+		for {
+			c := strings.IndexByte(line, ':')
+			if c < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:c])
+			if name == "" || strings.ContainsAny(name, " \t,") {
+				return nil, fmt.Errorf("vm: line %d: bad label %q", lineNo+1, name)
+			}
+			if _, dup := p.Labels[name]; dup {
+				return nil, fmt.Errorf("vm: line %d: duplicate label %q", lineNo+1, name)
+			}
+			p.Labels[name] = len(pend)
+			line = strings.TrimSpace(line[c+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		instr, labelRef, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("vm: line %d: %v", lineNo+1, err)
+		}
+		pend = append(pend, pending{instr: instr, line: lineNo + 1, label: labelRef})
+	}
+
+	// Resolve label references.
+	for _, pd := range pend {
+		ins := pd.instr
+		if pd.label != "" {
+			idx, ok := p.Labels[pd.label]
+			if !ok {
+				return nil, fmt.Errorf("vm: line %d: undefined label %q", pd.line, pd.label)
+			}
+			ins.Imm = int64(idx)
+		}
+		p.Instrs = append(p.Instrs, ins)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for program literals in
+// examples and tests.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opNames))
+	for op, n := range opNames {
+		m[n] = op
+	}
+	return m
+}()
+
+// operand shapes per opcode: r = register, i = immediate-or-label.
+var opShapes = map[Opcode]string{
+	OpNop: "", OpSync: "",
+	OpMovi: "ri", OpMov: "rr",
+	OpLd: "rri", OpSt: "rri", OpLdb: "rri", OpStb: "rri", OpAddi: "rri",
+	OpAdd: "rrr", OpSub: "rrr", OpMul: "rrr", OpDiv: "rrr", OpMod: "rrr",
+	OpAnd: "rrr", OpOr: "rrr", OpXor: "rrr", OpShl: "rrr", OpShr: "rrr",
+	OpJmp: "i", OpJz: "ri", OpJnz: "ri",
+	OpJeq: "rri", OpJne: "rri", OpJlt: "rri", OpJge: "rri",
+	OpOpen: "rrr", OpClose: "r", OpSend: "rrr", OpRecv: "rrr",
+	OpTime: "r", OpExit: "r",
+}
+
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.Fields(line)
+	name := strings.ToLower(fields[0])
+	op, ok := opByName[name]
+	if !ok {
+		return Instr{}, "", fmt.Errorf("unknown op %q", name)
+	}
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	var args []string
+	if rest != "" {
+		for _, a := range strings.Split(rest, ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	shape := opShapes[op]
+	if len(args) != len(shape) {
+		return Instr{}, "", fmt.Errorf("%s wants %d operands, got %d", name, len(shape), len(args))
+	}
+	ins := Instr{Op: op}
+	regSlot := 0
+	labelRef := ""
+	for i, a := range args {
+		switch shape[i] {
+		case 'r':
+			r, err := parseReg(a)
+			if err != nil {
+				return Instr{}, "", err
+			}
+			switch regSlot {
+			case 0:
+				ins.A = r
+			case 1:
+				ins.B = r
+			case 2:
+				ins.C = r
+			}
+			regSlot++
+		case 'i':
+			if v, err := parseImm(a); err == nil {
+				ins.Imm = v
+			} else if isIdent(a) {
+				labelRef = a
+			} else {
+				return Instr{}, "", fmt.Errorf("bad immediate %q", a)
+			}
+		}
+	}
+	return ins, labelRef, nil
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

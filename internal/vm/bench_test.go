@@ -1,0 +1,50 @@
+package vm
+
+import "testing"
+
+// BenchmarkInterpreterLoop measures raw instruction throughput on the
+// arithmetic loop the vmdemo example uses.
+func BenchmarkInterpreterLoop(b *testing.B) {
+	prog := MustAssemble(`
+		movi r1, 0
+		movi r2, 10000
+		movi r3, 0
+	loop:
+		jge  r1, r2, done
+		add  r3, r3, r1
+		addi r1, r1, 1
+		jmp  loop
+	done:
+		exit r3
+	`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(prog)
+		if err := m.Run(newFakeAPI()); err != nil {
+			b.Fatal(err)
+		}
+		if m.ExitStatus() != 49995000 {
+			b.Fatal("wrong sum")
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(4*10000), "instrs/op")
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	src := `
+		.data 256 "hello"
+	start:
+		movi r1, 10
+	loop:
+		addi r1, r1, -1
+		jnz  r1, loop
+		exit r1
+	`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

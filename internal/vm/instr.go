@@ -1,0 +1,177 @@
+// Package vm implements a small deterministic register machine that runs
+// as an Auragen guest. It exists to reproduce the paper's sync snapshot
+// faithfully at the machine level: the sync message carries "the virtual
+// address of the next instruction to be executed, current values in
+// registers" (§5.2), and a recovering backup resumes mid-computation from
+// exactly that point — something the reactor guest model (which syncs only
+// at handler boundaries) cannot demonstrate.
+//
+// The machine has 16 general-purpose 64-bit registers, a program counter,
+// and the process's paged address space as its memory. Message-system
+// syscalls (open, send, recv, time, sync, exit) are instructions; recv
+// blocks like the paper's synchronous reads (§7.5.1). One instruction is
+// one unit of virtual execution time, driving the §7.8 time-based sync
+// trigger.
+package vm
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// Opcode enumerates the instruction set.
+type Opcode uint8
+
+const (
+	// OpNop does nothing.
+	OpNop Opcode = iota
+	// OpMovi sets A to Imm.
+	OpMovi
+	// OpMov copies B to A.
+	OpMov
+	// OpLd loads the 64-bit word at memory[B+Imm] into A.
+	OpLd
+	// OpSt stores A to memory[B+Imm].
+	OpSt
+	// OpLdb loads the byte at memory[B+Imm] into A.
+	OpLdb
+	// OpStb stores the low byte of A to memory[B+Imm].
+	OpStb
+	// OpAdd sets A = B + C.
+	OpAdd
+	// OpSub sets A = B - C.
+	OpSub
+	// OpMul sets A = B * C.
+	OpMul
+	// OpDiv sets A = B / C; C == 0 is a synchronous fault.
+	OpDiv
+	// OpMod sets A = B % C; C == 0 is a synchronous fault.
+	OpMod
+	// OpAnd sets A = B & C.
+	OpAnd
+	// OpOr sets A = B | C.
+	OpOr
+	// OpXor sets A = B ^ C.
+	OpXor
+	// OpShl sets A = B << (C & 63).
+	OpShl
+	// OpShr sets A = B >> (C & 63).
+	OpShr
+	// OpAddi sets A = B + Imm.
+	OpAddi
+	// OpJmp jumps to instruction Imm.
+	OpJmp
+	// OpJz jumps to Imm if A == 0.
+	OpJz
+	// OpJnz jumps to Imm if A != 0.
+	OpJnz
+	// OpJeq jumps to Imm if A == B.
+	OpJeq
+	// OpJne jumps to Imm if A != B.
+	OpJne
+	// OpJlt jumps to Imm if A < B (unsigned).
+	OpJlt
+	// OpJge jumps to Imm if A >= B (unsigned).
+	OpJge
+	// OpOpen opens the name stored at memory[B] with length C, putting
+	// the descriptor in A (blocking, like every open).
+	OpOpen
+	// OpClose closes descriptor A.
+	OpClose
+	// OpSend writes the C bytes at memory[B] on descriptor A.
+	OpSend
+	// OpRecv blocks for the next message on descriptor A, stores its
+	// payload at memory[B], and puts the length in C.
+	OpRecv
+	// OpTime puts the process-server time (nanoseconds) in A.
+	OpTime
+	// OpSync marks an urgent sync point: the kernel synchronizes the
+	// backup at the next boundary regardless of trigger counters.
+	OpSync
+	// OpExit halts the program with status A.
+	OpExit
+)
+
+var opNames = map[Opcode]string{
+	OpNop: "nop", OpMovi: "movi", OpMov: "mov", OpLd: "ld", OpSt: "st",
+	OpLdb: "ldb", OpStb: "stb", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpDiv: "div", OpMod: "mod", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpAddi: "addi", OpJmp: "jmp", OpJz: "jz",
+	OpJnz: "jnz", OpJeq: "jeq", OpJne: "jne", OpJlt: "jlt", OpJge: "jge",
+	OpOpen: "open", OpClose: "close", OpSend: "send", OpRecv: "recv",
+	OpTime: "time", OpSync: "sync", OpExit: "exit",
+}
+
+func (o Opcode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(o))
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op      Opcode
+	A, B, C uint8
+	Imm     int64
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpNop, OpSync:
+		return i.Op.String()
+	case OpMovi:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.A, i.Imm)
+	case OpMov, OpJeq, OpJne, OpJlt, OpJge:
+		if i.Op == OpMov {
+			return fmt.Sprintf("mov r%d, r%d", i.A, i.B)
+		}
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.A, i.B, i.Imm)
+	case OpLd, OpSt, OpLdb, OpStb, OpAddi:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.A, i.B, i.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", i.Imm)
+	case OpJz, OpJnz:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.A, i.Imm)
+	case OpClose, OpTime, OpExit:
+		return fmt.Sprintf("%s r%d", i.Op, i.A)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.A, i.B, i.C)
+	}
+}
+
+// DataSeg is one initialized-data directive: bytes placed at a fixed
+// address when the program first starts (before the first instruction, so
+// the write is part of the deterministic execution and reaches the page
+// account like any other store).
+type DataSeg struct {
+	Addr int64
+	Data []byte
+}
+
+// Program is an immutable assembled program (the text segment; shared by
+// every instance, like text pages served read-only by the file server).
+type Program struct {
+	Instrs []Instr
+	Data   []DataSeg
+	Labels map[string]int
+}
+
+// Disassemble renders the program as assembly text.
+func (p *Program) Disassemble() string {
+	byIndex := make(map[int][]string)
+	for name, idx := range p.Labels {
+		byIndex[idx] = append(byIndex[idx], name)
+	}
+	var out string
+	for _, d := range p.Data {
+		out += fmt.Sprintf(".data %d %q\n", d.Addr, string(d.Data))
+	}
+	for i, ins := range p.Instrs {
+		for _, l := range byIndex[i] {
+			out += l + ":\n"
+		}
+		out += fmt.Sprintf("\t%s\n", ins)
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"auragen/internal/guest"
+	"auragen/internal/types"
+)
+
+// SyncCheckEvery is how many instructions run between kernel sync-point
+// checks. Smaller values bound roll-forward length more tightly at the
+// cost of more trigger checks.
+const SyncCheckEvery = 64
+
+// Machine runs one Program as an Auragen guest. Its registers and program
+// counter are the control state captured in every sync message; its memory
+// is the process address space, captured by the paging mechanism.
+type Machine struct {
+	prog *Program
+
+	regs [NumRegs]uint64
+	pc   uint32
+	// initialized records that the .data segments have been written; it
+	// rides in the regs blob so a backup that never saw a sync re-runs
+	// initialization.
+	initialized bool
+
+	// exitStatus holds the value passed to exit.
+	exitStatus uint64
+}
+
+var _ guest.Guest = (*Machine)(nil)
+
+// NewMachine creates a guest over an assembled program.
+func NewMachine(prog *Program) *Machine {
+	return &Machine{prog: prog}
+}
+
+// Factory returns a guest.Factory producing machines for prog.
+func Factory(prog *Program) guest.Factory {
+	return func() guest.Guest { return NewMachine(prog) }
+}
+
+// ReadSafePoint implements guest.ReadSafePointer: every VM read happens at
+// an instruction boundary, fully captured by registers plus memory.
+func (m *Machine) ReadSafePoint() bool { return true }
+
+// Reg returns register r (tests and tooling).
+func (m *Machine) Reg(r int) uint64 { return m.regs[r] }
+
+// PC returns the program counter.
+func (m *Machine) PC() uint32 { return m.pc }
+
+// ExitStatus returns the value passed to exit.
+func (m *Machine) ExitStatus() uint64 { return m.exitStatus }
+
+// Run implements guest.Guest: the fetch-execute loop, with a sync-point
+// check every SyncCheckEvery instructions. Reads block the process
+// goroutine exactly like the synchronous reads of §7.5.1.
+func (m *Machine) Run(p guest.API) error {
+	if !m.initialized {
+		for _, seg := range m.prog.Data {
+			p.Space().WriteAt(seg.Addr, seg.Data)
+		}
+		m.initialized = true
+	}
+	sinceCheck := 0
+	for {
+		if int(m.pc) >= len(m.prog.Instrs) {
+			return nil // fall off the end: normal exit
+		}
+		ins := m.prog.Instrs[m.pc]
+		halt, err := m.step(p, ins)
+		if err != nil {
+			return err
+		}
+		if halt {
+			return nil
+		}
+		p.Tick(1)
+		sinceCheck++
+		if sinceCheck >= SyncCheckEvery {
+			sinceCheck = 0
+			if err := p.SyncPoint(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// step executes one instruction. It returns halt=true on exit.
+func (m *Machine) step(p guest.API, ins Instr) (bool, error) {
+	next := m.pc + 1
+	mem := p.Space()
+	var scratch [8]byte
+
+	switch ins.Op {
+	case OpNop:
+	case OpMovi:
+		m.regs[ins.A] = uint64(ins.Imm)
+	case OpMov:
+		m.regs[ins.A] = m.regs[ins.B]
+	case OpLd:
+		mem.ReadAt(int64(m.regs[ins.B])+ins.Imm, scratch[:])
+		m.regs[ins.A] = binary.LittleEndian.Uint64(scratch[:])
+	case OpSt:
+		binary.LittleEndian.PutUint64(scratch[:], m.regs[ins.A])
+		mem.WriteAt(int64(m.regs[ins.B])+ins.Imm, scratch[:])
+	case OpLdb:
+		mem.ReadAt(int64(m.regs[ins.B])+ins.Imm, scratch[:1])
+		m.regs[ins.A] = uint64(scratch[0])
+	case OpStb:
+		scratch[0] = byte(m.regs[ins.A])
+		mem.WriteAt(int64(m.regs[ins.B])+ins.Imm, scratch[:1])
+	case OpAdd:
+		m.regs[ins.A] = m.regs[ins.B] + m.regs[ins.C]
+	case OpSub:
+		m.regs[ins.A] = m.regs[ins.B] - m.regs[ins.C]
+	case OpMul:
+		m.regs[ins.A] = m.regs[ins.B] * m.regs[ins.C]
+	case OpDiv:
+		if m.regs[ins.C] == 0 {
+			// A synchronous fault: it recurs identically in the backup
+			// (§7.5.2), so it is not logged — the guest just dies.
+			return false, fmt.Errorf("vm: pc %d: divide by zero", m.pc)
+		}
+		m.regs[ins.A] = m.regs[ins.B] / m.regs[ins.C]
+	case OpMod:
+		if m.regs[ins.C] == 0 {
+			return false, fmt.Errorf("vm: pc %d: modulo by zero", m.pc)
+		}
+		m.regs[ins.A] = m.regs[ins.B] % m.regs[ins.C]
+	case OpAnd:
+		m.regs[ins.A] = m.regs[ins.B] & m.regs[ins.C]
+	case OpOr:
+		m.regs[ins.A] = m.regs[ins.B] | m.regs[ins.C]
+	case OpXor:
+		m.regs[ins.A] = m.regs[ins.B] ^ m.regs[ins.C]
+	case OpShl:
+		m.regs[ins.A] = m.regs[ins.B] << (m.regs[ins.C] & 63)
+	case OpShr:
+		m.regs[ins.A] = m.regs[ins.B] >> (m.regs[ins.C] & 63)
+	case OpAddi:
+		m.regs[ins.A] = m.regs[ins.B] + uint64(ins.Imm)
+	case OpJmp:
+		next = uint32(ins.Imm)
+	case OpJz:
+		if m.regs[ins.A] == 0 {
+			next = uint32(ins.Imm)
+		}
+	case OpJnz:
+		if m.regs[ins.A] != 0 {
+			next = uint32(ins.Imm)
+		}
+	case OpJeq:
+		if m.regs[ins.A] == m.regs[ins.B] {
+			next = uint32(ins.Imm)
+		}
+	case OpJne:
+		if m.regs[ins.A] != m.regs[ins.B] {
+			next = uint32(ins.Imm)
+		}
+	case OpJlt:
+		if m.regs[ins.A] < m.regs[ins.B] {
+			next = uint32(ins.Imm)
+		}
+	case OpJge:
+		if m.regs[ins.A] >= m.regs[ins.B] {
+			next = uint32(ins.Imm)
+		}
+	case OpOpen:
+		// The PC stays AT the blocking instruction until its effects are
+		// applied: a snapshot taken while blocked (online backup
+		// establishment) then replays by re-executing it — the request is
+		// suppressed by the write counts and the reply comes from the
+		// saved queue.
+		name := make([]byte, m.regs[ins.C])
+		mem.ReadAt(int64(m.regs[ins.B]), name)
+		fd, err := p.Open(string(name))
+		if err != nil {
+			return false, err
+		}
+		m.regs[ins.A] = uint64(fd)
+		m.pc = next
+		return false, nil
+	case OpClose:
+		if err := p.Close(types.FD(m.regs[ins.A])); err != nil {
+			return false, err
+		}
+	case OpSend:
+		buf := make([]byte, m.regs[ins.C])
+		mem.ReadAt(int64(m.regs[ins.B]), buf)
+		if err := p.Write(types.FD(m.regs[ins.A]), buf); err != nil {
+			return false, err
+		}
+	case OpRecv:
+		data, err := p.Read(types.FD(m.regs[ins.A]))
+		if err != nil {
+			return false, err
+		}
+		mem.WriteAt(int64(m.regs[ins.B]), data)
+		m.regs[ins.C] = uint64(len(data))
+		m.pc = next
+		return false, nil
+	case OpTime:
+		t, err := p.Time()
+		if err != nil {
+			return false, err
+		}
+		m.regs[ins.A] = uint64(t)
+		m.pc = next
+		return false, nil
+	case OpSync:
+		m.pc = next
+		p.Tick(1 << 62) // exceed any time trigger: sync at the check below
+		return false, p.SyncPoint()
+	case OpExit:
+		m.exitStatus = m.regs[ins.A]
+		m.pc = next
+		return true, nil
+	default:
+		return false, fmt.Errorf("vm: pc %d: bad opcode %d", m.pc, ins.Op)
+	}
+	m.pc = next
+	return false, nil
+}
+
+// FlushState implements guest.Guest: VM stores go straight to the address
+// space, so there is nothing to flush.
+func (m *Machine) FlushState() {}
+
+// MarshalRegs implements guest.Guest: the §5.2 control state — registers,
+// program counter, and the init flag.
+func (m *Machine) MarshalRegs() []byte {
+	out := make([]byte, 8*NumRegs+5)
+	for i, r := range m.regs {
+		binary.LittleEndian.PutUint64(out[i*8:], r)
+	}
+	binary.LittleEndian.PutUint32(out[8*NumRegs:], m.pc)
+	if m.initialized {
+		out[8*NumRegs+4] = 1
+	}
+	return out
+}
+
+// UnmarshalRegs implements guest.Guest.
+func (m *Machine) UnmarshalRegs(data []byte) error {
+	if len(data) == 0 {
+		// Epoch-0 backup: replay from the very beginning.
+		*m = Machine{prog: m.prog}
+		return nil
+	}
+	if len(data) != 8*NumRegs+5 {
+		return fmt.Errorf("vm: regs blob is %d bytes, want %d", len(data), 8*NumRegs+5)
+	}
+	for i := range m.regs {
+		m.regs[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	m.pc = binary.LittleEndian.Uint32(data[8*NumRegs:])
+	m.initialized = data[8*NumRegs+4] == 1
+	return nil
+}

@@ -1,0 +1,370 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"auragen/internal/guest"
+	"auragen/internal/memory"
+	"auragen/internal/types"
+)
+
+// fakeAPI is a minimal guest.API for unit-testing the interpreter without
+// a kernel: reads pop from scripted queues, writes append to a log.
+type fakeAPI struct {
+	space  *memory.AddressSpace
+	reads  map[types.FD][][]byte
+	writes []string
+	opens  []string
+	nextFD types.FD
+	ticks  uint64
+	syncs  int
+	onSync func(*fakeAPI)
+}
+
+func newFakeAPI() *fakeAPI {
+	return &fakeAPI{
+		space:  memory.NewAddressSpace(256),
+		reads:  make(map[types.FD][][]byte),
+		nextFD: 2,
+	}
+}
+
+func (f *fakeAPI) PID() types.PID              { return 42 }
+func (f *fakeAPI) Args() []byte                { return nil }
+func (f *fakeAPI) Recovered() bool             { return false }
+func (f *fakeAPI) Space() *memory.AddressSpace { return f.space }
+func (f *fakeAPI) Tick(n uint64)               { f.ticks += n }
+func (f *fakeAPI) Time() (int64, error)        { return 123456789, nil }
+func (f *fakeAPI) Alarm(time.Duration) error   { return nil }
+func (f *fakeAPI) Close(types.FD) error        { return nil }
+func (f *fakeAPI) Call(fd types.FD, req []byte) ([]byte, error) {
+	if err := f.Write(fd, req); err != nil {
+		return nil, err
+	}
+	return f.Read(fd)
+}
+func (f *fakeAPI) IgnoreSignal(types.Signal, bool) error { return nil }
+func (f *fakeAPI) Fork(string, []byte) (types.PID, error) {
+	return types.NoPID, types.ErrNotSupported
+}
+func (f *fakeAPI) Nondet(compute func() uint64) (uint64, error) { return compute(), nil }
+func (f *fakeAPI) NextEvent() (guest.Event, error) {
+	return guest.Event{}, types.ErrNotSupported
+}
+func (f *fakeAPI) ReadAny([]types.FD) (types.FD, []byte, error) {
+	return types.NoFD, nil, types.ErrNotSupported
+}
+
+func (f *fakeAPI) Accept(notice []byte) (types.FD, error) {
+	fd := f.nextFD
+	f.nextFD++
+	return fd, nil
+}
+
+func (f *fakeAPI) Open(name string) (types.FD, error) {
+	f.opens = append(f.opens, name)
+	fd := f.nextFD
+	f.nextFD++
+	return fd, nil
+}
+
+func (f *fakeAPI) Read(fd types.FD) ([]byte, error) {
+	q := f.reads[fd]
+	if len(q) == 0 {
+		return nil, types.ErrChannelClosed
+	}
+	f.reads[fd] = q[1:]
+	return q[0], nil
+}
+
+func (f *fakeAPI) Write(fd types.FD, data []byte) error {
+	f.writes = append(f.writes, string(data))
+	return nil
+}
+
+func (f *fakeAPI) SyncPoint() error {
+	f.syncs++
+	if f.onSync != nil {
+		f.onSync(f)
+	}
+	return nil
+}
+
+func run(t *testing.T, src string, api *fakeAPI) *Machine {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(prog)
+	if err := m.Run(api); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+		movi r1, 7
+		movi r2, 5
+		add  r3, r1, r2   ; 12
+		sub  r4, r1, r2   ; 2
+		mul  r5, r1, r2   ; 35
+		div  r6, r1, r2   ; 1
+		mod  r7, r1, r2   ; 2
+		and  r8, r1, r2   ; 5
+		or   r9, r1, r2   ; 7
+		xor  r10, r1, r2  ; 2
+		movi r11, 2
+		shl  r12, r1, r11 ; 28
+		shr  r13, r1, r11 ; 1
+		addi r14, r1, 100 ; 107
+		exit r0
+	`, newFakeAPI())
+	want := map[int]uint64{3: 12, 4: 2, 5: 35, 6: 1, 7: 2, 8: 5, 9: 7, 10: 2, 12: 28, 13: 1, 14: 107}
+	for r, v := range want {
+		if got := m.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestLoopWithLabels(t *testing.T) {
+	m := run(t, `
+		movi r1, 0       ; i
+		movi r2, 10      ; n
+		movi r3, 0       ; sum
+	loop:
+		jge  r1, r2, done
+		add  r3, r3, r1
+		addi r1, r1, 1
+		jmp  loop
+	done:
+		exit r3
+	`, newFakeAPI())
+	if m.ExitStatus() != 45 {
+		t.Fatalf("sum = %d, want 45", m.ExitStatus())
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	m := run(t, `
+		movi r1, 0xABCDEF
+		movi r2, 1000
+		st   r1, r2, 8
+		ld   r3, r2, 8
+		movi r4, 65
+		stb  r4, r2, 0
+		ldb  r5, r2, 0
+		exit r0
+	`, newFakeAPI())
+	if m.Reg(3) != 0xABCDEF {
+		t.Errorf("ld round trip: r3 = %#x", m.Reg(3))
+	}
+	if m.Reg(5) != 65 {
+		t.Errorf("byte round trip: r5 = %d", m.Reg(5))
+	}
+}
+
+func TestDataSegmentAndOpen(t *testing.T) {
+	api := newFakeAPI()
+	run(t, `
+		.data 0x200 "chan:test"
+		movi r1, 0x200
+		movi r2, 9
+		open r0, r1, r2
+		exit r0
+	`, api)
+	if len(api.opens) != 1 || api.opens[0] != "chan:test" {
+		t.Fatalf("opens = %v", api.opens)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	api := newFakeAPI()
+	api.reads[5] = [][]byte{[]byte("ping")}
+	m := run(t, `
+		.data 64 "pong"
+		movi r1, 5        ; fd
+		movi r2, 128      ; recv buffer
+		recv r1, r2, r3   ; r3 = length
+		movi r4, 64
+		movi r5, 4
+		send r1, r4, r5
+		exit r3
+	`, api)
+	if m.ExitStatus() != 4 {
+		t.Fatalf("recv length = %d", m.ExitStatus())
+	}
+	if len(api.writes) != 1 || api.writes[0] != "pong" {
+		t.Fatalf("writes = %q", api.writes)
+	}
+	buf := make([]byte, 4)
+	api.space.ReadAt(128, buf)
+	if string(buf) != "ping" {
+		t.Fatalf("recv buffer = %q", buf)
+	}
+}
+
+func TestDivByZeroFaults(t *testing.T) {
+	prog := MustAssemble(`
+		movi r1, 1
+		movi r2, 0
+		div  r3, r1, r2
+	`)
+	m := NewMachine(prog)
+	err := m.Run(newFakeAPI())
+	if err == nil || !strings.Contains(err.Error(), "divide by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTimeSyscall(t *testing.T) {
+	m := run(t, `
+		time r1
+		exit r1
+	`, newFakeAPI())
+	if m.ExitStatus() != 123456789 {
+		t.Fatalf("time = %d", m.ExitStatus())
+	}
+}
+
+func TestSyncInstructionForcesCheck(t *testing.T) {
+	api := newFakeAPI()
+	run(t, `
+		movi r1, 1
+		sync
+		exit r0
+	`, api)
+	if api.syncs == 0 {
+		t.Fatal("sync instruction did not reach a sync point")
+	}
+}
+
+// TestRegsRoundTripResumesMidLoop is the heart of the VM's purpose: capture
+// registers+PC mid-computation (as a sync does), build a fresh machine from
+// them, and verify execution resumes to the same result.
+func TestRegsRoundTripResumesMidLoop(t *testing.T) {
+	prog := MustAssemble(`
+		movi r1, 0
+		movi r2, 1000
+		movi r3, 0
+	loop:
+		jge  r1, r2, done
+		add  r3, r3, r1
+		addi r1, r1, 1
+		jmp  loop
+	done:
+		exit r3
+	`)
+
+	// Run the full program for the expected answer.
+	ref := NewMachine(prog)
+	if err := ref.Run(newFakeAPI()); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.ExitStatus()
+
+	// Run again, snapshotting at the first sync check, then "crash" and
+	// resume a new machine from the snapshot.
+	api := newFakeAPI()
+	var snapshot []byte
+	api.onSync = func(f *fakeAPI) {
+		if snapshot == nil {
+			snapshot = NewMachine(prog).MarshalRegs() // placeholder sizing
+		}
+	}
+	m1 := NewMachine(prog)
+	stopAfter := SyncCheckEvery + 1
+	// Drive step-by-step so we can stop mid-loop.
+	fa := newFakeAPI()
+	for i := 0; i < stopAfter; i++ {
+		ins := prog.Instrs[m1.PC()]
+		halt, err := m1.step(fa, ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if halt {
+			t.Fatal("halted too early")
+		}
+	}
+	m1.initialized = true
+	regs := m1.MarshalRegs()
+
+	m2 := NewMachine(prog)
+	if err := m2.UnmarshalRegs(regs); err != nil {
+		t.Fatal(err)
+	}
+	if m2.PC() != m1.PC() {
+		t.Fatalf("pc mismatch: %d vs %d", m2.PC(), m1.PC())
+	}
+	if err := m2.Run(api); err != nil {
+		t.Fatal(err)
+	}
+	if m2.ExitStatus() != want {
+		t.Fatalf("resumed run = %d, want %d", m2.ExitStatus(), want)
+	}
+}
+
+func TestUnmarshalEmptyRegsRestartsFresh(t *testing.T) {
+	prog := MustAssemble(`exit r0`)
+	m := NewMachine(prog)
+	m.pc = 99
+	m.regs[3] = 7
+	m.initialized = true
+	if err := m.UnmarshalRegs(nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() != 0 || m.Reg(3) != 0 || m.initialized {
+		t.Fatal("empty regs blob did not reset the machine")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1",             // unknown op
+		"movi r99, 1",          // bad register
+		"movi r1",              // wrong arity
+		"jmp missing",          // undefined label
+		"x: nop\nx: nop",       // duplicate label
+		".data zzz \"a\"",      // bad address
+		".data 10 unquoted",    // bad string
+		"movi r1, notanumber!", // bad immediate
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		.data 256 "hello"
+	start:
+		movi r1, 10
+	loop:
+		addi r1, r1, -1
+		jnz  r1, loop
+		exit r1
+	`
+	p1 := MustAssemble(src)
+	p2, err := Assemble(p1.Disassemble())
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, p1.Disassemble())
+	}
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatalf("instr count %d vs %d", len(p1.Instrs), len(p2.Instrs))
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i] != p2.Instrs[i] {
+			t.Errorf("instr %d: %v vs %v", i, p1.Instrs[i], p2.Instrs[i])
+		}
+	}
+	m := NewMachine(p2)
+	if err := m.Run(newFakeAPI()); err != nil {
+		t.Fatal(err)
+	}
+}

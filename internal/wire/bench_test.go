@@ -1,0 +1,37 @@
+package wire
+
+import "testing"
+
+func BenchmarkWriterMixed(b *testing.B) {
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(300)
+		w.U64(uint64(i))
+		w.U32(7)
+		w.String("channel-info")
+		w.Bytes32(payload)
+		_ = w.Bytes()
+	}
+}
+
+func BenchmarkReaderMixed(b *testing.B) {
+	w := NewWriter(300)
+	w.U64(1)
+	w.U32(7)
+	w.String("channel-info")
+	w.Bytes32(make([]byte, 256))
+	buf := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		_ = r.U64()
+		_ = r.U32()
+		_ = r.String()
+		_ = r.Bytes32()
+		if r.Done() != nil {
+			b.Fatal("decode failed")
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.U16(0xBEEF)
+	w.U32(0xDEADBEEF)
+	w.U64(0x0123456789ABCDEF)
+	w.I64(-42)
+	w.I32(-7)
+	w.F64(math.Pi)
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool round trip failed")
+	}
+	if got := r.U16(); got != 0xBEEF {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.I32(); got != -7 {
+		t.Errorf("I32 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestRoundTripBytesAndStrings(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes32([]byte{1, 2, 3})
+	w.Bytes32(nil)
+	w.String("hello, auragen")
+	w.String("")
+
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes32 = %v", got)
+	}
+	if got := r.Bytes32(); len(got) != 0 {
+		t.Errorf("empty Bytes32 = %v", got)
+	}
+	if got := r.String(); got != "hello, auragen" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+func TestBytes32IsACopy(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes32([]byte{9, 9, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	got := r.Bytes32()
+	buf[4] = 0 // mutate the underlying buffer after decode
+	if got[0] != 9 {
+		t.Fatal("Bytes32 result aliases the input buffer")
+	}
+}
+
+func TestTruncationLatchesError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.U32()
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("Err = %v, want ErrTruncated", r.Err())
+	}
+	// Subsequent reads keep returning zero values without panicking.
+	if got := r.U64(); got != 0 {
+		t.Errorf("post-error U64 = %d", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("post-error String = %q", got)
+	}
+	if err := r.Done(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Done = %v", err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	w := NewWriter(0)
+	w.U32(7)
+	w.U8(1)
+	r := NewReader(w.Bytes())
+	_ = r.U32()
+	if err := r.Done(); err == nil {
+		t.Fatal("Done accepted trailing bytes")
+	}
+}
+
+func TestOversizedLengthPrefixRejected(t *testing.T) {
+	w := NewWriter(0)
+	w.U32(MaxBytes + 1)
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); got != nil {
+		t.Errorf("Bytes32 = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrTooLong) {
+		t.Fatalf("Err = %v, want ErrTooLong", r.Err())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a uint64, b uint32, c uint16, d uint8, s string, raw []byte, flag bool) bool {
+		w := NewWriter(0)
+		w.U64(a)
+		w.U32(b)
+		w.U16(c)
+		w.U8(d)
+		w.String(s)
+		w.Bytes32(raw)
+		w.Bool(flag)
+		r := NewReader(w.Bytes())
+		okA := r.U64() == a
+		okB := r.U32() == b
+		okC := r.U16() == c
+		okD := r.U8() == d
+		okS := r.String() == s
+		okRaw := bytes.Equal(r.Bytes32(), raw)
+		okFlag := r.Bool() == flag
+		return okA && okB && okC && okD && okS && okRaw && okFlag && r.Done() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTruncationNeverPanics(t *testing.T) {
+	f := func(payload []byte) bool {
+		r := NewReader(payload)
+		// Exercise a mixed decode against arbitrary bytes; the Reader must
+		// latch an error or succeed, never panic or over-read.
+		_ = r.U16()
+		_ = r.Bytes32()
+		_ = r.String()
+		_ = r.U64()
+		return r.Remaining() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a2 := NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandStateRestore(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 5; i++ {
+		r.Next()
+	}
+	saved := r.State()
+	want := r.Next()
+	if got := Restore(saved).Next(); got != want {
+		t.Fatalf("restored stream diverged: %d vs %d", got, want)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	if r.Intn(0) != 0 || r.Intn(-3) != 0 {
+		t.Fatal("Intn of non-positive bound should be 0")
+	}
+}
+
+func TestPad(t *testing.T) {
+	p := Pad("hi", 10)
+	if len(p) != 10 || string(p[:2]) != "hi" {
+		t.Fatalf("Pad = %q", p)
+	}
+	if got := Pad("longmessage", 4); string(got) != "long" {
+		t.Fatalf("truncating Pad = %q", got)
+	}
+}
+
+func TestXferRoundTrip(t *testing.T) {
+	req := XferReq(3, 9, 250, 0)
+	from, to, amt, ok := ParseXfer(req)
+	if !ok || from != 3 || to != 9 || amt != 250 {
+		t.Fatalf("ParseXfer(%q) = %d %d %d %v", req, from, to, amt, ok)
+	}
+	// Padded requests must parse identically.
+	padded := XferReq(3, 9, 250, 256)
+	if len(padded) != 256 {
+		t.Fatalf("padded len = %d", len(padded))
+	}
+	from, to, amt, ok = ParseXfer(padded)
+	if !ok || from != 3 || to != 9 || amt != 250 {
+		t.Fatalf("ParseXfer(padded) = %d %d %d %v", from, to, amt, ok)
+	}
+}
+
+func TestXferRejectsOthers(t *testing.T) {
+	if _, _, _, ok := ParseXfer([]byte("audit")); ok {
+		t.Fatal("audit parsed as xfer")
+	}
+	if _, _, _, ok := ParseXfer([]byte("xfer 1")); ok {
+		t.Fatal("short xfer parsed")
+	}
+}
+
+func TestAuditAndBal(t *testing.T) {
+	if !IsAudit(AuditReq()) {
+		t.Fatal("AuditReq not recognized")
+	}
+	acct, ok := ParseBal(BalReq(12))
+	if !ok || acct != 12 {
+		t.Fatalf("ParseBal = %d %v", acct, ok)
+	}
+	if _, ok := ParseBal([]byte("xfer 1 2 3")); ok {
+		t.Fatal("xfer parsed as bal")
+	}
+}
+
+func TestTxnPlanDeterministicAndConserving(t *testing.T) {
+	tp := TxnPlan{Accounts: 10, Txns: 100, Amount: 5, Seed: 99}
+	for i := 0; i < tp.Txns; i++ {
+		f1, t1, a1 := tp.Txn(i)
+		f2, t2, a2 := tp.Txn(i)
+		if f1 != f2 || t1 != t2 || a1 != a2 {
+			t.Fatal("plan not deterministic")
+		}
+		if f1 == t1 {
+			t.Fatal("self transfer generated")
+		}
+		if f1 < 0 || f1 >= tp.Accounts || t1 < 0 || t1 >= tp.Accounts {
+			t.Fatal("account out of range")
+		}
+		if a1 != 5 {
+			t.Fatal("wrong amount")
+		}
+	}
+}
+
+func TestTxnPlanEncodeRoundTrip(t *testing.T) {
+	f := func(accounts, txns uint8, amount uint16, size uint8, seed uint64) bool {
+		tp := TxnPlan{
+			Accounts:    int(accounts) + 1,
+			Txns:        int(txns),
+			Amount:      int(amount),
+			PayloadSize: int(size),
+			Seed:        seed,
+		}
+		got, err := DecodeTxnPlan(tp.Encode())
+		return err == nil && got == tp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTxnPlanErrors(t *testing.T) {
+	if _, err := DecodeTxnPlan([]byte("not a plan")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeTxnPlan([]byte("1 2")); err == nil {
+		t.Fatal("short plan accepted")
+	}
+}
+
+func TestPadDeterministic(t *testing.T) {
+	if string(Pad("x", 30)) != string(Pad("x", 30)) {
+		t.Fatal("Pad not deterministic")
+	}
+	if strings.Contains(string(Pad("x", 30)), "\x00") {
+		t.Fatal("Pad contains NUL filler")
+	}
+}
