@@ -7,9 +7,17 @@
 //	aurobench            # run every experiment
 //	aurobench -e E2,E5   # run a subset
 //	aurobench -quick     # smaller parameter points (CI-sized)
+//	aurobench -json      # also write BENCH_baseline.json (see -o)
+//
+// With -json, the run is additionally recorded as machine-readable data:
+// one entry per experiment, each row carrying the rendered fields, the
+// headline ns/op, and the delta of the shared metrics snapshot over the
+// measured interval. The file is the repo's append-only perf trajectory —
+// later optimization PRs are judged against it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -23,7 +31,34 @@ import (
 var (
 	flagExperiments = flag.String("e", "", "comma-separated experiment ids to run (default: all)")
 	flagQuick       = flag.Bool("quick", false, "smaller parameter points")
+	flagJSON        = flag.Bool("json", false, "write machine-readable results (see -o)")
+	flagOut         = flag.String("o", "BENCH_baseline.json", "output path for -json")
 )
+
+// benchRow is one parameter point of one experiment, as written by -json.
+type benchRow struct {
+	// Fields are the rendered "k=v" pairs of the table row.
+	Fields map[string]string `json:"fields"`
+	// NsPerOp is the headline per-operation latency (0: no timing axis).
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics is the shared-counter delta over the measured interval.
+	Metrics map[string]uint64 `json:"metrics,omitempty"`
+	Err     string            `json:"err,omitempty"`
+}
+
+type benchExperiment struct {
+	ID    string     `json:"id"`
+	Title string     `json:"title"`
+	Rows  []benchRow `json:"rows"`
+}
+
+type benchFile struct {
+	Schema      string            `json:"schema"`
+	Quick       bool              `json:"quick"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
+var results benchFile
 
 func main() {
 	flag.Parse()
@@ -44,7 +79,7 @@ func main() {
 	}
 
 	if sel("E1") {
-		table("E1  three-way delivery (§5.1, §8.1): one transmission per message; copies are executive work")
+		table("E1", "three-way delivery (§5.1, §8.1): one transmission per message; copies are executive work")
 		for _, ft := range []bool{false, true} {
 			for _, size := range []int{64, 1024, 16384} {
 				row, err := harness.E1ThreeWayDelivery(scale(800, 200), size, ft)
@@ -54,7 +89,7 @@ func main() {
 	}
 
 	if sel("E2") {
-		table("E2  incremental sync vs explicit full checkpoint (§2 vs §5)")
+		table("E2", "incremental sync vs explicit full checkpoint (§2 vs §5)")
 		for _, full := range []bool{false, true} {
 			for _, pages := range []int{16, 64, 256} {
 				row, err := harness.E2SyncVsCheckpoint(pages, scale(800, 200), 16, full)
@@ -64,7 +99,7 @@ func main() {
 	}
 
 	if sel("E3") {
-		table("E3  sync cost tracks the dirty set (§8.3)")
+		table("E3", "sync cost tracks the dirty set (§8.3)")
 		for _, dirty := range []int{1, 8, 32, 128} {
 			row, err := harness.E3SyncCost(dirty, scale(400, 100), 8)
 			failed = emit(row, err) || failed
@@ -72,7 +107,7 @@ func main() {
 	}
 
 	if sel("E4") {
-		table("E4  deferred backup creation for short-lived processes (§7.7, §8.2)")
+		table("E4", "deferred backup creation for short-lived processes (§7.7, §8.2)")
 		for _, eager := range []bool{false, true} {
 			row, err := harness.E4DeferredBackup(scale(100, 25), eager)
 			failed = emit(row, err) || failed
@@ -80,7 +115,7 @@ func main() {
 	}
 
 	if sel("E5") {
-		table("E5  recovery latency and roll-forward length (§6, §8.4)")
+		table("E5", "recovery latency and roll-forward length (§6, §8.4)")
 		for _, syncReads := range []uint32{8, 64, 256} {
 			row, err := harness.E5Recovery(syncReads, 2, scale(3000, 800))
 			failed = emit(row, err) || failed
@@ -92,7 +127,7 @@ func main() {
 	}
 
 	if sel("E6") {
-		table("E6  redundant-send suppression: exactly-once across crash points (§5.4)")
+		table("E6", "redundant-send suppression: exactly-once across crash points (§5.4)")
 		for _, after := range []uint64{100, 400, 1200} {
 			row, err := harness.E6SendSuppression(scale(2000, 600), after)
 			failed = emit(row, err) || failed
@@ -100,7 +135,7 @@ func main() {
 	}
 
 	if sel("E7") {
-		table("E7  backup modes after a crash (§7.3)")
+		table("E7", "backup modes after a crash (§7.3)")
 		for _, mode := range []types.BackupMode{types.Quarterback, types.Halfback, types.Fullback} {
 			row, err := harness.E7BackupModes(mode)
 			failed = emit(row, err) || failed
@@ -108,7 +143,7 @@ func main() {
 	}
 
 	if sel("E8") {
-		table("E8  file server: explicit sync over dual-ported shadow-block disk (§7.9)")
+		table("E8", "file server: explicit sync over dual-ported shadow-block disk (§7.9)")
 		for _, every := range []int{4, 16, 64} {
 			row, err := harness.E8FileServerSync(scale(600, 150), every, false)
 			failed = emit(row, err) || failed
@@ -118,10 +153,23 @@ func main() {
 	}
 
 	if sel("E9") {
-		table("E9  bus atomic multicast: fan-out without extra transmissions (§5.1)")
+		table("E9", "bus atomic multicast: fan-out without extra transmissions (§5.1)")
 		for _, targets := range []int{1, 2, 3} {
 			emit(harness.E9BusAtomicity(targets, scale(50000, 10000)), nil)
 		}
+	}
+
+	if *flagJSON {
+		results.Schema = "auragen-bench/v1"
+		results.Quick = *flagQuick
+		data, err := json.MarshalIndent(&results, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding %s: %v", *flagOut, err)
+		}
+		if err := os.WriteFile(*flagOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *flagOut, err)
+		}
+		fmt.Printf("\nwrote %s (%d experiments)\n", *flagOut, len(results.Experiments))
 	}
 
 	if failed {
@@ -129,17 +177,27 @@ func main() {
 	}
 }
 
-func table(title string) {
-	fmt.Printf("\n== %s ==\n", title)
+func table(id, title string) {
+	fmt.Printf("\n== %s  %s ==\n", id, title)
+	results.Experiments = append(results.Experiments, benchExperiment{ID: id, Title: title})
 }
 
 func emit(row *harness.Row, err error) (failed bool) {
+	entry := benchRow{Fields: map[string]string{}}
 	if row != nil {
 		fmt.Println("  " + row.String())
+		for k, v := range row.Vals {
+			entry.Fields[k] = v
+		}
+		entry.NsPerOp = row.NsPerOp
+		entry.Metrics = row.Metrics
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "  ERROR: %v\n", err)
-		return true
+		entry.Err = err.Error()
+		failed = true
 	}
-	return false
+	exp := &results.Experiments[len(results.Experiments)-1]
+	exp.Rows = append(exp.Rows, entry)
+	return failed
 }

@@ -7,6 +7,7 @@
 //	aurosim -topology -clusters 4      # render the architecture figure
 //	aurosim -scenario bank -crash 2    # run a scenario, fail a cluster
 //	aurosim -scenario counter -crash 2 -mode fullback
+//	aurosim -scenario counter -crash 2 -timeline   # causal event timeline
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"auragen/internal/core"
 	"auragen/internal/guest"
 	"auragen/internal/harness"
+	"auragen/internal/trace"
 	"auragen/internal/types"
 	"auragen/internal/workload"
 )
@@ -31,6 +33,7 @@ var (
 	flagMode     = flag.String("mode", "quarterback", "backup mode: quarterback | halfback | fullback")
 	flagSyncN    = flag.Uint("sync-reads", 16, "reads between syncs (§7.8)")
 	flagRestore  = flag.Bool("restore", false, "return the crashed cluster to service mid-scenario (halfbacks get new backups, §7.3)")
+	flagTimeline = flag.Bool("timeline", false, "record structured events and print the causal timeline after the run")
 )
 
 func main() {
@@ -55,7 +58,7 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q", *flagMode)
 	}
-	if err := runScenario(*flagScenario, *flagClusters, *flagCrash, mode, uint32(*flagSyncN), *flagRestore); err != nil {
+	if err := runScenario(*flagScenario, *flagClusters, *flagCrash, mode, uint32(*flagSyncN), *flagRestore, *flagTimeline); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -105,11 +108,17 @@ func renderTopology(clusters int) string {
 	return b.String()
 }
 
-func runScenario(name string, clusters, crash int, mode types.BackupMode, syncReads uint32, restore bool) error {
+func runScenario(name string, clusters, crash int, mode types.BackupMode, syncReads uint32, restore, timeline bool) error {
 	reg := guest.NewRegistry()
 	workload.Register(reg)
 	harness.RegisterGuests(reg)
-	sys, err := core.New(core.Options{Clusters: clusters, SyncReads: syncReads}, reg)
+	opts := core.Options{Clusters: clusters, SyncReads: syncReads}
+	if timeline {
+		// Large enough that the crash notice and recovery survive the ring
+		// even under a busy post-crash tail.
+		opts.EventLogLimit = 1 << 18
+	}
+	sys, err := core.New(opts, reg)
 	if err != nil {
 		return err
 	}
@@ -175,6 +184,15 @@ func runScenario(name string, clusters, crash int, mode types.BackupMode, syncRe
 	fmt.Print(indent(sys.Metrics().Snapshot().Delta(before).String()))
 	if errs := sys.GuestErrors(); len(errs) > 0 {
 		fmt.Println("guest errors:", errs)
+	}
+	if timeline {
+		log := sys.EventLog()
+		fmt.Printf("\ncausal timeline (%d events", log.Len())
+		if d := log.Dropped(); d > 0 {
+			fmt.Printf(", %d older events dropped", d)
+		}
+		fmt.Println("):")
+		fmt.Print(indent(trace.RenderTimeline(log.Events())))
 	}
 	return nil
 }

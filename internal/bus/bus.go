@@ -38,22 +38,37 @@ const NumBuses = 2
 // Bus connects 2..32 clusters. All methods are safe for concurrent use.
 type Bus struct {
 	metrics *trace.Metrics
+	log     *trace.EventLog
 
 	mu      sync.Mutex
 	inboxes map[types.ClusterID]*Inbox
 	failed  [NumBuses]bool
+	// nextID mints the monotonic per-transmission message ID under mu, so
+	// IDs are assigned in the bus's total transmission order.
+	nextID uint64
 }
 
-// New returns an empty bus. metrics may be nil.
-func New(metrics *trace.Metrics) *Bus {
+// New returns an empty bus reporting into the given shared metrics sink.
+// metrics must not be nil: a silently substituted private sink would split
+// the system's counters across invisible instances (assemble one with
+// core.NewObservability). log may be nil to disable event recording; the
+// disabled path does no work.
+func New(metrics *trace.Metrics, log *trace.EventLog) *Bus {
 	if metrics == nil {
-		metrics = &trace.Metrics{}
+		panic("bus: nil *trace.Metrics; use a shared sink (see core.NewObservability)")
 	}
 	return &Bus{
 		metrics: metrics,
+		log:     log,
 		inboxes: make(map[types.ClusterID]*Inbox),
 	}
 }
+
+// Metrics returns the shared metrics sink the bus reports into.
+func (b *Bus) Metrics() *trace.Metrics { return b.metrics }
+
+// EventLog returns the event log the bus records into (nil when disabled).
+func (b *Bus) EventLog() *trace.EventLog { return b.log }
 
 // Attach registers a cluster and returns its inbound queue. Attaching an
 // already-attached cluster replaces its inbox (used when a cluster returns
@@ -147,8 +162,21 @@ func (b *Bus) deliver(m *types.Message, targets []types.ClusterID) error {
 	if b.failed[0] && b.failed[1] {
 		return fmt.Errorf("bus: both physical buses down: %w", types.ErrTooManyFailures)
 	}
+	b.nextID++
+	m.ID = b.nextID
 	b.metrics.BusTransmissions.Add(1)
 	b.metrics.BusBytes.Add(uint64(len(m.Payload)))
+	if b.log != nil {
+		b.log.Append(trace.Event{
+			Kind:    trace.EvTransmit,
+			Cluster: types.NoCluster,
+			MsgID:   m.ID,
+			MsgKind: m.Kind,
+			PID:     m.Src,
+			Channel: m.Channel,
+			Arg:     trace.HashPayload(m.Payload),
+		})
+	}
 	if targets == nil {
 		for c := range b.inboxes {
 			targets = append(targets, c)
@@ -162,6 +190,16 @@ func (b *Bus) deliver(m *types.Message, targets []types.ClusterID) error {
 		}
 		in.push(m.Clone())
 		b.metrics.BusDeliveries.Add(1)
+		if b.log != nil {
+			b.log.Append(trace.Event{
+				Kind:    trace.EvReceive,
+				Cluster: c,
+				MsgID:   m.ID,
+				MsgKind: m.Kind,
+				PID:     m.Dst,
+				Channel: m.Channel,
+			})
+		}
 	}
 	return nil
 }

@@ -21,7 +21,7 @@ func dataMsg(src, dst types.PID, route types.Route, payload string) *types.Messa
 }
 
 func TestBroadcastReachesAllRouteTargets(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	in0 := b.Attach(0)
 	in1 := b.Attach(1)
 	in2 := b.Attach(2)
@@ -38,7 +38,7 @@ func TestBroadcastReachesAllRouteTargets(t *testing.T) {
 }
 
 func TestBroadcastSkipsUnroutedClusters(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	b.Attach(0)
 	in1 := b.Attach(1)
 	in3 := b.Attach(3)
@@ -58,7 +58,7 @@ func TestBroadcastSkipsUnroutedClusters(t *testing.T) {
 func TestDuplicateTargetsDeliverOnce(t *testing.T) {
 	// When the destination's backup lives in the sender-backup cluster the
 	// route lists the cluster twice; it must still receive one copy.
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	b.Attach(0)
 	in1 := b.Attach(1)
 	route := types.Route{Dst: 1, DstBackup: 1, SrcBackup: 1}
@@ -71,7 +71,7 @@ func TestDuplicateTargetsDeliverOnce(t *testing.T) {
 }
 
 func TestCopiesAreIndependent(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	in0 := b.Attach(0)
 	in1 := b.Attach(1)
 	route := types.Route{Dst: 0, DstBackup: 1}
@@ -88,7 +88,7 @@ func TestCopiesAreIndependent(t *testing.T) {
 }
 
 func TestDetachedClusterSkippedOthersStillReceive(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	b.Attach(0)
 	in1 := b.Attach(1)
 	b.Attach(2)
@@ -103,7 +103,7 @@ func TestDetachedClusterSkippedOthersStillReceive(t *testing.T) {
 }
 
 func TestDualBusRedundancy(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	in0 := b.Attach(0)
 	if err := b.FailBus(0); err != nil {
 		t.Fatal(err)
@@ -131,7 +131,7 @@ func TestDualBusRedundancy(t *testing.T) {
 }
 
 func TestFailBusRange(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	if err := b.FailBus(-1); err == nil {
 		t.Error("FailBus(-1) accepted")
 	}
@@ -147,7 +147,7 @@ func TestIdenticalOrderAtPrimaryAndBackup(t *testing.T) {
 	// The core §5.1 property: concurrent senders, but the primary's
 	// cluster and the backup's cluster observe their common messages in
 	// the same relative order.
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	inP := b.Attach(0) // primary's cluster
 	inB := b.Attach(1) // backup's cluster
 	route := types.Route{Dst: 0, DstBackup: 1}
@@ -196,7 +196,7 @@ func TestIdenticalOrderAtPrimaryAndBackup(t *testing.T) {
 }
 
 func TestBroadcastAllReachesEveryLiveCluster(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	inboxes := make([]*Inbox, 4)
 	for i := range inboxes {
 		inboxes[i] = b.Attach(types.ClusterID(i))
@@ -222,7 +222,7 @@ func TestCrashNoticeOrderedAfterPriorTraffic(t *testing.T) {
 	// that sees the notice has already seen every message broadcast before
 	// it — the §7.10.1 "all messages distributed before crash handling"
 	// precondition.
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	in := b.Attach(0)
 	route := types.Route{Dst: 0}
 	for i := 0; i < 10; i++ {
@@ -250,7 +250,7 @@ func TestCrashNoticeOrderedAfterPriorTraffic(t *testing.T) {
 }
 
 func TestInboxCloseWakesBlockedPop(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	in := b.Attach(0)
 	done := make(chan bool)
 	go func() {
@@ -264,7 +264,7 @@ func TestInboxCloseWakesBlockedPop(t *testing.T) {
 }
 
 func TestReattachReplacesInbox(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	old := b.Attach(0)
 	fresh := b.Attach(0)
 	if !old.Closed() {
@@ -280,7 +280,7 @@ func TestReattachReplacesInbox(t *testing.T) {
 
 func TestMetricsCountTransmissionsOnce(t *testing.T) {
 	var m trace.Metrics
-	b := New(&m)
+	b := New(&m, nil)
 	b.Attach(0)
 	b.Attach(1)
 	b.Attach(2)
@@ -302,7 +302,7 @@ func TestMetricsCountTransmissionsOnce(t *testing.T) {
 }
 
 func TestLive(t *testing.T) {
-	b := New(nil)
+	b := New(&trace.Metrics{}, nil)
 	b.Attach(3)
 	b.Attach(0)
 	b.Attach(5)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bus
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package bus
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, making AllocsPerRun unreliable under -race.
+const raceEnabled = true

@@ -72,6 +72,7 @@ func (s *System) RestoreCluster(c types.ClusterID) error {
 		// rejoin the replication set.
 		pagerDisk := disk.New(fmt.Sprintf("pager-mirror-%d-restored", c), s.opts.PageSize, 0, 1)
 		np := pager.New(c, pagerDisk)
+		np.SetEventLog(s.log)
 		if err := np.CloneFrom(s.pagers[int(other)]); err != nil {
 			return fmt.Errorf("core: resilvering page server: %w", err)
 		}

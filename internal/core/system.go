@@ -115,17 +115,16 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 		registry = guest.NewRegistry()
 	}
 
+	obs := NewObservability(opts.EventLogLimit)
 	s := &System{
 		opts:     opts,
 		dir:      directory.New(),
-		metrics:  &trace.Metrics{},
+		metrics:  obs.Metrics,
+		log:      obs.Log,
 		registry: registry,
 		crashed:  make(map[types.ClusterID]bool),
 	}
-	if opts.EventLogLimit > 0 {
-		s.log = trace.NewEventLog(opts.EventLogLimit)
-	}
-	s.bus = bus.New(s.metrics)
+	s.bus = bus.New(s.metrics, s.log)
 
 	for i := 0; i < opts.Clusters; i++ {
 		k := kernel.New(kernel.Config{
@@ -150,6 +149,8 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 	pagerDisk1 := disk.New("pager-mirror-1", opts.PageSize, 0, 1)
 	s.pagers[0] = pager.New(0, pagerDisk0)
 	s.pagers[1] = pager.New(1, pagerDisk1)
+	s.pagers[0].SetEventLog(s.log)
+	s.pagers[1].SetEventLog(s.log)
 	k0.SetPager(s.pagers[0])
 	k1.SetPager(s.pagers[1])
 	s.dir.SetService(directory.PIDPageServer, directory.ServiceLoc{Primary: 0, Backup: 1})

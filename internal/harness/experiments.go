@@ -27,9 +27,16 @@ func NewSystem(clusters int, syncReads uint32) (*core.System, error) {
 
 // Row is one table row of an experiment: a parameter point and its
 // measurements. String renders "k=v" pairs in insertion order.
+//
+// NsPerOp and Metrics are the machine-readable half (aurobench -json):
+// the headline per-operation latency in nanoseconds (0 when the
+// experiment has no timing axis) and the delta of the shared metrics
+// snapshot over the measured interval (nil when not captured).
 type Row struct {
-	Keys []string
-	Vals map[string]string
+	Keys    []string
+	Vals    map[string]string
+	NsPerOp float64
+	Metrics trace.Snapshot
 }
 
 // NewRow builds an empty row.
@@ -98,6 +105,8 @@ func E1ThreeWayDelivery(msgs, size int, ft bool) (*Row, error) {
 		Add("us_per_msg", "%.2f", float64(elapsed.Microseconds())/float64(2*msgs)).
 		Add("transmissions_per_msg", "%.2f", float64(d["bus_transmissions"])/float64(2*msgs)).
 		Add("deliveries_per_transmission", "%.2f", float64(d["bus_deliveries"])/float64(d["bus_transmissions"]))
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(2*msgs)
+	row.Metrics = d
 	return row, nil
 }
 
@@ -153,6 +162,8 @@ func E2SyncVsCheckpoint(statePages, txns int, syncReads uint32, fullCheckpoint b
 		Add("pages_per_sync", "%.1f", safeDiv(float64(d["pages_out"]), float64(d["syncs"]))).
 		Add("page_kb_total", "%d", d["page_bytes"]/1024).
 		Add("syncs", "%d", d["syncs"])
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(txns)
+	row.Metrics = d
 	return row, nil
 }
 
@@ -190,6 +201,8 @@ func E3SyncCost(dirtyPages, requests int, syncReads uint32) (*Row, error) {
 		Add("us_per_req", "%.2f", float64(elapsed.Microseconds())/float64(requests)).
 		Add("pages_per_sync", "%.1f", safeDiv(float64(d["pages_out"]), float64(d["syncs"]))).
 		Add("syncs", "%d", d["syncs"])
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(requests)
+	row.Metrics = d
 	return row, nil
 }
 
@@ -246,6 +259,8 @@ func E4DeferredBackup(children int, eager bool) (*Row, error) {
 		Add("birth_notices", "%d", d["birth_notices"]).
 		Add("backups_created", "%d", d["backups_created"]).
 		Add("backups_avoided", "%d", d["backups_avoided"])
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(children)
+	row.Metrics = d
 	return row, nil
 }
 
@@ -300,6 +315,8 @@ func E5Recovery(syncReads uint32, procs, txnsPerProc int) (*Row, error) {
 		Add("pages_fetched", "%d", d["pages_fetched"]).
 		Add("recovery_ms_total", "%.2f", float64(d["recovery_nanos"])/1e6).
 		Add("recovery_ms_per_proc", "%.3f", safeDiv(float64(d["recovery_nanos"])/1e6, float64(d["recoveries"])))
+	row.NsPerOp = safeDiv(float64(d["recovery_nanos"]), float64(d["recoveries"]))
+	row.Metrics = d
 	return row, nil
 }
 
@@ -325,6 +342,7 @@ func E7BackupModes(mode types.BackupMode) (*Row, error) {
 	for sys.Metrics().PrimaryDeliveries.Load() < 500 && time.Now().Before(deadline) {
 		time.Sleep(200 * time.Microsecond)
 	}
+	before := sys.Metrics().Snapshot()
 	start := time.Now()
 	if err := sys.Crash(2); err != nil {
 		return nil, err
@@ -333,6 +351,7 @@ func E7BackupModes(mode types.BackupMode) (*Row, error) {
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	d := sys.Metrics().Snapshot().Delta(before)
 
 	// Find the server (its pid is the first user pid).
 	newBackup := "none"
@@ -346,8 +365,10 @@ func E7BackupModes(mode types.BackupMode) (*Row, error) {
 		Add("mode", "%s", mode).
 		Add("survived", "%v", true).
 		Add("new_backup", "%s", newBackup).
-		Add("backups_created_after_crash", "%d", sys.Metrics().BackupsCreated.Load()).
+		Add("backups_created_after_crash", "%d", d["backups_created"]).
 		Add("ms_to_finish_after_crash", "%.1f", float64(elapsed.Microseconds())/1000)
+	row.NsPerOp = float64(elapsed.Nanoseconds())
+	row.Metrics = d
 	return row, nil
 }
 
@@ -356,7 +377,7 @@ func E7BackupModes(mode types.BackupMode) (*Row, error) {
 // transmissions.
 func E9BusAtomicity(targets, msgs int) *Row {
 	m := &trace.Metrics{}
-	b := bus.New(m)
+	b := bus.New(m, nil)
 	inboxes := make([]*bus.Inbox, targets)
 	for i := 0; i < targets; i++ {
 		inboxes[i] = b.Attach(types.ClusterID(i))
@@ -380,12 +401,15 @@ func E9BusAtomicity(targets, msgs int) *Row {
 		total += inboxes[i].Len()
 		b.Detach(types.ClusterID(i))
 	}
-	return NewRow().
+	row := NewRow().
 		Add("targets", "%d", targets).
 		Add("msgs", "%d", msgs).
 		Add("ns_per_multicast", "%.0f", float64(elapsed.Nanoseconds())/float64(msgs)).
 		Add("transmissions", "%d", m.BusTransmissions.Load()).
 		Add("deliveries", "%d", total)
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(msgs)
+	row.Metrics = m.Snapshot()
+	return row
 }
 
 func safeDiv(a, b float64) float64 {

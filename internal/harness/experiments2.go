@@ -30,6 +30,8 @@ func E6SendSuppression(txns int, crashAfterDeliveries uint64) (*Row, error) {
 		return nil, err
 	}
 	plan := workload.TxnPlan{Accounts: accounts, Txns: txns, Amount: 3, Seed: 11}
+	before := sys.Metrics().Snapshot()
+	start := time.Now()
 	pid, err := sys.Spawn("teller", []byte(fmt.Sprintf("e6 -1 %s", plan.Encode())), core.SpawnConfig{Cluster: 1})
 	if err != nil {
 		return nil, err
@@ -45,6 +47,8 @@ func E6SendSuppression(txns int, crashAfterDeliveries uint64) (*Row, error) {
 	if err := sys.WaitExit(pid, 120*time.Second); err != nil {
 		return nil, err
 	}
+	elapsed := time.Since(start)
+	d := sys.Metrics().Snapshot().Delta(before)
 
 	// Audit: conservation must hold exactly.
 	if _, err := sys.Spawn("auditor", []byte("e6 31"), core.SpawnConfig{Cluster: 1}); err != nil {
@@ -68,6 +72,8 @@ func E6SendSuppression(txns int, crashAfterDeliveries uint64) (*Row, error) {
 		Add("total", "%d", total).
 		Add("suppressed_sends", "%d", sys.Metrics().SuppressedSends.Load()).
 		Add("replayed_msgs", "%d", sys.Metrics().ReplayedMessages.Load())
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(txns)
+	row.Metrics = d
 	if total != want {
 		return row, fmt.Errorf("harness: E6 conservation violated: total=%d want=%d", total, want)
 	}
@@ -165,6 +171,8 @@ func E8FileServerSync(appends, syncEvery int, crash bool) (*Row, error) {
 		Add("disk_writes", "%d", writes).
 		Add("disk_reads", "%d", reads).
 		Add("server_syncs", "%d", d["syncs"])
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(appends)
+	row.Metrics = d
 	if !sizeOK {
 		return row, fmt.Errorf("harness: E8 file size wrong after crash=%v: want %q, terminal=%v, guestErrs=%v", crash, wantSize, sys.TerminalOutput(32), sys.GuestErrors())
 	}

@@ -136,7 +136,7 @@ func New(cfg Config) *Kernel {
 		cfg.SyncTicks = DefaultSyncTicks
 	}
 	if cfg.Metrics == nil {
-		cfg.Metrics = &trace.Metrics{}
+		panic("kernel: nil Config.Metrics; use a shared sink (see core.NewObservability)")
 	}
 	k := &Kernel{
 		id:         cfg.ID,
@@ -308,7 +308,7 @@ func (k *Kernel) txLoop() {
 		if err != nil {
 			// Both physical buses down: an untolerated multiple failure.
 			// The message is lost; higher layers observe the stall.
-			k.log.Add(trace.EvSend, fmt.Sprintf("%s: bus failure: %v", k.id, err))
+			k.log.Add(trace.EvNote, fmt.Sprintf("%s: bus failure: %v", k.id, err))
 		}
 	}
 }
@@ -323,6 +323,23 @@ func (k *Kernel) rxLoop() {
 		}
 		k.dispatch(m)
 	}
+}
+
+// logMsg records a message-scoped routing event for this cluster. The
+// disabled (nil log) path does no work, so dispatch can log unconditionally.
+func (k *Kernel) logMsg(kind trace.EventKind, m *types.Message, pid types.PID, arg uint64) {
+	if k.log == nil {
+		return
+	}
+	k.log.Append(trace.Event{
+		Kind:    kind,
+		Cluster: k.id,
+		MsgID:   m.ID,
+		MsgKind: m.Kind,
+		PID:     pid,
+		Channel: m.Channel,
+		Arg:     arg,
+	})
 }
 
 // dispatch routes one arriving message according to the §5.1 protocol: the
@@ -408,6 +425,7 @@ func (k *Kernel) dispatchChannelMessage(m *types.Message) {
 		if host, ok := k.servers[m.Dst]; ok {
 			if host.role == routing.Primary {
 				k.metrics.PrimaryDeliveries.Add(1)
+				k.logMsg(trace.EvDeliver, m, m.Dst, 0)
 				// Count the request now so the next server sync tells the
 				// twin to discard its saved copy (§7.9).
 				host.requestsHandled[m.Channel]++
@@ -421,6 +439,7 @@ func (k *Kernel) dispatchChannelMessage(m *types.Message) {
 			if e, ok := k.table.Lookup(m.Channel, m.Dst, routing.Primary); ok && !e.Closed {
 				e.Enqueue(m)
 				k.metrics.PrimaryDeliveries.Add(1)
+				k.logMsg(trace.EvDeliver, m, m.Dst, 0)
 				if p, ok := k.procs[m.Dst]; ok {
 					p.cond.Broadcast()
 				}
@@ -448,9 +467,11 @@ func (k *Kernel) dispatchChannelMessage(m *types.Message) {
 			case host.role == routing.Backup:
 				host.saved = append(host.saved, saved)
 				k.metrics.BackupSaves.Add(1)
+				k.logMsg(trace.EvSave, m, m.Dst, 0)
 			case m.Route.Dst != k.id:
 				// Promoted twin: service the straggler as primary.
 				k.metrics.PrimaryDeliveries.Add(1)
+				k.logMsg(trace.EvDeliver, m, m.Dst, 0)
 				host.requestsHandled[m.Channel]++
 				host.servicedCum[m.Channel]++
 				host.impl.Receive(k.serverCtx(host), saved)
@@ -462,10 +483,12 @@ func (k *Kernel) dispatchChannelMessage(m *types.Message) {
 			if e, ok := k.table.Lookup(m.Channel, m.Dst, routing.Backup); ok {
 				e.Enqueue(saved)
 				k.metrics.BackupSaves.Add(1)
+				k.logMsg(trace.EvSave, m, m.Dst, 0)
 			} else if p, ok := k.procs[m.Dst]; ok && m.Route.Dst != k.id {
 				if pe, ok := k.table.Lookup(m.Channel, m.Dst, routing.Primary); ok && !pe.Closed {
 					pe.Enqueue(saved)
 					k.metrics.PrimaryDeliveries.Add(1)
+					k.logMsg(trace.EvDeliver, m, m.Dst, 0)
 					p.cond.Broadcast()
 					if p.backupCluster != types.NoCluster {
 						fwd := saved.Clone()
@@ -501,6 +524,7 @@ func (k *Kernel) dispatchChannelMessage(m *types.Message) {
 		}
 		e.WritesSinceSync++
 		k.metrics.SenderBackupCounts.Add(1)
+		k.logMsg(trace.EvCount, m, m.Src, 0)
 		if len(m.Nondet) > 0 {
 			k.nondetLogs[m.Src] = append(k.nondetLogs[m.Src], m.Nondet...)
 		}

@@ -7,6 +7,7 @@ import (
 	"auragen/internal/guest"
 	"auragen/internal/memory"
 	"auragen/internal/routing"
+	"auragen/internal/trace"
 	"auragen/internal/types"
 	"auragen/internal/wire"
 )
@@ -90,6 +91,18 @@ func (k *Kernel) writeLocked(p *PCB, fd types.FD, kind types.Kind, data []byte) 
 		}
 		p.suppressTotal--
 		k.metrics.SuppressedSends.Add(1)
+		if k.log != nil {
+			// The hash pairs this suppression with the EvTransmit of the
+			// original send by the failed primary.
+			k.log.Append(trace.Event{
+				Kind:    trace.EvSuppress,
+				Cluster: k.id,
+				MsgKind: kind,
+				PID:     p.pid,
+				Channel: ch,
+				Arg:     trace.HashPayload(data),
+			})
+		}
 		return nil
 	}
 	payload := make([]byte, len(data))

@@ -38,7 +38,15 @@ func (k *Kernel) CrashProcess(pid types.PID) error {
 	// Outgoing messages it already enqueued have, from the system's
 	// perspective, left the process: they are on their way out (the
 	// executive processor and its queue are unaffected hardware).
-	k.log.Add(trace.EvCrash, pid.String())
+	if k.log != nil {
+		k.log.Append(trace.Event{
+			Kind:    trace.EvCrash,
+			Cluster: k.id,
+			PID:     pid,
+			Arg:     uint64(k.id),
+			Note:    "single-process crash",
+		})
+	}
 	return nil
 }
 

@@ -32,7 +32,13 @@ func (k *Kernel) handleCrashLocked(crashed types.ClusterID) {
 		return
 	}
 	start := time.Now()
-	k.log.Add(trace.EvCrash, crashed.String())
+	if k.log != nil {
+		k.log.Append(trace.Event{
+			Kind:    trace.EvCrash,
+			Cluster: k.id,
+			Arg:     uint64(crashed),
+		})
+	}
 
 	// Step 1: routing-table fixup.
 	k.table.FixupCrash(crashed, k.dir.IsFullback)
@@ -75,7 +81,7 @@ func (k *Kernel) handleCrashLocked(crashed types.ClusterID) {
 		if p.mode == types.Fullback {
 			if target := k.chooseBackupClusterLocked(); target != types.NoCluster {
 				if err := k.establishBackupLocked(p, target); err != nil {
-					k.log.Add(trace.EvRecover, "fullback re-establishment failed: "+err.Error())
+					k.log.Add(trace.EvNote, "fullback re-establishment failed: "+err.Error())
 				} else {
 					k.metrics.BackupsCreated.Add(1)
 				}
@@ -151,11 +157,11 @@ func (k *Kernel) promoteLocked(b *BackupPCB, noticeTime time.Time) {
 
 	guestObj, ok := k.reg.New(b.program)
 	if !ok {
-		k.log.Add(trace.EvRecover, "unknown program "+b.program)
+		k.log.Add(trace.EvNote, "unknown program "+b.program)
 		return
 	}
 	if err := guestObj.UnmarshalRegs(b.regs); err != nil {
-		k.log.Add(trace.EvRecover, "bad regs for "+pid.String())
+		k.log.Add(trace.EvNote, "bad regs for "+pid.String())
 		return
 	}
 
@@ -200,6 +206,23 @@ func (k *Kernel) promoteLocked(b *BackupPCB, noticeTime time.Time) {
 		e.OwnerBackupCluster = newBackup
 		e.WritesSinceSync = 0
 		e.ReadsSinceSync = 0
+		if k.log != nil {
+			// Record one replay step per saved message, in the order the
+			// promoted primary will re-read them (rotate keeps the queue
+			// intact).
+			for i, n := 0, e.QueueLen(); i < n; i++ {
+				m, _ := e.Dequeue()
+				e.Enqueue(m)
+				k.log.Append(trace.Event{
+					Kind:    trace.EvReplay,
+					Cluster: k.id,
+					MsgID:   m.ID,
+					MsgKind: m.Kind,
+					PID:     pid,
+					Channel: m.Channel,
+				})
+			}
+		}
 		replayed += e.QueueLen()
 		k.table.Add(e)
 	}
@@ -210,7 +233,14 @@ func (k *Kernel) promoteLocked(b *BackupPCB, noticeTime time.Time) {
 	k.procs[pid] = p
 	k.metrics.Recoveries.Add(1)
 	k.metrics.ReplayedMessages.Add(uint64(replayed))
-	k.log.Add(trace.EvRecover, pid.String())
+	if k.log != nil {
+		k.log.Append(trace.Event{
+			Kind:    trace.EvRecover,
+			Cluster: k.id,
+			PID:     pid,
+			Arg:     uint64(b.epoch),
+		})
+	}
 	k.startProcessLocked(p)
 }
 

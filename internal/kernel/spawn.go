@@ -244,7 +244,7 @@ func (k *Kernel) runProcess(p *PCB) {
 	default:
 		// A guest error is a software fault, outside the paper's fault
 		// model; treat it as an exit so the system stays consistent.
-		k.log.Add(trace.EvCrash, fmt.Sprintf("%s guest error: %v", p.pid, err))
+		k.log.Add(trace.EvNote, fmt.Sprintf("%s guest error: %v", p.pid, err))
 		k.mu.Lock()
 		k.recordGuestErrLocked(fmt.Sprintf("%s (%s): %v", p.pid, p.program, err))
 		k.mu.Unlock()

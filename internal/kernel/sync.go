@@ -186,7 +186,14 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 	if signalNext {
 		k.metrics.SyncForced.Add(1)
 	}
-	k.log.Add(trace.EvSync, p.pid.String())
+	if k.log != nil {
+		k.log.Append(trace.Event{
+			Kind:    trace.EvSync,
+			Cluster: k.id,
+			PID:     p.pid,
+			Arg:     uint64(epoch),
+		})
+	}
 	return nil
 }
 
@@ -227,6 +234,14 @@ func (k *Kernel) applySyncLocked(sm *SyncMsg) {
 	if !b.synced {
 		b.synced = true
 		k.metrics.BackupsCreated.Add(1)
+	}
+	if k.log != nil {
+		k.log.Append(trace.Event{
+			Kind:    trace.EvSyncApply,
+			Cluster: k.id,
+			PID:     sm.PID,
+			Arg:     uint64(sm.Epoch),
+		})
 	}
 	b.program = sm.Program
 	b.args = sm.Args

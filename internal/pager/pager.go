@@ -23,6 +23,7 @@ import (
 	"auragen/internal/disk"
 	"auragen/internal/kernel"
 	"auragen/internal/memory"
+	"auragen/internal/trace"
 	"auragen/internal/types"
 )
 
@@ -33,6 +34,7 @@ type account map[memory.PageNo]disk.BlockID
 type Server struct {
 	cluster types.ClusterID
 	disk    *disk.Disk
+	log     *trace.EventLog
 
 	mu      sync.Mutex
 	primary map[types.PID]account
@@ -62,6 +64,9 @@ func New(cluster types.ClusterID, d *disk.Disk) *Server {
 		refs:           make(map[disk.BlockID]int),
 	}
 }
+
+// SetEventLog attaches the shared event log (nil disables recording).
+func (s *Server) SetEventLog(l *trace.EventLog) { s.log = l }
 
 func (s *Server) incRef(b disk.BlockID) { s.refs[b]++ }
 
@@ -203,6 +208,14 @@ func (s *Server) HandlePageRequest(pid types.PID) []memory.Page {
 			continue
 		}
 		out = append(out, memory.Page{No: no, Data: data})
+	}
+	if s.log != nil {
+		s.log.Append(trace.Event{
+			Kind:    trace.EvPageFetch,
+			Cluster: s.cluster,
+			PID:     pid,
+			Arg:     uint64(len(out)),
+		})
 	}
 	return out
 }

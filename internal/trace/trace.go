@@ -1,6 +1,18 @@
-// Package trace collects the counters and timings the experiment harness
-// reports: bus transmissions, per-role deliveries, pages copied, syncs,
-// recovery latency. All counters are safe for concurrent use.
+// Package trace is the observability substrate of the reproduction. It has
+// two halves:
+//
+//   - Metrics: system-wide counters (bus transmissions, per-role deliveries,
+//     pages copied, syncs, recovery latency) reported by every component into
+//     one shared instance, safe for concurrent use.
+//   - EventLog: a fixed-capacity ring buffer of structured, typed events —
+//     one per bus transmission, per-cluster receive, three-way routing
+//     decision, sync phase, crash notice, roll-forward replay step, and
+//     suppression decrement — each carrying the monotonic message ID minted
+//     by the bus, so the causal history of a crash/recovery run can be
+//     reconstructed after the fact (RenderTimeline).
+//
+// A nil *EventLog is valid and records nothing; the disabled path performs
+// no allocations, so hot paths may log unconditionally.
 package trace
 
 import (
@@ -10,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"auragen/internal/types"
 )
 
 // Metrics aggregates system-wide counters. The zero value is ready to use.
@@ -132,89 +146,218 @@ func (s Snapshot) String() string {
 type EventKind uint8
 
 const (
-	// EvSend records a message placed on an outgoing queue.
-	EvSend EventKind = iota
-	// EvDeliver records a message delivered to a primary destination.
+	// EvNone is the zero value; never recorded.
+	EvNone EventKind = iota
+	// EvTransmit records the bus accepting one multicast: the message ID is
+	// minted here, once per transmission regardless of fan-out (§8.1). Arg
+	// carries the FNV-1a hash of the payload, so replayed regenerations of
+	// the same message can be paired with the original transmission.
+	EvTransmit
+	// EvReceive records the bus appending one copy to a cluster's inbound
+	// queue. Per-cluster EvReceive order is the §5.1 total-order guarantee.
+	EvReceive
+	// EvDeliver records a message delivered to its primary destination
+	// (routing role 1 of §5.1).
 	EvDeliver
-	// EvSave records a message saved for a destination backup.
+	// EvSave records a message saved for the destination's backup (role 2).
 	EvSave
-	// EvSync records a completed synchronization.
+	// EvCount records a writes-since-sync count incremented at the sender's
+	// backup, with the message discarded (role 3).
+	EvCount
+	// EvSync records a primary enqueueing its sync message (§7.8). Arg is
+	// the new epoch.
 	EvSync
-	// EvCrash records a cluster crash.
+	// EvSyncApply records the backup's kernel applying a sync message. Arg
+	// is the applied epoch.
+	EvSyncApply
+	// EvCrash records a kernel processing a crash notice (or injecting a
+	// single-process crash). Arg is the crashed cluster.
 	EvCrash
-	// EvRecover records a backup made runnable.
+	// EvRecover records a backup promoted to a runnable primary. Arg is the
+	// epoch the backup restarts from.
 	EvRecover
-	// EvSuppress records a send suppressed during roll-forward.
+	// EvReplay records one saved message queued for re-reading during
+	// roll-forward (§6): the promoted backup will consume it in original
+	// arrival order.
+	EvReplay
+	// EvSuppress records a send suppressed during roll-forward by a
+	// writes-since-sync count (§5.4). Arg carries the FNV-1a hash of the
+	// payload that was not re-sent; it pairs with the EvTransmit of the
+	// original send.
 	EvSuppress
+	// EvPageFetch records the page server serving a backup page account
+	// during recovery (§7.10.2). Arg is the number of pages returned.
+	EvPageFetch
+	// EvNote is a freeform annotation for rare conditions (bus failure,
+	// guest software fault); the detail lives in Note.
+	EvNote
 )
 
 func (k EventKind) String() string {
 	switch k {
-	case EvSend:
-		return "send"
+	case EvTransmit:
+		return "transmit"
+	case EvReceive:
+		return "receive"
 	case EvDeliver:
 		return "deliver"
 	case EvSave:
 		return "save"
+	case EvCount:
+		return "count"
 	case EvSync:
 		return "sync"
+	case EvSyncApply:
+		return "sync-apply"
 	case EvCrash:
 		return "crash"
 	case EvRecover:
 		return "recover"
+	case EvReplay:
+		return "replay"
 	case EvSuppress:
 		return "suppress"
+	case EvPageFetch:
+		return "page-fetch"
+	case EvNote:
+		return "note"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
 }
 
-// Event is one entry in an EventLog.
+// Event is one entry in an EventLog. Hot-path events carry only scalar
+// fields so that recording never allocates; Note is reserved for rare
+// annotation events.
 type Event struct {
+	// Seq is the event's position in the log's total append order,
+	// assigned by Append. It keeps counting across ring overflow, so gaps
+	// at the front of Events() reveal how much history was dropped.
+	Seq uint64
+	// When is the wall-clock append time in UnixNano, assigned by Append
+	// when zero.
+	When int64
 	Kind EventKind
-	When time.Time
-	// Note is a short human-readable annotation ("pid7 ch3 seq=12").
+	// Cluster is the reporting cluster: the receiving cluster for
+	// EvReceive and kernel events, NoCluster for bus-level EvTransmit.
+	Cluster types.ClusterID
+	// MsgID is the bus-minted monotonic message ID (0: not message-scoped).
+	// Every per-cluster copy of one transmission shares the same MsgID.
+	MsgID uint64
+	// MsgKind is the kind of the message the event concerns.
+	MsgKind types.Kind
+	// PID is the process the event concerns (destination for delivery and
+	// save, sender for count and suppress, synced/promoted process for
+	// sync/recover).
+	PID types.PID
+	// Channel is the channel the message rode, when applicable.
+	Channel types.ChannelID
+	// Arg is a kind-specific scalar; see the EventKind docs.
+	Arg uint64
+	// Note is a short human-readable annotation for EvNote and error paths.
 	Note string
 }
 
-// EventLog is an optional bounded in-memory event recorder used by tests
-// and the scenario runner for post-mortem inspection. A nil *EventLog is
-// valid and records nothing, so hot paths can log unconditionally.
+// DefaultEventLogCap is the ring capacity used when NewEventLog is given a
+// non-positive capacity.
+const DefaultEventLogCap = 8192
+
+// EventLog is a fixed-capacity, lock-cheap ring buffer of structured
+// events, used by tests, the timeline renderer, and the scenario runner
+// for post-mortem inspection. On overflow the newest events are kept and a
+// dropped-events counter advances. A nil *EventLog is valid and records
+// nothing — the disabled path does no work and no allocations — so hot
+// paths can log unconditionally.
 type EventLog struct {
-	mu     sync.Mutex
-	events []Event
-	limit  int
+	mu   sync.Mutex
+	ring []Event
+	// next is the total number of events ever appended; next-len(ring)
+	// (when positive) is the number dropped to overflow.
+	next uint64
 }
 
-// NewEventLog returns a log that retains at most limit events (older events
-// are dropped). limit <= 0 means unbounded.
-func NewEventLog(limit int) *EventLog {
-	return &EventLog{limit: limit}
+// NewEventLog returns a log whose ring retains the newest capacity events.
+// capacity <= 0 selects DefaultEventLogCap.
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventLogCap
+	}
+	return &EventLog{ring: make([]Event, capacity)}
 }
 
-// Add appends one event. Safe on a nil receiver.
-func (l *EventLog) Add(kind EventKind, note string) {
+// Append records one event, assigning its Seq (and When, if zero). Safe on
+// a nil receiver; never allocates.
+func (l *EventLog) Append(e Event) {
 	if l == nil {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.events = append(l.events, Event{Kind: kind, When: time.Now(), Note: note})
-	if l.limit > 0 && len(l.events) > l.limit {
-		l.events = l.events[len(l.events)-l.limit:]
+	if e.When == 0 {
+		e.When = time.Now().UnixNano()
 	}
+	l.mu.Lock()
+	e.Seq = l.next
+	l.ring[l.next%uint64(len(l.ring))] = e
+	l.next++
+	l.mu.Unlock()
 }
 
-// Events returns a copy of the recorded events in order.
+// Add appends a bare annotation event (kind + note). Safe on nil.
+func (l *EventLog) Add(kind EventKind, note string) {
+	l.Append(Event{Kind: kind, Note: note})
+}
+
+// Events returns a copy of the retained events in append order (oldest
+// retained first). Nil receiver returns nil.
 func (l *EventLog) Events() []Event {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	n := l.next
+	capacity := uint64(len(l.ring))
+	if n > capacity {
+		n = capacity
+	}
+	out := make([]Event, 0, n)
+	for i := l.next - n; i < l.next; i++ {
+		out = append(out, l.ring[i%capacity])
+	}
 	return out
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.next > uint64(len(l.ring)) {
+		return len(l.ring)
+	}
+	return int(l.next)
+}
+
+// Cap returns the ring capacity.
+func (l *EventLog) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.ring)
+}
+
+// Dropped returns the number of events lost to ring overflow.
+func (l *EventLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if capacity := uint64(len(l.ring)); l.next > capacity {
+		return l.next - capacity
+	}
+	return 0
 }
 
 // Count returns the number of retained events of the given kind.
@@ -224,11 +367,86 @@ func (l *EventLog) Count(kind EventKind) int {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	n := 0
-	for _, e := range l.events {
-		if e.Kind == kind {
-			n++
+	n := l.next
+	if capacity := uint64(len(l.ring)); n > capacity {
+		n = capacity
+	}
+	c := 0
+	for i := uint64(0); i < n; i++ {
+		if l.ring[i].Kind == kind {
+			c++
 		}
 	}
-	return n
+	return c
+}
+
+// HashPayload is FNV-1a 64 over b. EvTransmit and EvSuppress events carry
+// it in Arg so a suppressed regeneration can be paired with the original
+// transmission of the same content. Never allocates.
+func HashPayload(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RenderTimeline renders events (as returned by Events) as an ordered
+// causal timeline, one line per event, with times relative to the first
+// rendered event. Used by `aurosim -timeline` for crash post-mortems.
+func RenderTimeline(events []Event) string {
+	var b strings.Builder
+	if len(events) == 0 {
+		b.WriteString("(no events recorded)\n")
+		return b.String()
+	}
+	base := events[0].When
+	fmt.Fprintf(&b, "%8s %12s  %-14s %-10s  %s\n", "seq", "t(+ms)", "cluster", "event", "detail")
+	for _, e := range events {
+		fmt.Fprintf(&b, "%8d %12.3f  %-14s %-10s  %s\n",
+			e.Seq, float64(e.When-base)/1e6, clusterLabel(e), e.Kind, e.Detail())
+	}
+	return b.String()
+}
+
+func clusterLabel(e Event) string {
+	if e.Kind == EvTransmit || e.Cluster == types.NoCluster {
+		return "bus"
+	}
+	return e.Cluster.String()
+}
+
+// Detail renders the kind-specific fields of an event in a compact
+// human-readable form (the right-hand column of RenderTimeline).
+func (e Event) Detail() string {
+	var parts []string
+	if e.MsgID != 0 {
+		parts = append(parts, fmt.Sprintf("msg#%d", e.MsgID))
+	}
+	if e.MsgKind != types.KindInvalid {
+		parts = append(parts, e.MsgKind.String())
+	}
+	if e.PID != types.NoPID {
+		parts = append(parts, e.PID.String())
+	}
+	if e.Channel != types.NoChannel {
+		parts = append(parts, e.Channel.String())
+	}
+	switch e.Kind {
+	case EvTransmit, EvSuppress:
+		if e.Arg != 0 {
+			parts = append(parts, fmt.Sprintf("hash=%016x", e.Arg))
+		}
+	case EvSync, EvSyncApply, EvRecover:
+		parts = append(parts, fmt.Sprintf("epoch=%d", e.Arg))
+	case EvCrash:
+		parts = append(parts, fmt.Sprintf("crashed=%s", types.ClusterID(e.Arg)))
+	case EvPageFetch:
+		parts = append(parts, fmt.Sprintf("pages=%d", e.Arg))
+	}
+	if e.Note != "" {
+		parts = append(parts, e.Note)
+	}
+	return strings.Join(parts, " ")
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -49,34 +50,184 @@ func TestAddRecovery(t *testing.T) {
 	}
 }
 
-func TestEventLogBounded(t *testing.T) {
+func TestEventLogOverflowKeepsNewest(t *testing.T) {
 	l := NewEventLog(3)
-	for i := 0; i < 10; i++ {
-		l.Add(EvSend, "m")
+	for i := 1; i <= 10; i++ {
+		l.Append(Event{Kind: EvTransmit, MsgID: uint64(i)})
 	}
-	if got := len(l.Events()); got != 3 {
-		t.Fatalf("retained %d events, want 3", got)
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
 	}
-	if l.Count(EvSend) != 3 || l.Count(EvCrash) != 0 {
+	for i, want := range []uint64{8, 9, 10} {
+		if evs[i].MsgID != want {
+			t.Errorf("event %d: MsgID = %d, want %d", i, evs[i].MsgID, want)
+		}
+	}
+	// Seq keeps counting across overflow: the retained window is 7..9.
+	if evs[0].Seq != 7 || evs[2].Seq != 9 {
+		t.Errorf("Seq window = [%d,%d], want [7,9]", evs[0].Seq, evs[2].Seq)
+	}
+	if got := l.Dropped(); got != 7 {
+		t.Errorf("Dropped = %d, want 7", got)
+	}
+	if l.Len() != 3 || l.Cap() != 3 {
+		t.Errorf("Len/Cap = %d/%d, want 3/3", l.Len(), l.Cap())
+	}
+	if l.Count(EvTransmit) != 3 || l.Count(EvCrash) != 0 {
 		t.Fatal("Count wrong")
+	}
+}
+
+func TestEventLogNoOverflow(t *testing.T) {
+	l := NewEventLog(8)
+	l.Append(Event{Kind: EvSync})
+	l.Append(Event{Kind: EvCrash})
+	if l.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", l.Dropped())
+	}
+	evs := l.Events()
+	if len(evs) != 2 || evs[0].Kind != EvSync || evs[1].Kind != EvCrash {
+		t.Fatalf("Events = %v", evs)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Errorf("Seq = %d,%d, want 0,1", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].When == 0 {
+		t.Error("When not stamped")
+	}
+}
+
+func TestEventLogDefaultCap(t *testing.T) {
+	if got := NewEventLog(0).Cap(); got != DefaultEventLogCap {
+		t.Fatalf("Cap = %d, want %d", got, DefaultEventLogCap)
+	}
+	if got := NewEventLog(-5).Cap(); got != DefaultEventLogCap {
+		t.Fatalf("Cap = %d, want %d", got, DefaultEventLogCap)
+	}
+}
+
+func TestEventLogConcurrentAppends(t *testing.T) {
+	const writers, perWriter = 8, 500
+	l := NewEventLog(writers * perWriter)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Append(Event{Kind: EvReceive, MsgID: uint64(w*perWriter + i + 1)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := l.Events()
+	if len(evs) != writers*perWriter {
+		t.Fatalf("retained %d events, want %d", len(evs), writers*perWriter)
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", l.Dropped())
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has Seq %d: append order not total", i, e.Seq)
+		}
 	}
 }
 
 func TestNilEventLogSafe(t *testing.T) {
 	var l *EventLog
 	l.Add(EvSync, "x") // must not panic
-	if l.Events() != nil || l.Count(EvSync) != 0 {
+	l.Append(Event{Kind: EvCrash})
+	if l.Events() != nil || l.Count(EvSync) != 0 || l.Len() != 0 || l.Cap() != 0 || l.Dropped() != 0 {
 		t.Fatal("nil log returned data")
 	}
 }
 
+func TestNilEventLogAppendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun unreliable under -race")
+	}
+	var l *EventLog
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Append(Event{Kind: EvTransmit, MsgID: 1, When: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Append allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestEnabledEventLogAppendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun unreliable under -race")
+	}
+	l := NewEventLog(1 << 12)
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Append(Event{Kind: EvTransmit, MsgID: 1, When: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled Append allocates %.1f times per op, want 0 (ring is preallocated)", allocs)
+	}
+}
+
+func TestHashPayload(t *testing.T) {
+	a := HashPayload([]byte("hello"))
+	b := HashPayload([]byte("hello"))
+	c := HashPayload([]byte("hellp"))
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if a == c {
+		t.Fatal("distinct payloads collided")
+	}
+	// FNV-1a 64 offset basis for empty input.
+	if HashPayload(nil) != 14695981039346656037 {
+		t.Fatal("empty hash is not the FNV-1a offset basis")
+	}
+	if !raceEnabled {
+		buf := []byte{1, 2, 3}
+		allocs := testing.AllocsPerRun(1000, func() { HashPayload(buf) })
+		if allocs != 0 {
+			t.Fatalf("HashPayload allocates %.1f times per op", allocs)
+		}
+	}
+}
+
 func TestEventKindStrings(t *testing.T) {
-	for _, k := range []EventKind{EvSend, EvDeliver, EvSave, EvSync, EvCrash, EvRecover, EvSuppress} {
-		if strings.HasPrefix(k.String(), "EventKind(") {
+	kinds := []EventKind{
+		EvTransmit, EvReceive, EvDeliver, EvSave, EvCount, EvSync,
+		EvSyncApply, EvCrash, EvRecover, EvReplay, EvSuppress,
+		EvPageFetch, EvNote,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if strings.HasPrefix(s, "EventKind(") {
 			t.Errorf("kind %d has no name", k)
 		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
 	}
 	if EventKind(99).String() != "EventKind(99)" {
 		t.Error("unknown kind render wrong")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	l := NewEventLog(16)
+	l.Append(Event{Kind: EvTransmit, Cluster: -1, MsgID: 1, Arg: 0xabc})
+	l.Append(Event{Kind: EvReceive, Cluster: 2, MsgID: 1})
+	l.Append(Event{Kind: EvCrash, Cluster: 0, Arg: 2})
+	l.Append(Event{Kind: EvRecover, Cluster: 0, Arg: 3})
+	out := RenderTimeline(l.Events())
+	for _, want := range []string{"transmit", "receive", "crash", "crashed=cluster2", "recover", "epoch=3", "msg#1", "bus"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if RenderTimeline(nil) != "(no events recorded)\n" {
+		t.Error("empty timeline render wrong")
 	}
 }

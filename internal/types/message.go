@@ -174,6 +174,12 @@ func (r Route) Targets() []ClusterID {
 // primary destination, the destination's backup, or the sender's backup
 // (§5.1).
 type Message struct {
+	// ID is the bus-minted monotonic transmission ID, assigned once per
+	// Broadcast and shared by every per-cluster copy of the transmission.
+	// Zero until the bus accepts the message. Trace events carry it so the
+	// causal history of one message can be followed across clusters.
+	ID uint64
+
 	Kind Kind
 	// Channel is the channel the message was written on (KindData,
 	// KindSignal, KindOpenReply); NoChannel for kernel-to-kernel kinds.
