@@ -34,6 +34,7 @@ var (
 	flagSyncN    = flag.Uint("sync-reads", 16, "reads between syncs (§7.8)")
 	flagRestore  = flag.Bool("restore", false, "return the crashed cluster to service mid-scenario (halfbacks get new backups, §7.3)")
 	flagTimeline = flag.Bool("timeline", false, "record structured events and print the causal timeline after the run")
+	flagSeed     = flag.Int64("seed", 0, "seed a deterministic logical clock (0: wall clock); same seed + same scenario gives identical -timeline timestamps")
 )
 
 func main() {
@@ -58,7 +59,7 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q", *flagMode)
 	}
-	if err := runScenario(*flagScenario, *flagClusters, *flagCrash, mode, uint32(*flagSyncN), *flagRestore, *flagTimeline); err != nil {
+	if err := runScenario(*flagScenario, *flagClusters, *flagCrash, mode, uint32(*flagSyncN), *flagRestore, *flagTimeline, *flagSeed); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -108,7 +109,7 @@ func renderTopology(clusters int) string {
 	return b.String()
 }
 
-func runScenario(name string, clusters, crash int, mode types.BackupMode, syncReads uint32, restore, timeline bool) error {
+func runScenario(name string, clusters, crash int, mode types.BackupMode, syncReads uint32, restore, timeline bool, seed int64) error {
 	reg := guest.NewRegistry()
 	workload.Register(reg)
 	harness.RegisterGuests(reg)
@@ -117,6 +118,11 @@ func runScenario(name string, clusters, crash int, mode types.BackupMode, syncRe
 		// Large enough that the crash notice and recovery survive the ring
 		// even under a busy post-crash tail.
 		opts.EventLogLimit = 1 << 18
+	}
+	if seed != 0 {
+		// A logical clock makes every timestamp a pure function of the
+		// system's own progress: repeated same-seed runs are diffable.
+		opts.Clock = types.NewLogicalClock(seed, 0)
 	}
 	sys, err := core.New(opts, reg)
 	if err != nil {

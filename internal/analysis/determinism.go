@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time functions that read or depend on the
+// wall clock. A backup re-executing a primary's history (§5, §6) must see
+// identical inputs, so the deterministic core takes time only through an
+// injected types.Clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"Sleep": true,
+}
+
+// checkDeterminism implements AURO001 (wall clock), AURO002 (global
+// math/rand), and AURO003 (map iteration feeding emission) for the
+// deterministic core packages.
+func (p *pass) checkDeterminism() {
+	if !p.cfg.isDeterministic(p.pkg.Path) {
+		return
+	}
+	emitters := p.emittingFuncs()
+
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.checkWallClock(n)
+				p.checkGlobalRand(n)
+			case *ast.RangeStmt:
+				p.checkMapRangeEmission(n, emitters)
+			}
+			return true
+		})
+	}
+}
+
+func (p *pass) checkWallClock(call *ast.CallExpr) {
+	fn := calleeOf(p.pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods on Time/Timer values are pure given their input
+	}
+	if !wallClockFuncs[fn.Name()] {
+		return
+	}
+	p.reportf(call.Pos(), "AURO001",
+		"wall-clock time.%s in deterministic package %s breaks roll-forward replay; inject a types.Clock",
+		fn.Name(), shortPkg(p.pkg.Path))
+}
+
+func (p *pass) checkGlobalRand(call *ast.CallExpr) {
+	fn := calleeOf(p.pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if path := fn.Pkg().Path(); path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods on an owned *rand.Rand are seedable by the caller
+	}
+	p.reportf(call.Pos(), "AURO002",
+		"global math/rand.%s in deterministic package %s shares hidden state across replicas; use a seeded local source",
+		fn.Name(), shortPkg(p.pkg.Path))
+}
+
+// emittingFuncs computes, by fixpoint over the package-local call graph,
+// the set of functions that (transitively) emit messages or trace events:
+// directly calling a Config.EmitCalls API, being named in
+// Config.EmitLocalFuncs, or calling another emitting function.
+func (p *pass) emittingFuncs() map[*types.Func]bool {
+	type node struct {
+		decl    *ast.FuncDecl
+		callees []*types.Func
+		emits   bool
+	}
+	nodes := make(map[*types.Func]*node)
+
+	p.walkFuncBodies(func(decl *ast.FuncDecl) {
+		obj, ok := p.pkg.Info.Defs[decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		n := &node{decl: decl}
+		if containsString(p.cfg.EmitLocalFuncs, decl.Name.Name) {
+			n.emits = true
+		}
+		ast.Inspect(decl.Body, func(an ast.Node) bool {
+			call, ok := an.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(p.pkg.Info, call)
+			if fn == nil {
+				return true
+			}
+			if containsString(p.cfg.EmitCalls, funcKey(fn)) {
+				n.emits = true
+			} else if fn.Pkg() != nil && fn.Pkg().Path() == p.pkg.Path {
+				n.callees = append(n.callees, fn)
+			}
+			return true
+		})
+		nodes[obj] = n
+	})
+
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if n.emits {
+				continue
+			}
+			for _, callee := range n.callees {
+				if cn, ok := nodes[callee]; ok && cn.emits {
+					n.emits = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	out := make(map[*types.Func]bool, len(nodes))
+	for fn, n := range nodes {
+		if n.emits {
+			out[fn] = true
+		}
+	}
+	return out
+}
+
+// checkMapRangeEmission flags calls inside a range-over-map body that emit
+// messages or trace events: Go map iteration order is randomized per run,
+// so the emission order — and with it the replica-visible message history —
+// differs between a primary and the backup replaying it. Collect the keys,
+// sort, then emit.
+func (p *pass) checkMapRangeEmission(rs *ast.RangeStmt, emitters map[*types.Func]bool) {
+	t := p.pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	inspectSkippingFuncLits(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(p.pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case containsString(p.cfg.EmitCalls, funcKey(fn)):
+			p.reportf(call.Pos(), "AURO003",
+				"%s inside map iteration emits in nondeterministic order; iterate a sorted copy of the keys",
+				fn.Name())
+		case emitters[fn]:
+			p.reportf(call.Pos(), "AURO003",
+				"call to %s inside map iteration emits in nondeterministic order (it reaches the bus or event log); iterate a sorted copy of the keys",
+				fn.Name())
+		}
+		return true
+	})
+}

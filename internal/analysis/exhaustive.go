@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkExhaustiveness implements AURO008: every switch over a configured
+// enum type (message kinds, trace event kinds) must either cover all of
+// the enum's declared constants or carry a default clause. Without this, a
+// newly added message kind silently falls through dispatch — the §5.1
+// routing protocol depends on every kind having a defined disposition.
+func (p *pass) checkExhaustiveness() {
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if ok && sw.Tag != nil {
+				p.checkSwitch(sw)
+			}
+			return true
+		})
+	}
+}
+
+func (p *pass) checkSwitch(sw *ast.SwitchStmt) {
+	t := p.pkg.Info.TypeOf(sw.Tag)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if !containsString(p.cfg.EnumTypes, key) {
+		return
+	}
+
+	// Every declared constant of the enum type, by value, so aliases and
+	// literal zero both count as covering the zero variant.
+	variants := make(map[string]string) // exact value -> first declared name
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v := c.Val().ExactString()
+		if _, dup := variants[v]; !dup {
+			variants[v] = name
+		}
+	}
+
+	covered := make(map[string]bool)
+	hasDefault := false
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := p.pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+
+	var missing []string
+	for v, name := range variants {
+		if !covered[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	p.reportf(sw.Pos(), "AURO008",
+		"switch over %s is missing %s and has no default; every variant needs a defined disposition",
+		key[strings.LastIndex(key, "/")+1:], strings.Join(missing, ", "))
+}

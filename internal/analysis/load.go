@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	// Path is the package's import path (e.g. "auragen/internal/bus").
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking diagnostics. Checks still run on a
+	// partially checked package, but the driver reports these separately.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module from source, using
+// only the standard library: module-internal imports are resolved against
+// the module root, everything else is delegated to the compiler's export
+// data importer. Results are cached, so shared dependencies (types, trace,
+// bus, ...) are checked once per Loader.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+	Fset       *token.FileSet
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at moduleRoot with the
+// given module path (the first line of go.mod).
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "gc", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// Import implements go/types.Importer so the loader can resolve the
+// imports encountered while type-checking.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Dir returns the directory holding the package with the given module-
+// internal import path.
+func (l *Loader) Dir(importPath string) string {
+	if importPath == l.ModulePath {
+		return l.ModuleRoot
+	}
+	rel := strings.TrimPrefix(importPath, l.ModulePath+"/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+}
+
+// Load parses and type-checks the module-internal package at importPath.
+// Test files (*_test.go) are excluded: the checks target shipped code.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir := l.Dir(importPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	p := &Package{Path: importPath, Fset: l.Fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		p.Files = append(p.Files, f)
+	}
+
+	p.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, p.Files, p.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	p.Types = tpkg
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// ExpandPatterns resolves go-style package patterns ("./...",
+// "./internal/...", "./cmd/aurolint") to module-internal import paths, in
+// sorted order. Directories named testdata, hidden directories, and
+// directories without non-test Go files are skipped.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+		recursive := false
+		if pat == "..." {
+			pat, recursive = "", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		pat = strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/")
+		root := l.ModuleRoot
+		if pat != "" {
+			root = filepath.Join(l.ModuleRoot, filepath.FromSlash(pat))
+		}
+		if !recursive {
+			if hasGoFiles(root) {
+				add(pathJoin(l.ModulePath, pat))
+			} else {
+				return nil, fmt.Errorf("analysis: no Go files in %s", root)
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				rel, err := filepath.Rel(l.ModuleRoot, path)
+				if err != nil {
+					return err
+				}
+				add(pathJoin(l.ModulePath, filepath.ToSlash(rel)))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func pathJoin(module, rel string) string {
+	if rel == "" || rel == "." {
+		return module
+	}
+	return module + "/" + rel
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockDelta maps mutex operations to their effect on the held count.
+var lockDelta = map[string]int{
+	"sync.Mutex.Lock":      +1,
+	"sync.Mutex.Unlock":    -1,
+	"sync.RWMutex.Lock":    +1,
+	"sync.RWMutex.RLock":   +1,
+	"sync.RWMutex.Unlock":  -1,
+	"sync.RWMutex.RUnlock": -1,
+}
+
+// checkLocking implements AURO004: a call that blocks on cross-component
+// synchronization (bus broadcast, inbox pop, pager read-back RPC) while
+// the caller holds a mutex is the classic deadlock shape in the
+// kernel↔bus↔pager triangle — the callee may need a lock whose holder is
+// waiting on ours.
+//
+// The analysis is a statement-order scan, not full flow analysis: Lock()
+// raises the held count, Unlock() lowers it, `defer Unlock()` leaves it
+// raised for the rest of the function (that is the point of the check),
+// and branch bodies cannot leak lock-state changes past their statement.
+// Functions whose name ends in "Locked" follow the repository convention
+// of running with the owner's mutex already held. Package-local calls made
+// while a lock is held are walked too, so a blocking call buried one level
+// down is still found.
+func (p *pass) checkLocking() {
+	reported := make(map[token.Pos]bool)
+	p.walkFuncBodies(func(decl *ast.FuncDecl) {
+		w := &lockWalker{
+			pass:     p,
+			reported: reported,
+			visited:  map[*ast.FuncDecl]bool{decl: true},
+		}
+		if strings.HasSuffix(decl.Name.Name, "Locked") {
+			w.held = 1
+		}
+		w.walkStmt(decl.Body)
+	})
+}
+
+type lockWalker struct {
+	pass     *pass
+	held     int
+	reported map[token.Pos]bool
+	visited  map[*ast.FuncDecl]bool
+}
+
+func (w *lockWalker) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.walkStmt(s)
+	}
+}
+
+// walkStmt processes one statement, updating the held count for lock
+// operations at this nesting level and restoring it around branches.
+func (w *lockWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases only at return: the lock stays held
+		// for the remainder of the scan. Other deferred calls run at an
+		// unknowable lock state; skip them.
+	case *ast.GoStmt:
+		// The new goroutine does not inherit the caller's locks.
+	case *ast.IfStmt:
+		w.walkStmt(s.Init)
+		w.evalExpr(s.Cond)
+		save := w.held
+		w.walkStmt(s.Body)
+		w.held = save
+		w.walkStmt(s.Else)
+		w.held = save
+	case *ast.ForStmt:
+		w.walkStmt(s.Init)
+		w.evalExpr(s.Cond)
+		save := w.held
+		w.walkStmt(s.Body)
+		w.walkStmt(s.Post)
+		w.held = save
+	case *ast.RangeStmt:
+		w.evalExpr(s.X)
+		save := w.held
+		w.walkStmt(s.Body)
+		w.held = save
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init)
+		w.evalExpr(s.Tag)
+		w.walkClauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkClauses(s.Body)
+	case *ast.SelectStmt:
+		w.walkClauses(s.Body)
+	default:
+		// Leaf statements (expressions, assignments, returns, sends):
+		// evaluate every contained expression in source order.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.evalExpr(e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (w *lockWalker) walkClauses(body *ast.BlockStmt) {
+	save := w.held
+	for _, clause := range body.List {
+		w.held = save
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.evalExpr(e)
+			}
+			w.walkStmts(c.Body)
+		case *ast.CommClause:
+			w.walkStmt(c.Comm)
+			w.walkStmts(c.Body)
+		}
+	}
+	w.held = save
+}
+
+// evalExpr scans an expression for calls, in position order.
+func (w *lockWalker) evalExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	inspectSkippingFuncLits(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.handleCall(call)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) handleCall(call *ast.CallExpr) {
+	fn := calleeOf(w.pass.pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	key := funcKey(fn)
+	if d, ok := lockDelta[key]; ok {
+		w.held += d
+		if w.held < 0 {
+			w.held = 0
+		}
+		return
+	}
+	if w.held == 0 {
+		return
+	}
+	if containsString(w.pass.cfg.BlockingCalls, key) {
+		if !w.reported[call.Pos()] {
+			w.reported[call.Pos()] = true
+			w.pass.reportf(call.Pos(), "AURO004",
+				"blocking cross-component call %s while a mutex is held; release the lock first",
+				key[strings.LastIndex(key, "/")+1:])
+		}
+		return
+	}
+	// Follow package-local calls made under the lock, one body at a time.
+	if fn.Pkg() == nil || fn.Pkg().Path() != w.pass.pkg.Path {
+		return
+	}
+	decl := w.declOf(fn)
+	if decl == nil || w.visited[decl] {
+		return
+	}
+	w.visited[decl] = true
+	sub := &lockWalker{pass: w.pass, held: w.held, reported: w.reported, visited: w.visited}
+	sub.walkStmt(decl.Body)
+}
+
+func (w *lockWalker) declOf(fn *types.Func) *ast.FuncDecl {
+	for _, f := range w.pass.pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := w.pass.pkg.Info.Defs[fd.Name].(*types.Func); ok && obj == fn {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}

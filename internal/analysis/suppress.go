@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Suppression comments take the form
+//
+//	//lint:ignore AURO003 iteration order is re-sorted before emission
+//
+// on the offending line or the line directly above it. The justification
+// text is mandatory: a suppression explains why the site is safe, not just
+// that someone wanted the finding gone. A malformed suppression (missing
+// ID or missing reason) is itself reported as AURO000 and suppresses
+// nothing.
+var suppressRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+type suppression struct {
+	id     string
+	file   string
+	line   int // the comment's own line; covers findings on line and line+1
+	reason string
+}
+
+// collectSuppressions scans the package's comments for lint:ignore
+// directives. Malformed directives are appended to the returned findings.
+func collectSuppressions(pkg *Package) ([]suppression, []Finding) {
+	var sups []suppression
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//lint:ignore") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := suppressRe.FindStringSubmatch(text)
+				switch {
+				case m == nil || !strings.HasPrefix(m[1], "AURO"):
+					bad = append(bad, Finding{
+						Pos: pos,
+						ID:  "AURO000",
+						Msg: "malformed suppression: want //lint:ignore AURO00X reason",
+					})
+				case strings.TrimSpace(m[2]) == "":
+					bad = append(bad, Finding{
+						Pos: pos,
+						ID:  "AURO000",
+						Msg: "suppression of " + m[1] + " is missing its justification",
+					})
+				default:
+					sups = append(sups, suppression{
+						id:     m[1],
+						file:   pos.Filename,
+						line:   pos.Line,
+						reason: strings.TrimSpace(m[2]),
+					})
+				}
+			}
+		}
+	}
+	return sups, bad
+}
+
+// applySuppressions filters findings covered by a well-formed suppression
+// and appends AURO000 findings for malformed ones.
+func applySuppressions(pkg *Package, findings []Finding) []Finding {
+	sups, bad := collectSuppressions(pkg)
+	var out []Finding
+	for _, f := range findings {
+		if !suppressed(sups, f) {
+			out = append(out, f)
+		}
+	}
+	return append(out, bad...)
+}
+
+func suppressed(sups []suppression, f Finding) bool {
+	for _, s := range sups {
+		if s.id == f.ID && s.file == f.Pos.Filename &&
+			(s.line == f.Pos.Line || s.line == f.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+// Package clean_ok is the negative fixture: a deterministic-core package
+// with no violations, proving the checks do not fire on idiomatic code.
+package clean_ok
+
+import (
+	"sort"
+
+	"auragen/internal/bus"
+	"auragen/internal/trace"
+	"auragen/internal/types"
+)
+
+// Flush emits in sorted key order: the map feeds a sorted slice, not the
+// emission itself.
+func Flush(log *trace.EventLog, pending map[int]string) {
+	keys := make([]int, 0, len(pending))
+	for k := range pending {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		log.Add(trace.EvNote, pending[k])
+	}
+}
+
+// Publish handles the broadcast error and holds no lock across the call.
+func Publish(b *bus.Bus, m *types.Message) error {
+	return b.Broadcast(m)
+}

@@ -1,0 +1,41 @@
+// Package det_bad seeds one violation of each determinism check
+// (AURO001/002/003) for the analysis fixture tests.
+package det_bad
+
+import (
+	"math/rand"
+	"time"
+
+	"auragen/internal/trace"
+)
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "AURO001"
+}
+
+// Backoff sleeps and consults the global RNG.
+func Backoff() {
+	time.Sleep(time.Millisecond)            // want "AURO001"
+	_ = time.Duration(rand.Int63n(1 << 20)) // want "AURO002"
+}
+
+// Flush emits trace events straight out of a map iteration.
+func Flush(log *trace.EventLog, pending map[int]string) {
+	for _, note := range pending {
+		log.Add(trace.EvNote, note) // want "AURO003"
+	}
+}
+
+// emitVia reaches the event log one call deep.
+func emitVia(log *trace.EventLog, note string) {
+	log.Add(trace.EvNote, note)
+}
+
+// FlushIndirect emits through a package-local helper, exercising the
+// transitive-emitter fixpoint.
+func FlushIndirect(log *trace.EventLog, pending map[int]string) {
+	for _, note := range pending {
+		emitVia(log, note) // want "AURO003"
+	}
+}

@@ -1,0 +1,47 @@
+// Package lock_bad seeds AURO004 violations: blocking cross-component
+// calls made while a mutex is held.
+package lock_bad
+
+import (
+	"sync"
+
+	"auragen/internal/bus"
+	"auragen/internal/types"
+)
+
+// Node owns a mutex and a bus handle.
+type Node struct {
+	mu sync.Mutex
+	b  *bus.Bus
+}
+
+// Publish broadcasts with the mutex held via defer.
+func (n *Node) Publish(m *types.Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.b.Broadcast(m) // want "AURO004"
+}
+
+// publishLocked follows the *Locked naming convention: it is entered with
+// the owner's mutex already held.
+func (n *Node) publishLocked(m *types.Message) error {
+	return n.b.Broadcast(m) // want "AURO004"
+}
+
+// Indirect reaches the broadcast through a package-local helper.
+func (n *Node) Indirect(m *types.Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.send(m)
+}
+
+func (n *Node) send(m *types.Message) error {
+	return n.b.Broadcast(m) // want "AURO004"
+}
+
+// Safe releases the lock before broadcasting.
+func (n *Node) Safe(m *types.Message) error {
+	n.mu.Lock()
+	n.mu.Unlock()
+	return n.b.Broadcast(m)
+}

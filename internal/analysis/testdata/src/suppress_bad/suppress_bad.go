@@ -1,0 +1,19 @@
+// Package suppress_bad exercises malformed //lint:ignore directives: a
+// missing justification and a non-AURO ID. Both are reported as AURO000 and
+// suppress nothing, so the underlying AURO001 findings survive.
+package suppress_bad
+
+import "time"
+
+// Stamp carries a reason-less suppression: AURO000, and the AURO001 on the
+// read below still fires.
+func Stamp() int64 {
+	//lint:ignore AURO001
+	return time.Now().UnixNano()
+}
+
+// Pause carries a directive with a bogus check ID.
+func Pause() {
+	//lint:ignore NOTACHECK this id does not exist
+	time.Sleep(time.Microsecond)
+}

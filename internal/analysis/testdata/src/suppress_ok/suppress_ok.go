@@ -1,0 +1,18 @@
+// Package suppress_ok exercises well-formed //lint:ignore directives: every
+// seeded violation is suppressed with a justification, so the analysis must
+// report nothing here.
+package suppress_ok
+
+import "time"
+
+// Stamp is this fixture's sanctioned wall-clock source; the directive sits
+// on the line above the flagged call.
+func Stamp() int64 {
+	//lint:ignore AURO001 fixture: the one sanctioned wall-clock read
+	return time.Now().UnixNano()
+}
+
+// Pause carries the directive on the flagged line itself.
+func Pause() {
+	time.Sleep(time.Microsecond) //lint:ignore AURO001 fixture: trailing-comment suppression form
+}

@@ -1,0 +1,36 @@
+// Package switch_bad seeds AURO008 violations: non-exhaustive switches
+// over the configured enums.
+package switch_bad
+
+import (
+	"auragen/internal/trace"
+	"auragen/internal/types"
+)
+
+// Describe covers one event kind and has no default.
+func Describe(k trace.EventKind) string {
+	switch k { // want "AURO008"
+	case trace.EvTransmit:
+		return "transmit"
+	}
+	return ""
+}
+
+// Dispatch covers one message kind and has no default.
+func Dispatch(k types.Kind) bool {
+	switch k { // want "AURO008"
+	case types.KindData:
+		return true
+	}
+	return false
+}
+
+// Defaulted is fine: a default clause gives every variant a disposition.
+func Defaulted(k trace.EventKind) string {
+	switch k {
+	case trace.EvTransmit:
+		return "transmit"
+	default:
+		return "other"
+	}
+}

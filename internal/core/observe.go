@@ -1,6 +1,9 @@
 package core
 
-import "auragen/internal/trace"
+import (
+	"auragen/internal/bus"
+	"auragen/internal/trace"
+)
 
 // Observability is the single pair of shared sinks every component of one
 // system reports into: one Metrics instance (so one Snapshot covers the
@@ -28,4 +31,13 @@ func NewObservability(eventLogLimit int) Observability {
 		o.Log = trace.NewEventLog(eventLogLimit)
 	}
 	return o
+}
+
+// NewBareBus mints a standalone intercluster bus wired to obs, for
+// benchmarks and tests that exercise the bus without a full System. It is
+// the sanctioned constructor site outside New/RestoreCluster: aurolint's
+// AURO006 check flags direct bus.New calls elsewhere so every bus shares
+// its system's observability sinks.
+func NewBareBus(obs Observability) *bus.Bus {
+	return bus.New(obs.Metrics, obs.Log)
 }

@@ -58,6 +58,7 @@ func (s *System) RestoreCluster(c types.ClusterID) error {
 		PageSize:  s.opts.PageSize,
 		SyncReads: s.opts.SyncReads,
 		SyncTicks: s.opts.SyncTicks,
+		Clock:     s.opts.Clock,
 	})
 	s.kernels[int(c)] = k
 	s.mu.Unlock()

@@ -50,6 +50,10 @@ type Options struct {
 	DetectInterval time.Duration
 	// EventLogLimit bounds the in-memory event log (0 disables logging).
 	EventLogLimit int
+	// Clock is the timestamp source threaded through every kernel and the
+	// event log. Nil selects the wall clock; pass types.NewLogicalClock to
+	// make same-seed runs produce identical timelines (§5/§6 determinism).
+	Clock types.Clock
 }
 
 // System is one running Auragen 4000.
@@ -115,7 +119,12 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 		registry = guest.NewRegistry()
 	}
 
+	if opts.Clock == nil {
+		opts.Clock = types.WallClock{}
+	}
+
 	obs := NewObservability(opts.EventLogLimit)
+	obs.Log.SetClock(opts.Clock)
 	s := &System{
 		opts:     opts,
 		dir:      directory.New(),
@@ -137,6 +146,7 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 			PageSize:  opts.PageSize,
 			SyncReads: opts.SyncReads,
 			SyncTicks: opts.SyncTicks,
+			Clock:     opts.Clock,
 		})
 		s.kernels = append(s.kernels, k)
 	}

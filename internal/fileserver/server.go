@@ -700,6 +700,10 @@ func (s *Server) Promote(ctx *kernel.ServerCtx, saved []*types.Message) {
 			s.handleOpen(ctx, m)
 		case types.KindData:
 			s.handleFileOp(ctx, m)
+		default:
+			// Only open and file-op requests are saved for replay; any
+			// other kind in the queue is control traffic the kernel
+			// already consumed and is deliberately not re-executed.
 		}
 	}
 }

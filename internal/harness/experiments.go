@@ -376,8 +376,9 @@ func E7BackupModes(mode types.BackupMode) (*Row, error) {
 // demonstrating the §5.1/§8.1 claim that fan-out costs no extra
 // transmissions.
 func E9BusAtomicity(targets, msgs int) *Row {
-	m := &trace.Metrics{}
-	b := bus.New(m, nil)
+	obs := core.NewObservability(0)
+	m := obs.Metrics
+	b := core.NewBareBus(obs)
 	inboxes := make([]*bus.Inbox, targets)
 	for i := 0; i < targets; i++ {
 		inboxes[i] = b.Attach(types.ClusterID(i))

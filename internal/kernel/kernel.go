@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"time"
 
 	"auragen/internal/bus"
 	"auragen/internal/directory"
@@ -51,6 +50,11 @@ type Config struct {
 	Log      *trace.EventLog // may be nil
 	PageSize int             // 0 means memory.DefaultPageSize
 
+	// Clock supplies the kernel's local time (recovery latency accounting,
+	// the server-visible Now). nil selects the wall clock; tests and the
+	// simulator inject a types.LogicalClock for reproducible runs.
+	Clock types.Clock
+
 	// SyncReads/SyncTicks are the cluster-wide default sync triggers;
 	// zero selects the package defaults.
 	SyncReads uint32
@@ -65,6 +69,7 @@ type Kernel struct {
 	reg     *guest.Registry
 	metrics *trace.Metrics
 	log     *trace.EventLog
+	clock   types.Clock
 
 	pageSize  int
 	syncReads uint32
@@ -138,6 +143,9 @@ func New(cfg Config) *Kernel {
 	if cfg.Metrics == nil {
 		panic("kernel: nil Config.Metrics; use a shared sink (see core.NewObservability)")
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = types.WallClock{}
+	}
 	k := &Kernel{
 		id:         cfg.ID,
 		bus:        cfg.Bus,
@@ -145,6 +153,7 @@ func New(cfg Config) *Kernel {
 		reg:        cfg.Registry,
 		metrics:    cfg.Metrics,
 		log:        cfg.Log,
+		clock:      cfg.Clock,
 		pageSize:   cfg.PageSize,
 		syncReads:  cfg.SyncReads,
 		syncTicks:  cfg.SyncTicks,
@@ -347,6 +356,16 @@ func (k *Kernel) logMsg(kind trace.EventKind, m *types.Message, pid types.PID, a
 // primary destination, the destination's backup, or the sender's backup,
 // and a single cluster may play several of those roles for one message.
 func (k *Kernel) dispatch(m *types.Message) {
+	// Page requests are served outside the critical section: the handler
+	// performs a synchronous read-back RPC against the page store, and
+	// holding k.mu across a cross-component blocking call is the deadlock
+	// shape aurolint's AURO004 forbids. The receive loop is single-
+	// threaded, so handling the request here preserves arrival order.
+	if m.Kind == types.KindPageRequest {
+		k.dispatchPageRequest(m)
+		return
+	}
+
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if k.crashed || k.stopped {
@@ -372,8 +391,6 @@ func (k *Kernel) dispatch(m *types.Message) {
 				k.pager.HandlePageOut(po)
 			}
 		}
-	case types.KindPageRequest:
-		k.dispatchPageRequest(m)
 	case types.KindPageReply:
 		k.dispatchPageReply(m)
 	case types.KindCrashNotice:
@@ -404,6 +421,11 @@ func (k *Kernel) dispatch(m *types.Message) {
 		if host, ok := k.servers[m.Dst]; ok && host.role == routing.Primary {
 			host.impl.Receive(k.serverCtx(host), m)
 		}
+	case types.KindPageRequest:
+		// Handled above, before the critical section.
+	case types.KindInvalid, types.KindHeartbeat:
+		// KindInvalid is never transmitted; heartbeats are answered by the
+		// failure detector's probe path, not the executive processor.
 	}
 }
 
@@ -561,17 +583,25 @@ func (k *Kernel) adoptOpenReplyLocked(m *types.Message, role routing.Role) {
 }
 
 // dispatchPageRequest serves a recovery page fetch if this cluster hosts
-// the page server primary.
+// the page server primary. It runs on the receive loop but outside k.mu:
+// the page-account read is a blocking disk RPC, so only the reply
+// enqueueing takes the kernel lock.
 func (k *Kernel) dispatchPageRequest(m *types.Message) {
-	if m.Route.Dst != k.id || k.pager == nil {
+	k.mu.Lock()
+	pager := k.pager
+	dead := k.crashed || k.stopped
+	k.mu.Unlock()
+	if m.Route.Dst != k.id || pager == nil || dead {
 		return
 	}
 	pr, err := DecodePageRequest(m.Payload)
 	if err != nil {
 		return
 	}
-	pages := k.pager.HandlePageRequest(pr.PID)
+	pages := pager.HandlePageRequest(pr.PID)
 	reply := &PageReply{PID: pr.PID, Pages: pages}
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	k.sendLocked(&types.Message{
 		Kind:    types.KindPageReply,
 		Dst:     pr.PID,
@@ -595,6 +625,7 @@ func (k *Kernel) dispatchPageReply(m *types.Message) {
 		return
 	}
 	select {
+	//lint:ignore AURO005 intra-cluster handoff to the waiting process goroutine, not interprocess traffic: the pages already crossed the bus as a KindPageReply
 	case p.pageWait <- pr.Pages:
 	default:
 	}
@@ -716,8 +747,10 @@ func (k *Kernel) waitLocked(p *PCB, pred func() bool) error {
 }
 
 // nowNanos is the kernel's local clock. It is environmental state (§7.5):
-// only servers may expose it to user processes, via message.
-func nowNanos() int64 { return time.Now().UnixNano() }
+// only servers may expose it to user processes, via message. The reading
+// comes from the injected types.Clock, so a seeded simulation replays the
+// same timestamps.
+func (k *Kernel) nowNanos() int64 { return k.clock.Now() }
 
 // sortedFDs returns the process's open descriptors in ascending order, for
 // deterministic iteration.

@@ -2,7 +2,6 @@ package kernel
 
 import (
 	"sync"
-	"time"
 
 	"auragen/internal/guest"
 	"auragen/internal/memory"
@@ -88,10 +87,10 @@ type PCB struct {
 
 	// pageWait receives the restored page account during promotion.
 	pageWait chan []memory.Page
-	// promoteTime is when crash handling made this backup runnable; the
-	// recovery-latency metric measures from here to the start of
-	// roll-forward execution.
-	promoteTime time.Time
+	// promoteNanos is the Clock reading when crash handling made this
+	// backup runnable (zero if never promoted); the recovery-latency
+	// metric measures from here to the start of roll-forward execution.
+	promoteNanos int64
 
 	// done is closed when the process goroutine finishes.
 	done chan struct{}

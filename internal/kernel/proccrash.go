@@ -2,7 +2,6 @@ package kernel
 
 import (
 	"fmt"
-	"time"
 
 	"auragen/internal/routing"
 	"auragen/internal/trace"
@@ -55,7 +54,7 @@ func (k *Kernel) CrashProcess(pid types.PID) error {
 // arrives: notify the process's correspondents (fix routing entries and
 // queued routes), roll its page account back, and make its backup runnable.
 func (k *Kernel) handleProcCrashLocked(crashed types.ClusterID, pid types.PID) {
-	start := time.Now()
+	start := k.clock.Now()
 
 	// Correspondents: redirect entries that point at the dead primary.
 	isFB := k.dir.IsFullback(pid)

@@ -3,7 +3,6 @@ package kernel
 import (
 	"sort"
 	"sync"
-	"time"
 
 	"auragen/internal/memory"
 	"auragen/internal/routing"
@@ -31,7 +30,7 @@ func (k *Kernel) handleCrashLocked(crashed types.ClusterID) {
 	if crashed == k.id {
 		return
 	}
-	start := time.Now()
+	start := k.clock.Now()
 	if k.log != nil {
 		k.log.Append(trace.Event{
 			Kind:    trace.EvCrash,
@@ -53,9 +52,15 @@ func (k *Kernel) handleCrashLocked(crashed types.ClusterID) {
 		k.pager.HandleCrash(crashed)
 	}
 
+	// Both walks below send messages (cutover syncs, birth notices, backup
+	// images), so they run over a sorted copy of the process table: map
+	// iteration order would otherwise randomize the emission order between
+	// runs — and between a primary and a replica replaying it (AURO003).
+	procs := k.sortedProcsLocked()
+
 	// In-flight backup establishments: abort those whose target died;
 	// stop waiting for acks from the dead cluster otherwise.
-	for _, p := range k.procs {
+	for _, p := range procs {
 		if !p.establishing {
 			continue
 		}
@@ -73,7 +78,7 @@ func (k *Kernel) handleCrashLocked(crashed types.ClusterID) {
 	// unbacked from here on (§7.3: quarterbacks and halfbacks), except
 	// fullbacks, which are "located and linked for backup creation"
 	// (§7.10.1 step 3): a new backup is established online.
-	for _, p := range k.procs {
+	for _, p := range procs {
 		if p.backupCluster != crashed {
 			continue
 		}
@@ -134,7 +139,7 @@ func (k *Kernel) handleCrashLocked(crashed types.ClusterID) {
 // the address space of the primary as of the last synchronization via its
 // page account. Messages already sent by the primary are not resent
 // (suppression counts).
-func (k *Kernel) promoteLocked(b *BackupPCB, noticeTime time.Time) {
+func (k *Kernel) promoteLocked(b *BackupPCB, noticeNanos int64) {
 	pid := b.pid
 
 	entries := k.table.OwnedBy(pid, routing.Backup)
@@ -188,7 +193,7 @@ func (k *Kernel) promoteLocked(b *BackupPCB, noticeTime time.Time) {
 		suppress:      make(map[types.ChannelID]uint32),
 		children:      make(map[types.PID]struct{}),
 		done:          make(chan struct{}),
-		promoteTime:   noticeTime,
+		promoteNanos:  noticeNanos,
 	}
 	p.cond = sync.NewCond(&k.mu)
 
@@ -462,6 +467,17 @@ func (k *Kernel) fixOutgoingLocked(crashed types.ClusterID) {
 		kept = append(kept, m)
 	}
 	k.outgoing = kept
+}
+
+// sortedProcsLocked returns the live PCBs in ascending pid order, for
+// deterministic iteration wherever the walk emits messages or events.
+func (k *Kernel) sortedProcsLocked() []*PCB {
+	procs := make([]*PCB, 0, len(k.procs))
+	for _, p := range k.procs {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].pid < procs[j].pid })
+	return procs
 }
 
 // chooseBackupClusterLocked picks the cluster for a fullback's new backup:

@@ -130,7 +130,7 @@ func (c *ServerCtx) Directory() *directory.Directory { return c.k.dir }
 // Now returns the local wall-clock time in nanoseconds. Servers may expose
 // environmental state like this to user processes via message; user
 // processes themselves may not read it (§7.5.1).
-func (c *ServerCtx) Now() int64 { return nowNanos() }
+func (c *ServerCtx) Now() int64 { return c.k.nowNanos() }
 
 // Reply sends a message on channel ch to user process dst, routed to the
 // destination, the destination's backup, and this server's own backup twin

@@ -274,6 +274,10 @@ type EventLog struct {
 	// next is the total number of events ever appended; next-len(ring)
 	// (when positive) is the number dropped to overflow.
 	next uint64
+	// clock stamps events whose When is zero. WallClock by default;
+	// SetClock substitutes a deterministic source so same-seed runs
+	// produce byte-identical timelines.
+	clock types.Clock
 }
 
 // NewEventLog returns a log whose ring retains the newest capacity events.
@@ -282,7 +286,18 @@ func NewEventLog(capacity int) *EventLog {
 	if capacity <= 0 {
 		capacity = DefaultEventLogCap
 	}
-	return &EventLog{ring: make([]Event, capacity)}
+	return &EventLog{ring: make([]Event, capacity), clock: types.WallClock{}}
+}
+
+// SetClock replaces the timestamp source for events appended with a zero
+// When. Call before the system starts appending; safe on nil (no-op).
+func (l *EventLog) SetClock(c types.Clock) {
+	if l == nil || c == nil {
+		return
+	}
+	l.mu.Lock()
+	l.clock = c
+	l.mu.Unlock()
 }
 
 // Append records one event, assigning its Seq (and When, if zero). Safe on
@@ -291,10 +306,10 @@ func (l *EventLog) Append(e Event) {
 	if l == nil {
 		return
 	}
-	if e.When == 0 {
-		e.When = time.Now().UnixNano()
-	}
 	l.mu.Lock()
+	if e.When == 0 {
+		e.When = l.clock.Now()
+	}
 	e.Seq = l.next
 	l.ring[l.next%uint64(len(l.ring))] = e
 	l.next++
@@ -444,6 +459,8 @@ func (e Event) Detail() string {
 		parts = append(parts, fmt.Sprintf("crashed=%s", types.ClusterID(e.Arg)))
 	case EvPageFetch:
 		parts = append(parts, fmt.Sprintf("pages=%d", e.Arg))
+	default:
+		// The remaining kinds carry no kind-specific argument.
 	}
 	if e.Note != "" {
 		parts = append(parts, e.Note)
