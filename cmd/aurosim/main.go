@@ -8,6 +8,7 @@
 //	aurosim -scenario bank -crash 2    # run a scenario, fail a cluster
 //	aurosim -scenario counter -crash 2 -mode fullback
 //	aurosim -scenario counter -crash 2 -timeline   # causal event timeline
+//	aurosim -chaos -seed 1             # bounded fault-injection campaign
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"auragen/internal/chaos"
 	"auragen/internal/core"
 	"auragen/internal/guest"
 	"auragen/internal/harness"
@@ -35,10 +37,18 @@ var (
 	flagRestore  = flag.Bool("restore", false, "return the crashed cluster to service mid-scenario (halfbacks get new backups, §7.3)")
 	flagTimeline = flag.Bool("timeline", false, "record structured events and print the causal timeline after the run")
 	flagSeed     = flag.Int64("seed", 0, "seed a deterministic logical clock (0: wall clock); same seed + same scenario gives identical -timeline timestamps")
+	flagChaos    = flag.Bool("chaos", false, "run a bounded fault-injection campaign (crash/bus-failure/transient sweeps against the survival oracle); exits non-zero on any contract violation")
+	flagChaosPts = flag.Int("chaos-points", 24, "injection coordinates swept per fault family in -chaos")
 )
 
 func main() {
 	flag.Parse()
+	if *flagChaos {
+		if err := runChaos(*flagSeed, *flagChaosPts); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *flagTopology {
 		fmt.Print(renderTopology(*flagClusters))
 		if *flagScenario == "" {
@@ -200,6 +210,61 @@ func runScenario(name string, clusters, crash int, mode types.BackupMode, syncRe
 		fmt.Println("):")
 		fmt.Print(indent(trace.RenderTimeline(log.Events())))
 	}
+	return nil
+}
+
+// runChaos sweeps a bounded fault-injection campaign over the standard bank
+// scenario: one tolerated fault per run, injected at strided event-stream
+// coordinates, each run judged by the survival oracle. Any violation makes
+// the command exit non-zero, so CI can gate on it.
+func runChaos(seed int64, points int) error {
+	if seed == 0 {
+		seed = 1
+	}
+	if points < 1 {
+		points = 1
+	}
+	c := &chaos.Campaign{
+		Scenario: chaos.BankScenario("aurosim", 4, 6, 2),
+		Timeout:  90 * time.Second,
+	}
+	ref := c.Reference(seed)
+	if ref.Err != nil {
+		return fmt.Errorf("chaos: reference run failed: %w", ref.Err)
+	}
+	fmt.Printf("chaos campaign: scenario %q, seed %d, reference outcome %q (%d events)\n",
+		c.Scenario.Name, seed, ref.Outcome, len(ref.Events))
+	families := []struct {
+		name string
+		tmpl chaos.Injection
+	}{
+		{"crash cluster1", chaos.Injection{Fault: chaos.FaultClusterCrash, When: chaos.Any(), Target: 1}},
+		{"crash cluster2", chaos.Injection{Fault: chaos.FaultClusterCrash, When: chaos.Any(), Target: 2}},
+		{"fail bus0", chaos.Injection{Fault: chaos.FaultBusFailure, When: chaos.Any(), Bus: 0}},
+		{"transient drop", chaos.Injection{Fault: chaos.FaultBusTransient, When: chaos.OnKind(trace.EvTransmit), Drops: 1}},
+	}
+	violations := 0
+	for _, f := range families {
+		matches := ref.MatchCount(f.tmpl.When)
+		stride := matches / points
+		if stride < 1 {
+			stride = 1
+		}
+		rep, err := c.Sweep(seed, f.tmpl, stride)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-15s %3d/%d coordinates swept (stride %d): %d violations\n",
+			f.name, rep.Runs, rep.Matches, rep.Stride, len(rep.Failures))
+		for _, p := range rep.Failures {
+			fmt.Printf("    K=%d fired=%v: %s\n", p.K, p.Fired, p.Verdict)
+		}
+		violations += len(rep.Failures)
+	}
+	if violations > 0 {
+		return fmt.Errorf("chaos: %d swept coordinates violated the survival contract", violations)
+	}
+	fmt.Println("chaos: every swept coordinate honored the survival contract")
 	return nil
 }
 

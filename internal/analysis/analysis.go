@@ -91,11 +91,12 @@ func DefaultConfig(module string) *Config {
 		MessageSystemPkgs: []string{
 			in("bus"), in("kernel"), in("pager"), in("disk"), in("core"),
 			in("fileserver"), in("procserver"), in("ttyserver"),
-			in("directory"), in("fault"), in("guest"),
+			in("directory"), in("fault"), in("guest"), in("chaos"),
 		},
 		EnumTypes: []string{
 			in("trace") + ".EventKind",
 			in("types") + ".Kind",
+			in("chaos") + ".Fault",
 		},
 		BlockingCalls: []string{
 			in("bus") + ".Bus.Broadcast",

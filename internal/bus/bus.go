@@ -35,6 +35,20 @@ import (
 // a dual bus).
 const NumBuses = 2
 
+// MaxTransmitAttempts bounds how many times one transmission is attempted
+// before the bus reports the fault to the sender. The first attempt plus
+// retries all happen inside the same critical section, so retried
+// transmissions keep their place in the §5.1 total order.
+const MaxTransmitAttempts = 3
+
+// FaultHook decides whether an injected transient fault drops one
+// transmission attempt. It is consulted once per attempt with the physical
+// bus chosen, the message about to be transmitted, and the 0-based attempt
+// number; returning true drops that attempt. The hook runs inside the
+// bus's critical section: it must be fast, must not block, and must not
+// call back into the Bus (FailBus, Broadcast, ...) or it will deadlock.
+type FaultHook func(busIdx int, m *types.Message, attempt int) bool
+
 // Bus connects 2..32 clusters. All methods are safe for concurrent use.
 type Bus struct {
 	metrics *trace.Metrics
@@ -43,6 +57,7 @@ type Bus struct {
 	mu      sync.Mutex
 	inboxes map[types.ClusterID]*Inbox
 	failed  [NumBuses]bool
+	fault   FaultHook
 	// nextID mints the monotonic per-transmission message ID under mu, so
 	// IDs are assigned in the bus's total transmission order.
 	nextID uint64
@@ -119,6 +134,14 @@ func (b *Bus) RepairBus(i int) error {
 	return nil
 }
 
+// SetFaultHook installs (or, with nil, removes) the transient-fault hook
+// consulted on every transmission attempt. See FaultHook for the contract.
+func (b *Bus) SetFaultHook(h FaultHook) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fault = h
+}
+
 // Live returns the attached clusters in ascending order.
 func (b *Bus) Live() []types.ClusterID {
 	b.mu.Lock()
@@ -156,11 +179,57 @@ func (b *Bus) BroadcastAll(m *types.Message) error {
 	return b.deliver(m, nil)
 }
 
+// selectBusLocked picks the physical bus for one transmission attempt: the
+// preferred bus 0 when healthy, else bus 1 (a failover, counted once per
+// transmission on attempt 0). Returns -1 when no bus is healthy.
+func (b *Bus) selectBusLocked(attempt int) int {
+	for i := 0; i < NumBuses; i++ {
+		if !b.failed[i] {
+			if i > 0 && attempt == 0 {
+				b.metrics.BusFailovers.Add(1)
+			}
+			return i
+		}
+	}
+	return -1
+}
+
 func (b *Bus) deliver(m *types.Message, targets []types.ClusterID) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.failed[0] && b.failed[1] {
-		return fmt.Errorf("bus: both physical buses down: %w", types.ErrTooManyFailures)
+	// Transmit over a healthy physical bus, retrying (within the same
+	// critical section, preserving the total order) when an injected
+	// transient fault drops an attempt. The loss of one bus is a tolerated
+	// single failure: traffic fails over to the survivor and the caller
+	// never notices. Losing both is a multiple failure.
+	sent := false
+	for attempt := 0; attempt < MaxTransmitAttempts; attempt++ {
+		idx := b.selectBusLocked(attempt)
+		if idx < 0 {
+			return fmt.Errorf("bus: both physical buses down: %w", types.ErrTooManyFailures)
+		}
+		if b.fault != nil && b.fault(idx, m, attempt) {
+			b.metrics.BusFaultDrops.Add(1)
+			if attempt+1 < MaxTransmitAttempts {
+				b.metrics.BusRetries.Add(1)
+			}
+			if b.log != nil {
+				b.log.Append(trace.Event{
+					Kind:    trace.EvNote,
+					Cluster: types.NoCluster,
+					MsgKind: m.Kind,
+					PID:     m.Src,
+					Note:    fmt.Sprintf("bus%d: transient fault dropped attempt %d", idx, attempt),
+				})
+			}
+			continue
+		}
+		sent = true
+		break
+	}
+	if !sent {
+		return fmt.Errorf("bus: transmission dropped %d times: %w",
+			MaxTransmitAttempts, types.ErrTooManyFailures)
 	}
 	b.nextID++
 	m.ID = b.nextID

@@ -301,6 +301,110 @@ func TestMetricsCountTransmissionsOnce(t *testing.T) {
 	}
 }
 
+func TestFailoverRecordsMetricAndSucceeds(t *testing.T) {
+	var m trace.Metrics
+	b := New(&m, nil)
+	in0 := b.Attach(0)
+	route := types.Route{Dst: 0}
+
+	// Healthy dual bus: traffic rides the preferred bus, no failovers.
+	if err := b.Broadcast(dataMsg(1, 2, route, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BusFailovers.Load(); got != 0 {
+		t.Fatalf("failovers on healthy bus = %d, want 0", got)
+	}
+
+	// One failed physical bus: the caller must not notice, but the
+	// failover must be counted once per transmission.
+	if err := b.FailBus(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Broadcast(dataMsg(1, 2, route, "x")); err != nil {
+			t.Fatalf("broadcast with one failed bus: %v", err)
+		}
+	}
+	if got := m.BusFailovers.Load(); got != 3 {
+		t.Fatalf("failovers = %d, want 3", got)
+	}
+	if in0.Len() != 4 {
+		t.Fatalf("inbox has %d messages, want 4", in0.Len())
+	}
+
+	// Losing only the secondary bus is not a failover.
+	if err := b.RepairBus(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FailBus(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Broadcast(dataMsg(1, 2, route, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BusFailovers.Load(); got != 3 {
+		t.Fatalf("failovers after secondary-only failure = %d, want 3", got)
+	}
+}
+
+func TestTransientDropRecoveredByRetry(t *testing.T) {
+	var m trace.Metrics
+	b := New(&m, nil)
+	in0 := b.Attach(0)
+	drops := 0
+	b.SetFaultHook(func(busIdx int, msg *types.Message, attempt int) bool {
+		if attempt == 0 && drops == 0 {
+			drops++
+			return true
+		}
+		return false
+	})
+	if err := b.Broadcast(dataMsg(1, 2, types.Route{Dst: 0}, "x")); err != nil {
+		t.Fatalf("transient drop must be recovered by retry: %v", err)
+	}
+	if in0.Len() != 1 {
+		t.Fatalf("inbox has %d messages, want 1", in0.Len())
+	}
+	if got := m.BusFaultDrops.Load(); got != 1 {
+		t.Fatalf("fault drops = %d, want 1", got)
+	}
+	if got := m.BusRetries.Load(); got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+	if got := m.BusTransmissions.Load(); got != 1 {
+		t.Fatalf("transmissions = %d, want 1 (drops must not mint IDs)", got)
+	}
+}
+
+func TestPersistentFaultExhaustsRetries(t *testing.T) {
+	var m trace.Metrics
+	b := New(&m, nil)
+	in0 := b.Attach(0)
+	b.SetFaultHook(func(busIdx int, msg *types.Message, attempt int) bool {
+		return true // every attempt drops
+	})
+	err := b.Broadcast(dataMsg(1, 2, types.Route{Dst: 0}, "x"))
+	if !errors.Is(err, types.ErrTooManyFailures) {
+		t.Fatalf("exhausted retries returned %v, want ErrTooManyFailures", err)
+	}
+	if in0.Len() != 0 {
+		t.Fatal("dropped transmission still delivered")
+	}
+	if got := m.BusFaultDrops.Load(); got != MaxTransmitAttempts {
+		t.Fatalf("fault drops = %d, want %d", got, MaxTransmitAttempts)
+	}
+
+	// Removing the hook restores service; the sender's retry discipline
+	// (kernel txLoop) can then succeed on a later Broadcast.
+	b.SetFaultHook(nil)
+	if err := b.Broadcast(dataMsg(1, 2, types.Route{Dst: 0}, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if in0.Len() != 1 {
+		t.Fatal("post-repair transmission lost")
+	}
+}
+
 func TestLive(t *testing.T) {
 	b := New(&trace.Metrics{}, nil)
 	b.Attach(3)

@@ -1,0 +1,237 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"auragen/internal/trace"
+)
+
+// sweepScenario is the shared small workload: 4 accounts, 6 transfers,
+// sync every 2 reads — a few hundred events, so a full every-index sweep
+// stays fast while still crossing boot, steady state, sync, recovery, and
+// audit phases.
+func sweepScenario() Scenario {
+	return BankScenario("sweep", 4, 6, 2)
+}
+
+func newCampaign() *Campaign {
+	return &Campaign{Scenario: sweepScenario(), Timeout: 90 * time.Second}
+}
+
+func TestReferenceRunIsReproducible(t *testing.T) {
+	c := newCampaign()
+	a := c.Reference(1)
+	if a.Err != nil {
+		t.Fatalf("reference run failed: %v", a.Err)
+	}
+	if !strings.HasPrefix(a.Outcome, "balances ") || !strings.Contains(a.Outcome, "total=400") {
+		t.Fatalf("unexpected reference outcome %q", a.Outcome)
+	}
+	b := c.Reference(1)
+	if b.Err != nil {
+		t.Fatalf("second reference run failed: %v", b.Err)
+	}
+	if a.Outcome != b.Outcome {
+		t.Fatalf("reference outcome not reproducible: %q vs %q", a.Outcome, b.Outcome)
+	}
+	if a.LogDropped != 0 {
+		t.Fatalf("reference run overflowed the event ring (%d dropped); shrink the scenario", a.LogDropped)
+	}
+}
+
+// TestCrashSweepEveryEvent is the tentpole acceptance test: inject a
+// cluster crash at EVERY event index of the reference run (the teller's
+// cluster, so the crash always hits a backed-up process mid-flight) and
+// require the survival oracle to pass at every coordinate. -short strides
+// the sweep; the full run covers every index.
+func TestCrashSweepEveryEvent(t *testing.T) {
+	c := newCampaign()
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	tmpl := Injection{Fault: FaultClusterCrash, When: Any(), Target: 1}
+	rep, err := c.Sweep(1, tmpl, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matches == 0 {
+		t.Fatal("reference run recorded no events")
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("K=%d fired=%v: %s", f.K, f.Fired, f.Verdict)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatalf("%d/%d swept crash points violated the survival contract", len(rep.Failures), rep.Runs)
+	}
+	if rep.Fired == 0 {
+		t.Fatal("no swept tripwire ever fired")
+	}
+	t.Logf("swept %d crash points over %d reference events (stride %d, %d fired)",
+		rep.Runs, rep.Matches, stride, rep.Fired)
+}
+
+// TestCrashSweepServerCluster strides a sweep over crashes of the bank
+// server's own cluster: the server's backup (cluster 0) must roll forward
+// and keep serving the identical balance vector.
+func TestCrashSweepServerCluster(t *testing.T) {
+	c := newCampaign()
+	stride := 7
+	if testing.Short() {
+		stride = 29
+	}
+	tmpl := Injection{Fault: FaultClusterCrash, When: Any(), Target: 2}
+	rep, err := c.Sweep(2, tmpl, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("K=%d fired=%v: %s", f.K, f.Fired, f.Verdict)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatalf("%d/%d swept server-crash points violated the survival contract", len(rep.Failures), rep.Runs)
+	}
+}
+
+// TestBusFailureSweep strides single-bus failures across the run: a one-bus
+// failure must be absorbed transparently (failover metric, same outcome).
+func TestBusFailureSweep(t *testing.T) {
+	c := newCampaign()
+	stride := 11
+	if testing.Short() {
+		stride = 37
+	}
+	tmpl := Injection{Fault: FaultBusFailure, When: Any(), Bus: 0}
+	rep, err := c.Sweep(3, tmpl, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("K=%d fired=%v: %s", f.K, f.Fired, f.Verdict)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatalf("%d/%d bus-failure points violated the survival contract", len(rep.Failures), rep.Runs)
+	}
+}
+
+func TestBusFailureRecordsFailovers(t *testing.T) {
+	c := newCampaign()
+	run := c.Run(Plan{Seed: 3, Injections: []Injection{
+		{Fault: FaultBusFailure, When: Any(), K: 5, Bus: 0},
+	}})
+	ref := c.Reference(3)
+	if v := CheckSurvival(ref, run); !v.OK {
+		t.Fatalf("bus failure not survived: %s", v)
+	}
+	if !run.Fired[0] {
+		t.Fatal("tripwire never fired")
+	}
+	if run.Metrics["bus_failovers"] == 0 {
+		t.Fatal("no failovers recorded after failing bus 0")
+	}
+}
+
+// TestTransientDropRecovered injects single-transmission drops at strided
+// points: the bus retry path must recover each without the sender
+// noticing, and the drop/retry metrics must record the event.
+func TestTransientDropRecovered(t *testing.T) {
+	c := newCampaign()
+	stride := 13
+	if testing.Short() {
+		stride = 41
+	}
+	tmpl := Injection{Fault: FaultBusTransient, When: OnKind(trace.EvTransmit), Drops: 1}
+	rep, err := c.Sweep(4, tmpl, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("K=%d fired=%v: %s", f.K, f.Fired, f.Verdict)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatalf("%d/%d transient-drop points violated the survival contract", len(rep.Failures), rep.Runs)
+	}
+
+	run := c.Run(Plan{Seed: 4, Injections: []Injection{
+		{Fault: FaultBusTransient, When: OnKind(trace.EvTransmit), K: 3, Drops: 1},
+	}})
+	if !run.Fired[0] {
+		t.Fatal("tripwire never fired")
+	}
+	if run.Err != nil {
+		t.Fatalf("transient drop surfaced to the scenario: %v", run.Err)
+	}
+	if run.Metrics["bus_fault_drops"] == 0 || run.Metrics["bus_retries"] == 0 {
+		t.Fatalf("drop/retry not recorded: drops=%d retries=%d",
+			run.Metrics["bus_fault_drops"], run.Metrics["bus_retries"])
+	}
+}
+
+// TestDetectorFalsePositiveAbsorbed lies to the failure detector about a
+// healthy cluster for one probe round — below the debounce threshold —
+// and requires zero crash handling and an unchanged outcome.
+func TestDetectorFalsePositiveAbsorbed(t *testing.T) {
+	c := newCampaign()
+	ref := c.Reference(5)
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	run := c.Run(Plan{Seed: 5, Injections: []Injection{
+		{Fault: FaultDetectorFalsePositive, When: Any(), K: 40, Target: 1, Probes: 1},
+	}})
+	if !run.Fired[0] {
+		t.Fatal("tripwire never fired")
+	}
+	if v := CheckSurvival(ref, run); !v.OK {
+		t.Fatalf("false positive not absorbed: %s", v)
+	}
+	if run.Metrics["crashes"] != 0 {
+		t.Fatalf("a sub-debounce probe lie triggered crash handling (%d crashes)", run.Metrics["crashes"])
+	}
+}
+
+// TestProcessCrashOnSync crashes whichever process just synced on the
+// teller's cluster (TargetFromEvent): the single-process failure of §10,
+// recovered by the victim's backup without disturbing the outcome.
+func TestProcessCrashOnSync(t *testing.T) {
+	c := newCampaign()
+	ref := c.Reference(6)
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	when := OnKind(trace.EvSync)
+	when.Cluster = 1 // the teller is the only syncing primary on cluster 1
+	run := c.Run(Plan{Seed: 6, Injections: []Injection{
+		{Fault: FaultProcessCrash, When: when, K: 2, TargetFromEvent: true},
+	}})
+	if !run.Fired[0] {
+		t.Skip("no second sync on cluster 1 in this interleaving")
+	}
+	if run.FaultErrs[0] != nil {
+		t.Fatalf("process crash failed to apply: %v", run.FaultErrs[0])
+	}
+	if v := CheckSurvival(ref, run); !v.OK {
+		t.Fatalf("process crash not survived: %s", v)
+	}
+}
+
+// TestNoFaultPlanMatchesReference sanity-checks the engine itself: a plan
+// whose injection is FaultNone must change nothing.
+func TestNoFaultPlanMatchesReference(t *testing.T) {
+	c := newCampaign()
+	ref := c.Reference(7)
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	run := c.Run(Plan{Seed: 7, Injections: []Injection{
+		{Fault: FaultNone, When: Any(), K: 10},
+	}})
+	if v := CheckSurvival(ref, run); !v.OK {
+		t.Fatalf("no-op plan failed the oracle: %s", v)
+	}
+	if !run.Fired[0] {
+		t.Fatal("no-op tripwire never fired")
+	}
+}

@@ -1,0 +1,179 @@
+// Package chaos is the deterministic fault-injection campaign engine. It
+// turns the structured event log (internal/trace) into an injection
+// coordinate system: a Plan says "inject fault F when the Kth event
+// matching predicate P fires", a Campaign replays a scenario under each
+// plan, and the survival Oracle checks the paper's §5/§6 contract after
+// every injected run — every pre-crash send delivered exactly once after
+// recovery, surviving state converged with the fault-free reference, and a
+// second failure during recovery degrading to types.ErrTooManyFailures
+// instead of a hang or a panic.
+//
+// Coordinates are exact within a run (the tripwire fires at the Kth
+// matching event of that run's own stream) and approximately aligned
+// across runs: goroutine interleaving can reorder nearby events between
+// same-seed runs, so K addresses a phase of the execution, not a byte
+// offset. That is the right granularity for the sweep — the §6 guarantee
+// must hold at every point, so enumerating K over a reference run's event
+// count covers boot, steady state, sync, crash handling, and audit phases
+// without needing bit-exact replay.
+package chaos
+
+import (
+	"fmt"
+
+	"auragen/internal/trace"
+	"auragen/internal/types"
+)
+
+// Fault enumerates the injectable failure modes. All of them are single
+// hardware faults in the paper's model (§6); plans combine them to build
+// multiple-failure schedules.
+type Fault uint8
+
+const (
+	// FaultNone is the zero value; an injection carrying it is a no-op
+	// tripwire (useful for probing coordinates).
+	FaultNone Fault = iota
+	// FaultClusterCrash halts a whole cluster, losing its volatile state
+	// (§7.10 crash handling).
+	FaultClusterCrash
+	// FaultProcessCrash destroys a single process while its cluster keeps
+	// running (§10 first item).
+	FaultProcessCrash
+	// FaultBusFailure takes one of the two physical intercluster buses
+	// down; traffic must fail over transparently (§7.1).
+	FaultBusFailure
+	// FaultBusTransient drops a single transmission attempt; the bus retry
+	// path must recover it without the sender noticing.
+	FaultBusTransient
+	// FaultDetectorFalsePositive makes the failure detector's next probes
+	// of a healthy cluster lie "dead"; below the debounce threshold this
+	// must cause no crash handling at all.
+	FaultDetectorFalsePositive
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultClusterCrash:
+		return "cluster-crash"
+	case FaultProcessCrash:
+		return "process-crash"
+	case FaultBusFailure:
+		return "bus-failure"
+	case FaultBusTransient:
+		return "bus-transient"
+	case FaultDetectorFalsePositive:
+		return "detector-false-positive"
+	default:
+		return fmt.Sprintf("Fault(%d)", uint8(f))
+	}
+}
+
+// Predicate selects events from the trace stream. Each field is a filter;
+// its wildcard value (the one Any returns) matches every event. Build
+// predicates by mutating Any()'s result — the zero Predicate matches
+// cluster 0 and PID 0 specifically, which is rarely what a plan means.
+type Predicate struct {
+	// Kind filters by event kind; trace.EvNone matches any.
+	Kind trace.EventKind
+	// Cluster filters by reporting cluster; types.NoCluster matches any.
+	Cluster types.ClusterID
+	// PID filters by the event's process; types.NoPID matches any.
+	PID types.PID
+	// MsgKind filters by message kind; types.KindInvalid matches any.
+	MsgKind types.Kind
+}
+
+// Any returns the predicate matching every event.
+func Any() Predicate {
+	return Predicate{Cluster: types.NoCluster, PID: types.NoPID}
+}
+
+// OnKind returns the predicate matching every event of one kind.
+func OnKind(k trace.EventKind) Predicate {
+	p := Any()
+	p.Kind = k
+	return p
+}
+
+// Matches reports whether e passes every non-wildcard filter.
+func (p Predicate) Matches(e trace.Event) bool {
+	if p.Kind != trace.EvNone && e.Kind != p.Kind {
+		return false
+	}
+	if p.Cluster != types.NoCluster && e.Cluster != p.Cluster {
+		return false
+	}
+	if p.PID != types.NoPID && e.PID != p.PID {
+		return false
+	}
+	if p.MsgKind != types.KindInvalid && e.MsgKind != p.MsgKind {
+		return false
+	}
+	return true
+}
+
+// String renders the predicate compactly for sweep reports.
+func (p Predicate) String() string {
+	s := "any"
+	if p.Kind != trace.EvNone {
+		s = p.Kind.String()
+	}
+	if p.Cluster != types.NoCluster {
+		s += fmt.Sprintf("@%s", p.Cluster)
+	}
+	if p.PID != types.NoPID {
+		s += fmt.Sprintf("/%s", p.PID)
+	}
+	if p.MsgKind != types.KindInvalid {
+		s += fmt.Sprintf(":%s", p.MsgKind)
+	}
+	return s
+}
+
+// Injection schedules one fault: "when the Kth event matching When fires,
+// inject Fault". The target fields are fault-specific; unused ones are
+// ignored.
+type Injection struct {
+	Fault Fault
+	// When selects the triggering events; K (1-based) picks which match
+	// fires the tripwire. K <= 0 is normalized to 1.
+	When Predicate
+	K    int
+	// Target is the cluster for FaultClusterCrash and
+	// FaultDetectorFalsePositive.
+	Target types.ClusterID
+	// TargetPID is the victim for FaultProcessCrash.
+	TargetPID types.PID
+	// TargetFromEvent, for FaultProcessCrash, crashes the process named by
+	// the triggering event itself (its PID field) instead of TargetPID —
+	// plans can say "crash whichever process just synced" without knowing
+	// PIDs ahead of the run.
+	TargetFromEvent bool
+	// Bus is the physical bus index (0 or 1) for FaultBusFailure.
+	Bus int
+	// Drops is how many transmission attempts FaultBusTransient drops
+	// (default 1).
+	Drops int
+	// Probes is how many consecutive probes FaultDetectorFalsePositive
+	// falsifies (default 1; below the detector debounce this must be
+	// absorbed silently).
+	Probes int
+}
+
+func (inj Injection) String() string {
+	return fmt.Sprintf("%s@%d(%s)", inj.Fault, inj.K, inj.When)
+}
+
+// Plan is one deterministic chaos schedule: the clock seed plus every
+// scheduled injection. An empty plan is the fault-free reference run.
+type Plan struct {
+	// Seed feeds the logical clock (and is the only run-to-run variation
+	// source a campaign admits).
+	Seed int64
+	// Injections all arm at run start; each fires independently when its
+	// own tripwire trips.
+	Injections []Injection
+}

@@ -1,0 +1,123 @@
+// The survival oracle: the machine-checked form of the §5/§6 contract a
+// run must satisfy after fault injection.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"auragen/internal/trace"
+	"auragen/internal/types"
+)
+
+// Verdict is the oracle's judgment of one run.
+type Verdict struct {
+	OK         bool
+	Violations []string
+}
+
+func (v Verdict) String() string {
+	if v.OK {
+		return "ok"
+	}
+	return strings.Join(v.Violations, "; ")
+}
+
+// CheckSurvival checks a run that suffered at most one tolerated fault
+// against the fault-free reference:
+//
+//   - the run completed — no hang, no error (the fault was survivable, so
+//     surviving the fault is the contract);
+//   - the outcome equals the reference outcome. The outcome string encodes
+//     the workload's full observable state (for BankScenario, every account
+//     balance), so this is the exactly-once check: a lost pre-crash send
+//     leaves a transfer unapplied, a duplicated replay applies one twice,
+//     and either moves the vector off the reference;
+//   - no kernel degraded — a single fault must be absorbed, never escalate
+//     to multiple-failure mode;
+//   - §5.4 suppression pairing: every suppressed regeneration (EvSuppress)
+//     pairs with an original transmission (EvTransmit) — the suppressed send
+//     really was already on the wire. Data messages pair by payload hash
+//     (deterministic regeneration must reproduce the original bytes);
+//     kernel protocol messages (open requests and the like) embed
+//     freshly-minted location-dependent IDs, so they pair structurally:
+//     per channel and kind, suppressions must not outnumber originals.
+//     Skipped when the event ring overflowed.
+func CheckSurvival(ref, run *RunResult) Verdict {
+	var v []string
+	if run.Hung {
+		v = append(v, "run hung (watchdog expired)")
+	}
+	if run.Err != nil && !run.Hung {
+		v = append(v, fmt.Sprintf("scenario error: %v", run.Err))
+	}
+	if run.Err == nil && run.Outcome != ref.Outcome {
+		v = append(v, fmt.Sprintf("outcome diverged: got %q want %q", run.Outcome, ref.Outcome))
+	}
+	if run.Degraded {
+		v = append(v, "system degraded under a single tolerated fault")
+	}
+	if run.LogDropped == 0 {
+		v = append(v, checkSuppressionPairing(run.Events)...)
+	}
+	return Verdict{OK: len(v) == 0, Violations: v}
+}
+
+// checkSuppressionPairing verifies every EvSuppress pairs with an original
+// EvTransmit: by payload hash for data messages, by per-(channel, kind)
+// count for kernel protocol messages whose regenerated payloads embed
+// freshly-minted IDs.
+func checkSuppressionPairing(events []trace.Event) []string {
+	type key struct {
+		ch   types.ChannelID
+		kind types.Kind
+	}
+	txHash := make(map[uint64]bool)
+	txKey := make(map[key]int)
+	for _, e := range events {
+		if e.Kind == trace.EvTransmit {
+			txHash[e.Arg] = true
+			txKey[key{e.Channel, e.MsgKind}]++
+		}
+	}
+	var v []string
+	seen := make(map[key]int)
+	for _, e := range events {
+		if e.Kind != trace.EvSuppress {
+			continue
+		}
+		if e.MsgKind == types.KindData {
+			if !txHash[e.Arg] {
+				v = append(v, fmt.Sprintf(
+					"suppressed data send (seq %d, %s, hash %016x) has no matching original transmission",
+					e.Seq, e.PID, e.Arg))
+			}
+			continue
+		}
+		k := key{e.Channel, e.MsgKind}
+		seen[k]++
+		if seen[k] > txKey[k] {
+			v = append(v, fmt.Sprintf(
+				"suppressed %s on %s (seq %d, %s): %d suppressions but only %d original transmissions",
+				e.MsgKind, e.Channel, e.Seq, e.PID, seen[k], txKey[k]))
+		}
+	}
+	return v
+}
+
+// CheckDegradation checks a run that suffered a multiple failure: the
+// system must degrade gracefully — the scenario terminates (no hang, no
+// panic) with an error wrapping types.ErrTooManyFailures, the honest
+// admission that the single-fault contract was exceeded.
+func CheckDegradation(run *RunResult) Verdict {
+	var v []string
+	if run.Hung {
+		v = append(v, "run hung instead of degrading (watchdog expired)")
+	} else if run.Err == nil {
+		v = append(v, "scenario completed normally; expected ErrTooManyFailures")
+	} else if !errors.Is(run.Err, types.ErrTooManyFailures) {
+		v = append(v, fmt.Sprintf("wrong degradation error: %v (want ErrTooManyFailures)", run.Err))
+	}
+	return Verdict{OK: len(v) == 0, Violations: v}
+}

@@ -49,16 +49,17 @@ func (s *System) RestoreCluster(c types.ClusterID) error {
 	delete(s.crashed, c)
 
 	k := kernel.New(kernel.Config{
-		ID:        c,
-		Bus:       s.bus,
-		Dir:       s.dir,
-		Registry:  s.registry,
-		Metrics:   s.metrics,
-		Log:       s.log,
-		PageSize:  s.opts.PageSize,
-		SyncReads: s.opts.SyncReads,
-		SyncTicks: s.opts.SyncTicks,
-		Clock:     s.opts.Clock,
+		ID:               c,
+		Bus:              s.bus,
+		Dir:              s.dir,
+		Registry:         s.registry,
+		Metrics:          s.metrics,
+		Log:              s.log,
+		PageSize:         s.opts.PageSize,
+		SyncReads:        s.opts.SyncReads,
+		SyncTicks:        s.opts.SyncTicks,
+		Clock:            s.opts.Clock,
+		PageFetchTimeout: s.opts.PageFetchTimeout,
 	})
 	s.kernels[int(c)] = k
 	s.mu.Unlock()

@@ -48,6 +48,15 @@ type Options struct {
 	// DetectInterval is the failure-detector polling period; zero keeps
 	// detection manual (Crash calls report synchronously either way).
 	DetectInterval time.Duration
+	// DetectDebounce is the number of consecutive missed probes before the
+	// detector declares a cluster crashed; zero selects
+	// fault.DefaultDebounce. Transient probe failures (detector false
+	// positives) below this threshold never trigger crash handling.
+	DetectDebounce int
+	// PageFetchTimeout bounds a promoted backup's roll-forward page fetch;
+	// zero selects kernel.DefaultPageFetchTimeout. Fault-injection
+	// campaigns shorten it so double failures surface quickly.
+	PageFetchTimeout time.Duration
 	// EventLogLimit bounds the in-memory event log (0 disables logging).
 	EventLogLimit int
 	// Clock is the timestamp source threaded through every kernel and the
@@ -80,6 +89,9 @@ type System struct {
 	mu      sync.Mutex
 	crashed map[types.ClusterID]bool
 	stopped bool
+	// probeFaults holds injected detector false positives: the next N
+	// probes of a cluster lie "dead" regardless of its actual health.
+	probeFaults map[types.ClusterID]int
 }
 
 // SpawnConfig places one process.
@@ -126,27 +138,29 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 	obs := NewObservability(opts.EventLogLimit)
 	obs.Log.SetClock(opts.Clock)
 	s := &System{
-		opts:     opts,
-		dir:      directory.New(),
-		metrics:  obs.Metrics,
-		log:      obs.Log,
-		registry: registry,
-		crashed:  make(map[types.ClusterID]bool),
+		opts:        opts,
+		dir:         directory.New(),
+		metrics:     obs.Metrics,
+		log:         obs.Log,
+		registry:    registry,
+		crashed:     make(map[types.ClusterID]bool),
+		probeFaults: make(map[types.ClusterID]int),
 	}
 	s.bus = bus.New(s.metrics, s.log)
 
 	for i := 0; i < opts.Clusters; i++ {
 		k := kernel.New(kernel.Config{
-			ID:        types.ClusterID(i),
-			Bus:       s.bus,
-			Dir:       s.dir,
-			Registry:  registry,
-			Metrics:   s.metrics,
-			Log:       s.log,
-			PageSize:  opts.PageSize,
-			SyncReads: opts.SyncReads,
-			SyncTicks: opts.SyncTicks,
-			Clock:     opts.Clock,
+			ID:               types.ClusterID(i),
+			Bus:              s.bus,
+			Dir:              s.dir,
+			Registry:         registry,
+			Metrics:          s.metrics,
+			Log:              s.log,
+			PageSize:         opts.PageSize,
+			SyncReads:        opts.SyncReads,
+			SyncTicks:        opts.SyncTicks,
+			Clock:            opts.Clock,
+			PageFetchTimeout: opts.PageFetchTimeout,
 		})
 		s.kernels = append(s.kernels, k)
 	}
@@ -182,13 +196,19 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 		k.Start()
 	}
 
-	s.detector = fault.New(opts.DetectInterval,
-		func(c types.ClusterID) bool {
+	s.detector = fault.New(fault.Config{
+		Interval: opts.DetectInterval,
+		Clock:    opts.Clock,
+		Debounce: opts.DetectDebounce,
+		Probe: func(c types.ClusterID) bool {
+			if s.consumeProbeFault(c) {
+				return false
+			}
 			k := s.kern(c)
 			return k != nil && !k.Crashed()
 		},
-		s.handleDetectedCrash,
-	)
+		OnCrash: s.handleDetectedCrash,
+	})
 	for i := range s.kernels {
 		s.detector.Watch(types.ClusterID(i))
 	}
@@ -372,6 +392,65 @@ func (s *System) handleDetectedCrash(c types.ClusterID) {
 	})
 }
 
+// FailBus takes one of the two physical intercluster buses down (0-based).
+// A single bus failure is tolerated transparently: traffic fails over to
+// the survivor (metrics record the failovers). Failing both is a multiple
+// failure — senders exhaust their retry budget and degrade.
+func (s *System) FailBus(i int) error { return s.bus.FailBus(i) }
+
+// RepairBus returns a failed physical bus to service.
+func (s *System) RepairBus(i int) error { return s.bus.RepairBus(i) }
+
+// SetBusFaultHook installs a transient-fault hook on the intercluster bus
+// (see bus.FaultHook for the contract). Fault-injection campaigns use it
+// to drop individual transmission attempts, which the bus retry path must
+// recover from.
+func (s *System) SetBusFaultHook(h bus.FaultHook) { s.bus.SetFaultHook(h) }
+
+// InjectProbeFailures makes the failure detector's next n probes of
+// cluster c report "dead" regardless of the cluster's actual health — a
+// detector false positive. With n below Options.DetectDebounce the
+// debounce absorbs the lie and no crash handling runs.
+func (s *System) InjectProbeFailures(c types.ClusterID, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.probeFaults[c] += n
+}
+
+// consumeProbeFault burns one injected probe failure for c, if any.
+func (s *System) consumeProbeFault(c types.ClusterID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.probeFaults[c] > 0 {
+		s.probeFaults[c]--
+		return true
+	}
+	return false
+}
+
+// PollDetector drives one failure-detector probe round synchronously.
+// Deterministic campaigns use it instead of the background driver.
+func (s *System) PollDetector() { s.detector.Poll() }
+
+// Degraded reports whether any kernel has entered degraded mode (cut off
+// from the bus by a multiple failure). Once true, the §6 single-fault
+// contract no longer holds and facade waits return ErrTooManyFailures.
+func (s *System) Degraded() bool {
+	s.mu.Lock()
+	ks := append([]*kernel.Kernel(nil), s.kernels...)
+	s.mu.Unlock()
+	for _, k := range ks {
+		if k.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// Lost reports whether pid was destroyed by a multiple failure (primary
+// and backup both gone, or an unrecoverable roll-forward).
+func (s *System) Lost(pid types.PID) bool { return s.dir.IsLost(pid) }
+
 // CrashProcess injects an isolatable hardware failure affecting a single
 // process (§10 future work, first item): the process is lost, its cluster
 // keeps running, and its backup is brought up. Returns an error if the
@@ -386,17 +465,17 @@ func (s *System) CrashProcess(pid types.PID) error {
 	if k == nil || k.Crashed() {
 		return types.ErrNoCluster
 	}
+	// The home kernel announces the crash itself, through its outgoing
+	// queue, so the notice serializes AFTER everything the dead process had
+	// already put in flight (the backup's promotion epoch depends on that
+	// order). The directory must reflect the crash before any kernel can
+	// dispatch the notice, so update it first.
+	s.dir.ApplyCrashProcess(pid)
 	if err := k.CrashProcess(pid); err != nil {
 		return err
 	}
 	s.metrics.Crashes.Add(1)
-	s.dir.ApplyCrashProcess(pid)
-	cn := &kernel.CrashNotice{Crashed: loc.Cluster, PID: pid}
-	return s.bus.BroadcastAll(&types.Message{
-		Kind:    types.KindCrashNotice,
-		Dst:     pid,
-		Payload: cn.Encode(),
-	})
+	return nil
 }
 
 // Signal sends an asynchronous signal to a process (§7.5.2).
@@ -456,12 +535,20 @@ func (s *System) ProcAlive(pid types.PID) bool {
 }
 
 // WaitExit blocks until pid exits (is removed from the global process
-// table) or the timeout elapses.
+// table) or the timeout elapses. A process destroyed by a multiple
+// failure, or stranded by a degraded (bus-cut) cluster, is not an exit:
+// WaitExit reports types.ErrTooManyFailures instead of success or a hang.
 func (s *System) WaitExit(pid types.PID, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
+		if s.dir.IsLost(pid) {
+			return fmt.Errorf("core: %s destroyed by multiple failures: %w", pid, types.ErrTooManyFailures)
+		}
 		if !s.ProcAlive(pid) {
 			return nil
+		}
+		if s.Degraded() {
+			return fmt.Errorf("core: %s stranded, system degraded: %w", pid, types.ErrTooManyFailures)
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("core: %s still alive after %v", pid, timeout)

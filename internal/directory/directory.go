@@ -61,6 +61,11 @@ type Directory struct {
 	mu       sync.Mutex
 	services map[types.PID]ServiceLoc
 	procs    map[types.PID]ProcLoc
+	// lost records processes destroyed by multiple failures: both the
+	// primary and backup copies are gone, so no promotion is possible. The
+	// paper's single-fault contract does not cover them (§6); the facade
+	// reports types.ErrTooManyFailures instead of pretending they exited.
+	lost map[types.PID]bool
 
 	nextPID     types.PID
 	nextChannel types.ChannelID
@@ -71,6 +76,7 @@ func New() *Directory {
 	return &Directory{
 		services:    make(map[types.PID]ServiceLoc),
 		procs:       make(map[types.PID]ProcLoc),
+		lost:        make(map[types.PID]bool),
 		nextPID:     FirstUserPID,
 		nextChannel: 1,
 	}
@@ -176,6 +182,10 @@ func (d *Directory) ApplyCrash(crashed types.ClusterID) []types.PID {
 			d.procs[pid] = l
 			if l.Cluster != types.NoCluster {
 				promoted = append(promoted, pid)
+			} else {
+				// Primary gone with no backup to promote: a multiple
+				// failure destroyed the process.
+				d.lost[pid] = true
 			}
 		case l.BackupCluster == crashed:
 			l.BackupCluster = types.NoCluster
@@ -212,10 +222,40 @@ func (d *Directory) ApplyCrashProcess(pid types.PID) types.ClusterID {
 	l.BackupCluster = types.NoCluster
 	if l.Cluster == types.NoCluster {
 		delete(d.procs, pid)
+		d.lost[pid] = true
 		return types.NoCluster
 	}
 	d.procs[pid] = l
 	return l.Cluster
+}
+
+// MarkLost records pid as destroyed by a multiple failure (for example, a
+// promoted backup whose page restore could not complete because the page
+// account's hosts were also gone). The location entry, if any, is removed.
+func (d *Directory) MarkLost(pid types.PID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.procs, pid)
+	d.lost[pid] = true
+}
+
+// IsLost reports whether pid was destroyed by a multiple failure.
+func (d *Directory) IsLost(pid types.PID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lost[pid]
+}
+
+// Lost returns all lost pids in ascending order.
+func (d *Directory) Lost() []types.PID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]types.PID, 0, len(d.lost))
+	for p := range d.lost {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // SetBackup records a newly created backup location for pid (fullback

@@ -4,8 +4,14 @@
 // clusters to begin crash handling."
 //
 // The Detector polls cluster liveness and reports each alive→dead
-// transition exactly once. Crash injection for tests and experiments calls
-// the same report path synchronously.
+// transition exactly once. A cluster is declared dead only after Debounce
+// consecutive missed probes, so a single dropped probe (a detector false
+// positive) does not trigger spurious crash handling. Probe rounds are
+// scheduled against an injectable types.Clock: the background driver
+// (Start) and deterministic drivers (Poll, Tick) share the same schedule
+// state, so tests and fault-injection campaigns run the detector without
+// real-time sleeps. Crash injection calls the same report path
+// synchronously.
 package fault
 
 import (
@@ -16,36 +22,77 @@ import (
 	"auragen/internal/types"
 )
 
+// DefaultDebounce is the number of consecutive missed probes required
+// before a cluster is declared crashed when Config.Debounce is zero.
+const DefaultDebounce = 2
+
+// Config assembles a detector.
+type Config struct {
+	// Interval is the clock time between probe rounds. Zero disables the
+	// background driver and the Tick schedule (failures are then found
+	// only via Poll or Report).
+	Interval time.Duration
+	// Clock schedules probe rounds; nil selects the wall clock. Injecting
+	// a types.LogicalClock makes the schedule a pure function of the
+	// system's own progress.
+	Clock types.Clock
+	// Debounce is the number of consecutive missed probes before a
+	// cluster is declared crashed; non-positive selects DefaultDebounce.
+	Debounce int
+	// Probe reports whether a cluster currently responds.
+	Probe func(types.ClusterID) bool
+	// OnCrash is invoked exactly once per detected failure.
+	OnCrash func(types.ClusterID)
+}
+
+// watchState tracks one cluster's liveness belief.
+type watchState struct {
+	alive  bool
+	missed int // consecutive failed probes
+}
+
 // Detector polls cluster liveness.
 type Detector struct {
 	interval time.Duration
+	clock    types.Clock
+	debounce int
 	probe    func(types.ClusterID) bool
 	onCrash  func(types.ClusterID)
 
 	mu       sync.Mutex
-	known    map[types.ClusterID]bool // true while believed alive
+	known    map[types.ClusterID]*watchState
+	lastPoll int64
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 }
 
-// New creates a detector. probe reports whether a cluster currently
-// responds; onCrash is invoked exactly once per detected failure.
-func New(interval time.Duration, probe func(types.ClusterID) bool, onCrash func(types.ClusterID)) *Detector {
-	return &Detector{
-		interval: interval,
-		probe:    probe,
-		onCrash:  onCrash,
-		known:    make(map[types.ClusterID]bool),
+// New creates a detector from cfg. Probe and OnCrash must be non-nil.
+func New(cfg Config) *Detector {
+	if cfg.Clock == nil {
+		cfg.Clock = types.WallClock{}
+	}
+	if cfg.Debounce <= 0 {
+		cfg.Debounce = DefaultDebounce
+	}
+	d := &Detector{
+		interval: cfg.Interval,
+		clock:    cfg.Clock,
+		debounce: cfg.Debounce,
+		probe:    cfg.Probe,
+		onCrash:  cfg.OnCrash,
+		known:    make(map[types.ClusterID]*watchState),
 		stopCh:   make(chan struct{}),
 	}
+	d.lastPoll = d.clock.Now()
+	return d
 }
 
 // Watch adds a cluster to the polling set.
 func (d *Detector) Watch(c types.ClusterID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.known[c] = true
+	d.known[c] = &watchState{alive: true}
 }
 
 // Unwatch removes a cluster (clean shutdown, not a failure).
@@ -60,8 +107,8 @@ func (d *Detector) Watched() []types.ClusterID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]types.ClusterID, 0, len(d.known))
-	for c, alive := range d.known {
-		if alive {
+	for c, w := range d.known {
+		if w.alive {
 			out = append(out, c)
 		}
 	}
@@ -69,8 +116,9 @@ func (d *Detector) Watched() []types.ClusterID {
 	return out
 }
 
-// Start launches the polling loop. A zero interval disables polling
-// (failures are then only found via Report).
+// Start launches the background driver. A zero interval disables it. The
+// driver wakes on a coarse real-time tick but defers the "is a round due"
+// decision to Tick, i.e. to the injected clock.
 func (d *Detector) Start() {
 	if d.interval <= 0 {
 		return
@@ -85,18 +133,43 @@ func (d *Detector) Start() {
 			case <-d.stopCh:
 				return
 			case <-ticker.C:
-				d.poll()
+				d.Tick()
 			}
 		}
 	}()
 }
 
-func (d *Detector) poll() {
+// Tick runs one probe round if the injected clock says one is due (at
+// least Interval since the previous round). Deterministic drivers call it
+// in their own loop instead of relying on Start's goroutine.
+func (d *Detector) Tick() {
 	d.mu.Lock()
+	due := d.interval > 0 && d.clock.Now()-d.lastPoll >= int64(d.interval)
+	d.mu.Unlock()
+	if due {
+		d.Poll()
+	}
+}
+
+// Poll runs one probe round immediately: every watched-alive cluster is
+// probed once; a cluster missing Debounce consecutive probes is declared
+// crashed (OnCrash fires once, after the detector's lock is released, in
+// ascending cluster order). A successful probe resets the miss count.
+func (d *Detector) Poll() {
+	d.mu.Lock()
+	d.lastPoll = d.clock.Now()
 	var dead []types.ClusterID
-	for c, alive := range d.known {
-		if alive && !d.probe(c) {
-			d.known[c] = false
+	for c, w := range d.known {
+		if !w.alive {
+			continue
+		}
+		if d.probe(c) {
+			w.missed = 0
+			continue
+		}
+		w.missed++
+		if w.missed >= d.debounce {
+			w.alive = false
 			dead = append(dead, c)
 		}
 	}
@@ -107,23 +180,25 @@ func (d *Detector) poll() {
 	}
 }
 
-// Report declares a cluster failed immediately (synchronous injection).
-// It is idempotent: the first report wins.
+// Report declares a cluster failed immediately, bypassing the debounce
+// (synchronous injection: the caller knows the cluster is gone). It is
+// idempotent: the first report wins.
 func (d *Detector) Report(c types.ClusterID) bool {
 	d.mu.Lock()
-	alive, ok := d.known[c]
-	if ok && alive {
-		d.known[c] = false
+	w, ok := d.known[c]
+	fire := ok && w.alive
+	if fire {
+		w.alive = false
 	}
 	d.mu.Unlock()
-	if ok && alive {
+	if fire {
 		d.onCrash(c)
 		return true
 	}
 	return false
 }
 
-// Stop halts polling.
+// Stop halts the background driver.
 func (d *Detector) Stop() {
 	d.stopOnce.Do(func() { close(d.stopCh) })
 	d.wg.Wait()

@@ -8,7 +8,8 @@ import (
 	"auragen/internal/types"
 )
 
-// harness wraps a detector over a mutable liveness map.
+// harness wraps a detector over a mutable liveness map. Tests drive probe
+// rounds deterministically via Poll/Tick — no real-time sleeps.
 type harness struct {
 	mu      sync.Mutex
 	alive   map[types.ClusterID]bool
@@ -16,20 +17,19 @@ type harness struct {
 	d       *Detector
 }
 
-func newHarness(interval time.Duration) *harness {
+func newHarness(cfg Config) *harness {
 	h := &harness{alive: make(map[types.ClusterID]bool)}
-	h.d = New(interval,
-		func(c types.ClusterID) bool {
-			h.mu.Lock()
-			defer h.mu.Unlock()
-			return h.alive[c]
-		},
-		func(c types.ClusterID) {
-			h.mu.Lock()
-			defer h.mu.Unlock()
-			h.crashes = append(h.crashes, c)
-		},
-	)
+	cfg.Probe = func(c types.ClusterID) bool {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.alive[c]
+	}
+	cfg.OnCrash = func(c types.ClusterID) {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.crashes = append(h.crashes, c)
+	}
+	h.d = New(cfg)
 	return h
 }
 
@@ -46,7 +46,7 @@ func (h *harness) crashCount() int {
 }
 
 func TestReportFiresOnce(t *testing.T) {
-	h := newHarness(0)
+	h := newHarness(Config{})
 	h.d.Watch(2)
 	h.setAlive(2, true)
 	if !h.d.Report(2) {
@@ -61,25 +61,24 @@ func TestReportFiresOnce(t *testing.T) {
 }
 
 func TestReportUnknownCluster(t *testing.T) {
-	h := newHarness(0)
+	h := newHarness(Config{})
 	if h.d.Report(9) {
 		t.Fatal("report for unwatched cluster accepted")
 	}
 }
 
-func TestPollingDetectsDeath(t *testing.T) {
-	h := newHarness(time.Millisecond)
+func TestPollDetectsDeathAfterDebounce(t *testing.T) {
+	h := newHarness(Config{Debounce: 2})
 	for c := types.ClusterID(0); c < 3; c++ {
 		h.setAlive(c, true)
 		h.d.Watch(c)
 	}
-	h.d.Start()
-	defer h.d.Stop()
 	h.setAlive(1, false)
-	deadline := time.Now().Add(2 * time.Second)
-	for h.crashCount() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+	h.d.Poll()
+	if h.crashCount() != 0 {
+		t.Fatal("one missed probe already declared a crash (no debounce)")
 	}
+	h.d.Poll()
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.crashes) != 1 || h.crashes[0] != 1 {
@@ -87,21 +86,82 @@ func TestPollingDetectsDeath(t *testing.T) {
 	}
 }
 
-func TestPollingReportsEachFailureOnce(t *testing.T) {
-	h := newHarness(time.Millisecond)
+func TestSuccessfulProbeResetsDebounce(t *testing.T) {
+	// A false positive — fewer than Debounce consecutive misses — must not
+	// declare a crash, no matter how many non-consecutive misses accrue.
+	h := newHarness(Config{Debounce: 3})
 	h.setAlive(0, true)
 	h.d.Watch(0)
-	h.d.Start()
-	defer h.d.Stop()
+	for round := 0; round < 5; round++ {
+		h.setAlive(0, false)
+		h.d.Poll()
+		h.d.Poll() // two misses: one short of the debounce
+		h.setAlive(0, true)
+		h.d.Poll() // recovery resets the count
+	}
+	if h.crashCount() != 0 {
+		t.Fatalf("transient probe failures declared a crash: %d", h.crashCount())
+	}
 	h.setAlive(0, false)
-	time.Sleep(20 * time.Millisecond)
+	h.d.Poll()
+	h.d.Poll()
+	h.d.Poll()
+	if h.crashCount() != 1 {
+		t.Fatalf("real death not declared after %d misses", 3)
+	}
+}
+
+func TestPollReportsEachFailureOnce(t *testing.T) {
+	h := newHarness(Config{Debounce: 1})
+	h.setAlive(0, true)
+	h.d.Watch(0)
+	h.setAlive(0, false)
+	for i := 0; i < 5; i++ {
+		h.d.Poll()
+	}
 	if h.crashCount() != 1 {
 		t.Fatalf("repeated reports: %d", h.crashCount())
 	}
 }
 
+func TestTickFollowsInjectedClock(t *testing.T) {
+	// Drive the schedule from a logical clock: each Tick advances virtual
+	// time by 1µs (one clock reading); a round becomes due only once the
+	// virtual interval has elapsed — pure function of progress, no sleeps.
+	clk := types.NewLogicalClock(0, 1000)
+	h := newHarness(Config{Interval: 10 * time.Microsecond, Clock: clk, Debounce: 1})
+	h.setAlive(0, true)
+	h.d.Watch(0)
+	h.setAlive(0, false)
+
+	h.d.Tick() // virtual elapsed ≈ 2µs (New and Tick each read once): not due
+	if h.crashCount() != 0 {
+		t.Fatal("round ran before the virtual interval elapsed")
+	}
+	for i := 0; i < 20 && h.crashCount() == 0; i++ {
+		h.d.Tick()
+	}
+	if h.crashCount() != 1 {
+		t.Fatalf("clock-driven ticks never became due: crashes = %d", h.crashCount())
+	}
+}
+
+func TestZeroIntervalDisablesTickSchedule(t *testing.T) {
+	h := newHarness(Config{Debounce: 1})
+	h.setAlive(0, false)
+	h.d.Watch(0)
+	h.d.Start() // no-op: zero interval
+	for i := 0; i < 10; i++ {
+		h.d.Tick() // never due without an interval
+	}
+	if h.crashCount() != 0 {
+		t.Fatal("tick schedule ran with zero interval")
+	}
+	h.d.Stop()
+}
+
 func TestWatchedAndUnwatch(t *testing.T) {
-	h := newHarness(0)
+	h := newHarness(Config{})
 	h.d.Watch(3)
 	h.d.Watch(1)
 	h.d.Watch(2)
@@ -118,20 +178,8 @@ func TestWatchedAndUnwatch(t *testing.T) {
 	}
 }
 
-func TestZeroIntervalDisablesPolling(t *testing.T) {
-	h := newHarness(0)
-	h.setAlive(0, false)
-	h.d.Watch(0)
-	h.d.Start() // no-op
-	time.Sleep(10 * time.Millisecond)
-	if h.crashCount() != 0 {
-		t.Fatal("polling ran with zero interval")
-	}
-	h.d.Stop()
-}
-
 func TestStopIdempotent(t *testing.T) {
-	h := newHarness(time.Millisecond)
+	h := newHarness(Config{Interval: time.Millisecond})
 	h.d.Start()
 	h.d.Stop()
 	h.d.Stop() // second stop must not panic

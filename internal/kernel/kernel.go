@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"auragen/internal/bus"
 	"auragen/internal/directory"
@@ -40,6 +41,21 @@ const (
 	DefaultSyncTicks uint64 = 1024
 )
 
+// Transmit retry discipline: the executive re-offers a message to the bus
+// this many times, pausing between attempts, before concluding the cluster
+// is cut off (both physical buses dead — a multiple failure, §6) and
+// entering degraded mode. The pause gives a transient outage or a repair
+// (bus.RepairBus) time to clear; a healthy run never retries.
+const (
+	txMaxAttempts = 5
+	txBackoff     = 2 * time.Millisecond
+)
+
+// DefaultPageFetchTimeout bounds how long a promoted backup waits for its
+// page account during roll-forward before the recovery is abandoned (the
+// account's hosts died too — a multiple failure).
+const DefaultPageFetchTimeout = 10 * time.Second
+
 // Config assembles a kernel's dependencies.
 type Config struct {
 	ID       types.ClusterID
@@ -59,6 +75,11 @@ type Config struct {
 	// zero selects the package defaults.
 	SyncReads uint32
 	SyncTicks uint64
+
+	// PageFetchTimeout bounds the roll-forward page-account fetch; zero
+	// selects DefaultPageFetchTimeout. Fault-injection campaigns shorten
+	// it so abandoned recoveries surface quickly.
+	PageFetchTimeout time.Duration
 }
 
 // Kernel is one cluster's operating system kernel.
@@ -87,6 +108,18 @@ type Kernel struct {
 
 	crashed bool
 	stopped bool
+	// degraded marks the cluster cut off from the intercluster bus after
+	// the transmit loop exhausted its retries — a multiple failure the §6
+	// contract does not cover. Blocked syscalls return
+	// types.ErrTooManyFailures so process goroutines unwind instead of
+	// deadlocking.
+	degraded bool
+	// dieCh closes when the kernel crashes, stops, or degrades; channel
+	// waits (page restore) select on it to unwind promptly.
+	dieCh     chan struct{}
+	dieClosed bool
+
+	pageFetchTimeout time.Duration
 
 	table   *routing.Table
 	procs   map[types.PID]*PCB
@@ -146,6 +179,9 @@ func New(cfg Config) *Kernel {
 	if cfg.Clock == nil {
 		cfg.Clock = types.WallClock{}
 	}
+	if cfg.PageFetchTimeout <= 0 {
+		cfg.PageFetchTimeout = DefaultPageFetchTimeout
+	}
 	k := &Kernel{
 		id:         cfg.ID,
 		bus:        cfg.Bus,
@@ -164,6 +200,9 @@ func New(cfg Config) *Kernel {
 		births:     make(map[types.PID][]*BirthNotice),
 		nondetLogs: make(map[types.PID][]uint64),
 		servers:    make(map[types.PID]*ServerHost),
+		dieCh:      make(chan struct{}),
+
+		pageFetchTimeout: cfg.PageFetchTimeout,
 	}
 	k.txCond = sync.NewCond(&k.mu)
 	k.inbox = cfg.Bus.Attach(cfg.ID)
@@ -209,9 +248,18 @@ func (k *Kernel) Crash() {
 		p.cond.Broadcast()
 	}
 	k.txCond.Broadcast()
+	k.closeDieLocked()
 	k.mu.Unlock()
 	// Detach closes the inbox, ending the receive loop.
 	k.bus.Detach(k.id)
+}
+
+// closeDieLocked closes dieCh exactly once. The caller holds k.mu.
+func (k *Kernel) closeDieLocked() {
+	if !k.dieClosed {
+		k.dieClosed = true
+		close(k.dieCh)
+	}
 }
 
 // Stop shuts the kernel down cleanly (test teardown). Unlike Crash it does
@@ -225,6 +273,7 @@ func (k *Kernel) Stop() {
 		p.cond.Broadcast()
 	}
 	k.txCond.Broadcast()
+	k.closeDieLocked()
 	k.mu.Unlock()
 	k.bus.Detach(k.id)
 }
@@ -237,6 +286,37 @@ func (k *Kernel) Crashed() bool {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	return k.crashed
+}
+
+// Degraded reports whether the cluster was cut off from the bus by a
+// multiple failure (both physical buses lost past the retry budget).
+func (k *Kernel) Degraded() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.degraded
+}
+
+// enterDegraded is the transmit loop's response to an unrecoverable bus
+// failure: freeze the outgoing queue, wake every blocked process goroutine
+// (their syscalls return types.ErrTooManyFailures), and leave receive-side
+// state intact for post-mortem inspection. Unlike Crash, the cluster
+// hardware is fine — it just cannot talk to anyone.
+func (k *Kernel) enterDegraded(cause error) {
+	k.mu.Lock()
+	if k.degraded || k.crashed || k.stopped {
+		k.mu.Unlock()
+		return
+	}
+	k.degraded = true
+	k.outgoing = nil
+	for _, p := range k.procs {
+		p.cond.Broadcast()
+	}
+	k.txCond.Broadcast()
+	k.closeDieLocked()
+	k.mu.Unlock()
+	k.log.Add(trace.EvNote, fmt.Sprintf("%s: degraded, bus unreachable after %d attempts: %v",
+		k.id, txMaxAttempts, cause))
 }
 
 // GuestErrors returns the recent guest error strings (newest last).
@@ -283,7 +363,7 @@ func (k *Kernel) NumProcs() int {
 // holds k.mu. Messages leave the cluster in the order they are placed here
 // (§7.8's safety argument for sync messages depends on this FIFO order).
 func (k *Kernel) sendLocked(m *types.Message) {
-	if k.crashed || k.stopped {
+	if k.crashed || k.stopped || k.degraded {
 		return
 	}
 	k.outgoing = append(k.outgoing, m)
@@ -296,30 +376,58 @@ func (k *Kernel) txLoop() {
 	defer k.wg.Done()
 	for {
 		k.mu.Lock()
-		for len(k.outgoing) == 0 && !k.crashed && !k.stopped {
+		for len(k.outgoing) == 0 && !k.crashed && !k.stopped && !k.degraded {
 			k.txCond.Wait()
 		}
-		if k.crashed || k.stopped {
+		if k.crashed || k.stopped || k.degraded {
 			k.mu.Unlock()
 			return
 		}
 		m := k.outgoing[0]
 		k.outgoing = k.outgoing[1:]
 		k.mu.Unlock()
-		var err error
-		if m.Kind == types.KindBackupUp {
-			// Backup-up notices go to every live cluster, like crash
-			// notices (§7.10.1 step 1 waits on them system-wide).
+		if err := k.transmit(m); err != nil {
+			// Both physical buses down past the retry budget: an
+			// untolerated multiple failure. The cluster is cut off;
+			// degrade so blocked processes unwind with
+			// types.ErrTooManyFailures instead of stalling forever.
+			k.log.Add(trace.EvNote, fmt.Sprintf("%s: bus failure: %v", k.id, err))
+			k.enterDegraded(err)
+			return
+		}
+	}
+}
+
+// transmit offers one message to the bus, retrying with backoff so a
+// transient outage (or a bus repair racing the failure detector) does not
+// escalate into a cluster-wide degradation.
+func (k *Kernel) transmit(m *types.Message) error {
+	var err error
+	for attempt := 0; attempt < txMaxAttempts; attempt++ {
+		if attempt > 0 {
+			//lint:ignore AURO001 bounded backoff between bus retries, not an input to execution: a healthy run never sleeps here
+			time.Sleep(txBackoff)
+			k.mu.Lock()
+			dead := k.crashed || k.stopped
+			k.mu.Unlock()
+			if dead {
+				// The cluster died while retrying; the message is lost
+				// with it, which is not a bus fault.
+				return nil
+			}
+		}
+		if m.Kind == types.KindBackupUp || m.Kind == types.KindCrashNotice {
+			// Backup-up and crash notices go to every live cluster
+			// (§7.10.1 step 1 waits on them system-wide).
 			err = k.bus.BroadcastAll(m)
 		} else {
 			err = k.bus.Broadcast(m)
 		}
-		if err != nil {
-			// Both physical buses down: an untolerated multiple failure.
-			// The message is lost; higher layers observe the stall.
-			k.log.Add(trace.EvNote, fmt.Sprintf("%s: bus failure: %v", k.id, err))
+		if err == nil {
+			return nil
 		}
 	}
+	return err
 }
 
 // rxLoop is the executive processor's receive half.
@@ -563,6 +671,17 @@ func (k *Kernel) adoptOpenReplyLocked(m *types.Message, role routing.Role) {
 	if err != nil || or.Err != "" || or.Channel == types.NoChannel {
 		return
 	}
+	// The message's route reflects the opener's location when the open was
+	// issued. If this cluster was the opener's backup but the opener has
+	// since been promoted here (the open raced a crash), the entry must be
+	// created with the owner's CURRENT role: a Backup entry would swallow
+	// every subsequent peer message into a save queue no one drains, and
+	// the promoted primary would block in read forever.
+	if role == routing.Backup {
+		if _, live := k.procs[m.Dst]; live {
+			role = routing.Primary
+		}
+	}
 	if _, ok := k.table.Lookup(or.Channel, m.Dst, role); ok {
 		return // already present (recovery replay)
 	}
@@ -735,6 +854,9 @@ func (k *Kernel) waitLocked(p *PCB, pred func() bool) error {
 		if k.stopped {
 			return types.ErrShutdown
 		}
+		if k.degraded {
+			return types.ErrTooManyFailures
+		}
 		p.cond.Wait()
 	}
 	if p.crashed || k.crashed {
@@ -742,6 +864,9 @@ func (k *Kernel) waitLocked(p *PCB, pred func() bool) error {
 	}
 	if k.stopped {
 		return types.ErrShutdown
+	}
+	if k.degraded {
+		return types.ErrTooManyFailures
 	}
 	return nil
 }

@@ -360,6 +360,9 @@ func (pr *Proc) NextEvent() (guest.Event, error) {
 		if k.stopped {
 			return guest.Event{}, types.ErrShutdown
 		}
+		if k.degraded {
+			return guest.Event{}, types.ErrTooManyFailures
+		}
 
 		// NextEvent is a state-capturable boundary: pause here during
 		// online backup establishment, and run the establishment sync
@@ -478,6 +481,10 @@ func (pr *Proc) Nondet(compute func() uint64) (uint64, error) {
 		k.mu.Unlock()
 		return 0, types.ErrCrashed
 	}
+	if k.degraded {
+		k.mu.Unlock()
+		return 0, types.ErrTooManyFailures
+	}
 	if len(p.nondetLog) > 0 {
 		v := p.nondetLog[0]
 		p.nondetLog = p.nondetLog[1:]
@@ -500,6 +507,9 @@ func (pr *Proc) Fork(program string, args []byte) (types.PID, error) {
 	defer k.mu.Unlock()
 	if p.crashed || k.crashed {
 		return types.NoPID, types.ErrCrashed
+	}
+	if k.degraded {
+		return types.NoPID, types.ErrTooManyFailures
 	}
 	return k.forkLocked(p, program, args)
 }

@@ -46,6 +46,18 @@ func (k *Kernel) CrashProcess(pid types.PID) error {
 			Note:    "single-process crash",
 		})
 	}
+	// The surviving executive processor announces the crash — through the
+	// same outgoing queue, BEHIND everything the dead process had already
+	// enqueued. The backup's promotion decision depends on this FIFO order:
+	// if the notice overtook an in-flight sync, the backup would promote at
+	// the previous epoch while counts for the newer epoch's sends were
+	// still arriving, corrupting the §5.4 suppression budget.
+	cn := &CrashNotice{Crashed: k.id, PID: pid}
+	k.sendLocked(&types.Message{
+		Kind:    types.KindCrashNotice,
+		Dst:     pid,
+		Payload: cn.Encode(),
+	})
 	return nil
 }
 

@@ -225,6 +225,13 @@ func (k *Kernel) runProcess(p *PCB) {
 	if p.recovered {
 		if err := k.restorePages(p); err != nil {
 			p.runErr = err
+			if !errors.Is(err, types.ErrCrashed) && !errors.Is(err, types.ErrShutdown) {
+				// The promoted backup cannot be brought back to life: its
+				// page account is unreachable (the account's hosts died
+				// too — a multiple failure). Remove the zombie PCB and
+				// report the process lost instead of leaking it.
+				k.abandonRecovery(p, err)
+			}
 			return
 		}
 		if p.promoteNanos != 0 {
@@ -241,6 +248,10 @@ func (k *Kernel) runProcess(p *PCB) {
 	case errors.Is(err, types.ErrCrashed), errors.Is(err, types.ErrShutdown):
 		// The cluster died under the process; nothing to clean up — the
 		// state died with the cluster.
+	case errors.Is(err, types.ErrTooManyFailures):
+		// A multiple failure cut the cluster off mid-run (degraded mode);
+		// the process state can no longer be made globally consistent, so
+		// leave it frozen for post-mortem inspection.
 	default:
 		// A guest error is a software fault, outside the paper's fault
 		// model; treat it as an exit so the system stays consistent.
@@ -281,11 +292,37 @@ func (k *Kernel) restorePages(p *PCB) error {
 	case pages := <-p.pageWait:
 		p.space.Install(pages)
 		k.metrics.PagesFetched.Add(uint64(len(pages)))
+	case <-k.dieCh:
+		// The kernel died or degraded while we waited; unwind promptly
+		// instead of riding out the watchdog.
+		k.mu.Lock()
+		degraded := k.degraded
+		k.mu.Unlock()
+		if degraded {
+			return fmt.Errorf("kernel: page fetch for %s: cluster degraded: %w", p.pid, types.ErrTooManyFailures)
+		}
+		return types.ErrCrashed
 	//lint:ignore AURO001 liveness watchdog against a wedged pager, not an input to execution: a healthy run never observes the timeout firing
-	case <-time.After(10 * time.Second):
-		return fmt.Errorf("kernel: page fetch for %s timed out", p.pid)
+	case <-time.After(k.pageFetchTimeout):
+		return fmt.Errorf("kernel: page fetch for %s timed out: %w", p.pid, types.ErrTooManyFailures)
 	}
 	return nil
+}
+
+// abandonRecovery gives up on a promoted backup whose roll-forward cannot
+// complete: the PCB is removed and the process reported lost in the
+// directory, so facade waiters see types.ErrTooManyFailures rather than a
+// hang or a phantom live process.
+func (k *Kernel) abandonRecovery(p *PCB, cause error) {
+	k.mu.Lock()
+	if !p.exited {
+		p.exited = true
+		k.table.RemoveOwnedBy(p.pid, routing.Primary)
+		delete(k.procs, p.pid)
+	}
+	k.mu.Unlock()
+	k.dir.MarkLost(p.pid)
+	k.log.Add(trace.EvNote, fmt.Sprintf("%s: recovery abandoned for %s: %v", k.id, p.pid, cause))
 }
 
 // exitProcess tears down a cleanly exited process and notifies the backup
@@ -299,7 +336,7 @@ func (k *Kernel) exitProcess(p *PCB) {
 		return
 	}
 	p.exited = true
-	if k.crashed || k.stopped {
+	if k.crashed || k.stopped || k.degraded {
 		return
 	}
 

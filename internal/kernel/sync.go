@@ -222,6 +222,15 @@ func (k *Kernel) dispatchSync(m *types.Message) {
 // channels, discard messages the primary already read, and reset the
 // writes-since-sync counts.
 func (k *Kernel) applySyncLocked(sm *SyncMsg) {
+	if _, promoted := k.procs[sm.PID]; promoted {
+		// Straggler from the dead incarnation: the primary enqueued this
+		// sync, crashed before it left the cluster, and the crash notice
+		// overtook it in the bus total order — this cluster has already
+		// promoted the backup. Applying it would resurrect a backup record
+		// for a corpse and re-install Backup routing entries that swallow
+		// the promoted primary's traffic.
+		return
+	}
 	b, ok := k.backups[sm.PID]
 	if !ok {
 		// First sync of a process whose birth record was lost (or a

@@ -81,6 +81,17 @@ type Metrics struct {
 	RecoveryNanos atomic.Int64
 	// Crashes counts cluster crashes handled.
 	Crashes atomic.Uint64
+
+	// BusFailovers counts transmissions routed over the secondary physical
+	// bus because the preferred bus was failed (§7.1 dual-bus redundancy).
+	BusFailovers atomic.Uint64
+	// BusRetries counts per-transmission retry attempts after a transient
+	// transmission fault.
+	BusRetries atomic.Uint64
+	// BusFaultDrops counts transmissions dropped by an injected transient
+	// fault (each drop is recovered by the retry path or surfaces as an
+	// error to the sender).
+	BusFaultDrops atomic.Uint64
 }
 
 // AddRecovery records one crash-to-runnable recovery duration (one per
@@ -116,6 +127,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		"pages_fetched":        m.PagesFetched.Load(),
 		"recovery_nanos":       uint64(m.RecoveryNanos.Load()),
 		"crashes":              m.Crashes.Load(),
+		"bus_failovers":        m.BusFailovers.Load(),
+		"bus_retries":          m.BusRetries.Load(),
+		"bus_fault_drops":      m.BusFaultDrops.Load(),
 	}
 }
 
@@ -278,6 +292,10 @@ type EventLog struct {
 	// SetClock substitutes a deterministic source so same-seed runs
 	// produce byte-identical timelines.
 	clock types.Clock
+	// observer, when set, sees every appended event after Seq/When
+	// assignment. It runs under the log's mutex, so appends stay totally
+	// ordered through it; see SetObserver for the contract.
+	observer func(Event)
 }
 
 // NewEventLog returns a log whose ring retains the newest capacity events.
@@ -300,8 +318,25 @@ func (l *EventLog) SetClock(c types.Clock) {
 	l.mu.Unlock()
 }
 
+// SetObserver installs fn to be called synchronously, under the log's
+// mutex, for every subsequent Append — the hook the fault-injection
+// tripwires hang off (the event stream is the injection coordinate
+// system). Because fn runs inside Append, which components call while
+// holding their own locks, fn must be fast, must never block, and must
+// not call back into the log or into the system being observed: restrict
+// it to reads of the event, atomic bookkeeping, and channel closes. Pass
+// nil to remove the observer. Safe on a nil receiver (no-op).
+func (l *EventLog) SetObserver(fn func(Event)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.observer = fn
+	l.mu.Unlock()
+}
+
 // Append records one event, assigning its Seq (and When, if zero). Safe on
-// a nil receiver; never allocates.
+// a nil receiver; never allocates when no observer is installed.
 func (l *EventLog) Append(e Event) {
 	if l == nil {
 		return
@@ -313,6 +348,9 @@ func (l *EventLog) Append(e Event) {
 	e.Seq = l.next
 	l.ring[l.next%uint64(len(l.ring))] = e
 	l.next++
+	if l.observer != nil {
+		l.observer(e)
+	}
 	l.mu.Unlock()
 }
 
