@@ -1,5 +1,5 @@
 // aurobench regenerates the experiment tables of EXPERIMENTS.md: one table
-// per experiment id (E1–E9), each row produced by the same harness
+// per experiment id (E1–E11), each row produced by the same harness
 // functions the Go benchmarks drive.
 //
 // Usage:
@@ -156,6 +156,14 @@ func main() {
 		table("E9", "bus atomic multicast: fan-out without extra transmissions (§5.1)")
 		for _, targets := range []int{1, 2, 3} {
 			emit(harness.E9BusAtomicity(targets, scale(50000, 10000)), nil)
+		}
+	}
+
+	if sel("E11") {
+		table("E11", "window of vulnerability: crash → redundancy restored, per backup mode (§7.3)")
+		for _, mode := range []types.BackupMode{types.Quarterback, types.Halfback, types.Fullback} {
+			row, err := harness.E11WindowOfVulnerability(mode)
+			failed = emit(row, err) || failed
 		}
 	}
 

@@ -9,6 +9,7 @@
 //	aurosim -scenario counter -crash 2 -mode fullback
 //	aurosim -scenario counter -crash 2 -timeline   # causal event timeline
 //	aurosim -chaos -seed 1             # bounded fault-injection campaign
+//	aurosim -chaos -repair             # sequential fault→repair→fault campaign
 package main
 
 import (
@@ -34,16 +35,23 @@ var (
 	flagCrash    = flag.Int("crash", -1, "cluster to fail mid-scenario (-1: none)")
 	flagMode     = flag.String("mode", "quarterback", "backup mode: quarterback | halfback | fullback")
 	flagSyncN    = flag.Uint("sync-reads", 16, "reads between syncs (§7.8)")
-	flagRestore  = flag.Bool("restore", false, "return the crashed cluster to service mid-scenario (halfbacks get new backups, §7.3)")
+	flagRestore  = flag.Bool("restore", false, "repair the crashed cluster mid-scenario and return it to service: mirrors resilvered, replicas caught up, every unbacked process re-backed (§7.3)")
 	flagTimeline = flag.Bool("timeline", false, "record structured events and print the causal timeline after the run")
 	flagSeed     = flag.Int64("seed", 0, "seed a deterministic logical clock (0: wall clock); same seed + same scenario gives identical -timeline timestamps")
 	flagChaos    = flag.Bool("chaos", false, "run a bounded fault-injection campaign (crash/bus-failure/transient sweeps against the survival oracle); exits non-zero on any contract violation")
 	flagChaosPts = flag.Int("chaos-points", 24, "injection coordinates swept per fault family in -chaos")
+	flagRepair   = flag.Bool("repair", false, "with -chaos: run sequential fault→repair→fault campaigns (alternating clusters, one fault mid-re-integration) at strided coordinates, judged by the redundancy-restored oracle")
 )
 
 func main() {
 	flag.Parse()
 	if *flagChaos {
+		if *flagRepair {
+			if err := runChaosSequential(*flagSeed, *flagChaosPts); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if err := runChaos(*flagSeed, *flagChaosPts); err != nil {
 			log.Fatal(err)
 		}
@@ -266,6 +274,79 @@ func runChaos(seed int64, points int) error {
 	}
 	fmt.Println("chaos: every swept coordinate honored the survival contract")
 	return nil
+}
+
+// runChaosSequential sweeps sequential fault→repair→fault campaigns: three
+// single failures alternating clusters (the second re-crashing the cluster
+// under repair mid-re-integration), a full repair plus redundancy-restored
+// oracle between each, and the first fault's coordinate strided across the
+// event stream. Any contract violation exits non-zero.
+func runChaosSequential(seed int64, points int) error {
+	if seed == 0 {
+		seed = 1
+	}
+	if points < 1 {
+		points = 1
+	}
+	c := &chaos.SeqCampaign{
+		Scenario: chaos.SeqBankScenario("aurosim-seq", 4, 6, 2),
+		Timeout:  4 * time.Minute,
+	}
+	basePlan := func(k int) chaos.SeqPlan {
+		return chaos.SeqPlan{Seed: seed, Steps: []chaos.SeqStep{
+			{Target: 2, K: k},
+			{Target: 0, K: 60, MidRepairArmed: true, MidRepair: 0},
+			{Target: 1, K: 60},
+		}}
+	}
+	ref := c.Reference(basePlan(1))
+	if ref.Err != nil {
+		return fmt.Errorf("chaos -repair: reference run failed: %w", ref.Err)
+	}
+	// Stride the first fault across roughly the first round's share of the
+	// reference event stream; later steps keep fixed coordinates so every
+	// run exercises the same alternation and mid-repair re-crash.
+	kMax := len(ref.Events) / (2 * len(basePlan(1).Steps))
+	if kMax < 1 {
+		kMax = 1
+	}
+	stride := kMax / points
+	if stride < 1 {
+		stride = 1
+	}
+	fmt.Printf("sequential chaos campaign: scenario %q, seed %d, reference outcome %q (%d events)\n",
+		c.Scenario.Name, seed, ref.Outcome, len(ref.Events))
+	violations, runs := 0, 0
+	for k := 1; k <= kMax; k += stride {
+		plan := basePlan(k)
+		run := c.Run(plan)
+		runs++
+		v := chaos.CheckSequential(ref, run)
+		status := "ok"
+		if !v.OK {
+			violations++
+			status = "VIOLATION: " + v.String()
+		}
+		var windows []string
+		for _, st := range run.Steps {
+			windows = append(windows, fmt.Sprintf("%d", st.EventsAtRedundant-st.EventsAtCrash))
+		}
+		fmt.Printf("  K=%-4d fired=%v aborts=%d window=[%s] %s\n",
+			k, len(run.Steps) > 0 && run.Steps[0].Fired, seqAborts(run), strings.Join(windows, " "), status)
+	}
+	if violations > 0 {
+		return fmt.Errorf("chaos -repair: %d of %d sequential campaigns violated the contract", violations, runs)
+	}
+	fmt.Printf("chaos -repair: all %d sequential campaigns honored the repair contract\n", runs)
+	return nil
+}
+
+func seqAborts(r *chaos.SeqResult) int {
+	n := 0
+	for _, st := range r.Steps {
+		n += st.RepairAborts
+	}
+	return n
 }
 
 func indent(s string) string {

@@ -96,6 +96,7 @@ func DefaultConfig(module string) *Config {
 		EnumTypes: []string{
 			in("trace") + ".EventKind",
 			in("types") + ".Kind",
+			in("types") + ".RepairPhase",
 			in("chaos") + ".Fault",
 		},
 		BlockingCalls: []string{

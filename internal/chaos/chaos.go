@@ -84,6 +84,12 @@ type Predicate struct {
 	PID types.PID
 	// MsgKind filters by message kind; types.KindInvalid matches any.
 	MsgKind types.Kind
+	// Arg filters by the event's Arg word when ArgSet is true (the zero
+	// value keeps Arg a wildcard — Arg 0 is a legal value, e.g.
+	// types.RepairIdle, so presence needs its own flag). Sequential
+	// campaigns use it to aim faults at repair-phase transitions.
+	ArgSet bool
+	Arg    uint64
 }
 
 // Any returns the predicate matching every event.
@@ -95,6 +101,17 @@ func Any() Predicate {
 func OnKind(k trace.EventKind) Predicate {
 	p := Any()
 	p.Kind = k
+	return p
+}
+
+// OnRepairPhase returns the predicate matching the EvRepair event that
+// announces cluster c entering phase ph — the coordinate for "crash during
+// re-integration" faults.
+func OnRepairPhase(c types.ClusterID, ph types.RepairPhase) Predicate {
+	p := OnKind(trace.EvRepair)
+	p.Cluster = c
+	p.ArgSet = true
+	p.Arg = uint64(ph)
 	return p
 }
 
@@ -110,6 +127,9 @@ func (p Predicate) Matches(e trace.Event) bool {
 		return false
 	}
 	if p.MsgKind != types.KindInvalid && e.MsgKind != p.MsgKind {
+		return false
+	}
+	if p.ArgSet && e.Arg != p.Arg {
 		return false
 	}
 	return true
@@ -129,6 +149,9 @@ func (p Predicate) String() string {
 	}
 	if p.MsgKind != types.KindInvalid {
 		s += fmt.Sprintf(":%s", p.MsgKind)
+	}
+	if p.ArgSet {
+		s += fmt.Sprintf("#%d", p.Arg)
 	}
 	return s
 }

@@ -1,0 +1,504 @@
+// Sequential campaigns: the repair & re-integration half of the paper's
+// availability story. A one-shot Campaign checks that a single fault is
+// survived; a SeqCampaign checks that the system survives an *arbitrary
+// sequence* of single failures — fault, failover, repair, redundancy
+// restored, next fault — which is the actual operating regime §2 promises
+// ("the system can be repaired without stopping"). Each step crashes a
+// cluster mid-traffic, repairs it through core.Repair, and requires the
+// redundancy-restored oracle (core.RedundancyGaps) to come back clean
+// before the next fault is allowed to land. Steps may also aim a second
+// crash at the repair itself (the EvRepair rebacking transition), which
+// must either complete the repair or abort it cleanly — never corrupt
+// suppression counts or strand partial state.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"auragen/internal/core"
+	"auragen/internal/guest"
+	"auragen/internal/trace"
+	"auragen/internal/types"
+	"auragen/internal/workload"
+)
+
+// DefaultRedundantTimeout bounds each step's wait for the
+// redundancy-restored oracle to come back clean.
+const DefaultRedundantTimeout = 30 * time.Second
+
+// maxRepairRetries bounds re-repair attempts after clean aborts; a repair
+// that keeps aborting without new faults is itself a violation.
+const maxRepairRetries = 5
+
+// SeqStep is one fault→repair round of a sequential plan.
+type SeqStep struct {
+	// Target is the cluster crashed during this step's traffic round.
+	Target types.ClusterID
+	// When/K select the crash tripwire, counted from the start of this
+	// step's round (not of the run). The zero Predicate is normalized to
+	// Any(); K <= 0 to 1. If the round's traffic ends before the wire
+	// trips, the crash is applied right after it.
+	When Predicate
+	K    int
+	// MidRepair, armed by MidRepairArmed, crashes that cluster the moment
+	// the repair of Target enters its rebacking phase — a failure during
+	// re-integration. MidRepair == Target re-fails the cluster under
+	// repair (the repair must abort cleanly and be retried); any other
+	// cluster exercises repair continuing around a concurrent failure.
+	// (A separate flag because the zero ClusterID is the legal cluster 0.)
+	MidRepairArmed bool
+	MidRepair      types.ClusterID
+}
+
+func (st SeqStep) String() string {
+	s := fmt.Sprintf("crash %s", st.Target)
+	if st.MidRepairArmed {
+		s += fmt.Sprintf("+%s@rebacking", st.MidRepair)
+	}
+	return s
+}
+
+// SeqPlan is a deterministic sequence of single failures.
+type SeqPlan struct {
+	Seed  int64
+	Steps []SeqStep
+}
+
+// SeqScenario is a workload built for multi-round runs: Setup spawns the
+// long-lived servers once, Round drives one round of deterministic traffic
+// (the same plan every run, varying only by round index), Finish probes the
+// final observable state into the canonical outcome string.
+type SeqScenario struct {
+	Name          string
+	Clusters      int
+	SyncReads     uint32
+	EventLogLimit int
+	Register      func(*guest.Registry)
+	Setup         func(sys *core.System) error
+	Round         func(sys *core.System, i int) error
+	Finish        func(sys *core.System) (string, error)
+}
+
+// SeqStepResult records what one step observably did.
+type SeqStepResult struct {
+	Step SeqStep
+	// Fired reports the crash tripwire tripping mid-traffic; false means
+	// the round ended first and the crash was applied after it.
+	Fired bool
+	// MidRepairFired reports the mid-repair crash landing while the repair
+	// was in flight.
+	MidRepairFired bool
+	// RepairAborts counts clean ErrRepairAborted outcomes before the
+	// repair finally completed.
+	RepairAborts int
+	// CrashErr / RepairErr are fatal step errors (nil on a clean step).
+	CrashErr  error
+	RepairErr error
+	// RedundantErr is the redundancy-restored oracle's verdict for this
+	// step (nil means every gap closed within the timeout).
+	RedundantErr error
+	// EventsAtCrash / EventsAtRedundant are event-stream positions: their
+	// difference is this step's window of vulnerability, in events.
+	EventsAtCrash     int
+	EventsAtRedundant int
+}
+
+// SeqResult is the observable record of one sequential run.
+type SeqResult struct {
+	Plan    SeqPlan
+	Outcome string
+	Err     error
+	Hung    bool
+	Steps   []SeqStepResult
+	Events  []trace.Event
+	// LogDropped counts event-ring overflow (pairing checks are skipped
+	// when nonzero).
+	LogDropped uint64
+	Metrics    trace.Snapshot
+	Degraded   bool
+}
+
+// SeqCampaign replays a sequential scenario under fault plans.
+type SeqCampaign struct {
+	Scenario SeqScenario
+	// Timeout is the whole-run watchdog (default DefaultRunTimeout per
+	// step plus setup).
+	Timeout time.Duration
+	// RedundantTimeout bounds each step's redundancy wait (default
+	// DefaultRedundantTimeout).
+	RedundantTimeout time.Duration
+}
+
+// seqTripwire fires at the Kth event matching when. force releases any
+// waiter without marking the wire fired.
+type seqTripwire struct {
+	when Predicate
+	k    int64
+	n    atomic.Int64
+
+	mu     sync.Mutex
+	fired  bool // closed by a matching event
+	forced bool // closed by force()
+	fire   chan struct{}
+}
+
+func newSeqTripwire(when Predicate, k int) *seqTripwire {
+	if (when == Predicate{}) {
+		when = Any()
+	}
+	if k <= 0 {
+		k = 1
+	}
+	return &seqTripwire{when: when, k: int64(k), fire: make(chan struct{})}
+}
+
+// observe runs inside the event log's observer (under the log mutex): only
+// counter bookkeeping and a channel close.
+func (t *seqTripwire) observe(e trace.Event) {
+	if !t.when.Matches(e) || t.n.Add(1) != t.k {
+		return
+	}
+	t.mu.Lock()
+	if !t.fired && !t.forced {
+		t.fired = true
+		close(t.fire)
+	}
+	t.mu.Unlock()
+}
+
+// force releases the waiter if the wire has not tripped; it reports whether
+// the wire had already fired on its own.
+func (t *seqTripwire) force() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fired {
+		return true
+	}
+	if !t.forced {
+		t.forced = true
+		close(t.fire)
+	}
+	return false
+}
+
+func (t *seqTripwire) wasForced() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.forced
+}
+
+// Run boots a fresh system and drives the plan: every step crashes its
+// target mid-round, repairs every cluster left down (retrying after clean
+// aborts), and waits for the redundancy-restored oracle before the next
+// step. Finish's outcome string lands in the result for comparison against
+// Reference.
+func (c *SeqCampaign) Run(plan SeqPlan) *SeqResult {
+	return c.run(plan, true)
+}
+
+// Reference replays the same plan with fault injection disabled: the same
+// rounds of traffic run, but no crash or repair happens. Outcomes of
+// injected runs must equal the reference's.
+func (c *SeqCampaign) Reference(plan SeqPlan) *SeqResult {
+	return c.run(plan, false)
+}
+
+func (c *SeqCampaign) run(plan SeqPlan, inject bool) *SeqResult {
+	res := &SeqResult{Plan: plan}
+	limit := c.Scenario.EventLogLimit
+	if limit <= 0 {
+		limit = DefaultEventLogLimit
+	}
+	reg := guest.NewRegistry()
+	if c.Scenario.Register != nil {
+		c.Scenario.Register(reg)
+	}
+	sys, err := core.New(core.Options{
+		Clusters:         c.Scenario.Clusters,
+		SyncReads:        c.Scenario.SyncReads,
+		SyncTicks:        1 << 40,
+		EventLogLimit:    limit,
+		PageFetchTimeout: 5 * time.Second,
+		Clock:            types.NewLogicalClock(plan.Seed, 0),
+	}, reg)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	// One dispatching observer for the whole run: a global event counter
+	// (for vulnerability windows) plus whichever tripwire is currently
+	// armed.
+	var evCount atomic.Int64
+	var armed atomic.Pointer[seqTripwire]
+	sys.EventLog().SetObserver(func(e trace.Event) {
+		evCount.Add(1)
+		if tw := armed.Load(); tw != nil {
+			tw.observe(e)
+		}
+	})
+
+	type seqOut struct {
+		outcome string
+		err     error
+		steps   []SeqStepResult
+	}
+	outCh := make(chan seqOut, 1)
+	go func() {
+		var o seqOut
+		o.outcome, o.steps, o.err = c.drive(sys, plan, inject, &evCount, &armed)
+		outCh <- o
+	}()
+
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultRunTimeout * time.Duration(1+len(plan.Steps))
+	}
+	select {
+	case o := <-outCh:
+		res.Outcome, res.Err, res.Steps = o.outcome, o.err, o.steps
+	case <-time.After(timeout):
+		res.Hung = true
+		res.Err = fmt.Errorf("chaos: sequential scenario %q exceeded the %v watchdog", c.Scenario.Name, timeout)
+	}
+	sys.EventLog().SetObserver(nil)
+	res.Events = sys.EventLog().Events()
+	res.LogDropped = sys.EventLog().Dropped()
+	res.Metrics = sys.Metrics().Snapshot()
+	res.Degraded = sys.Degraded()
+	sys.Stop()
+	return res
+}
+
+// drive runs setup, every step, and finish. It owns the armed tripwire
+// pointer: at most one wire is live at a time.
+func (c *SeqCampaign) drive(
+	sys *core.System, plan SeqPlan, inject bool,
+	evCount *atomic.Int64, armed *atomic.Pointer[seqTripwire],
+) (string, []SeqStepResult, error) {
+	if c.Scenario.Setup != nil {
+		if err := c.Scenario.Setup(sys); err != nil {
+			return "", nil, fmt.Errorf("chaos: setup: %w", err)
+		}
+	}
+	var steps []SeqStepResult
+	for i, step := range plan.Steps {
+		if !inject {
+			if err := c.Scenario.Round(sys, i); err != nil {
+				return "", steps, fmt.Errorf("chaos: round %d: %w", i, err)
+			}
+			continue
+		}
+		sr := c.runStep(sys, i, step, evCount, armed)
+		steps = append(steps, sr)
+		if sr.CrashErr != nil || sr.RepairErr != nil {
+			err := sr.CrashErr
+			if err == nil {
+				err = sr.RepairErr
+			}
+			return "", steps, fmt.Errorf("chaos: step %d (%s): %w", i, step, err)
+		}
+	}
+	if c.Scenario.Finish == nil {
+		return "", steps, nil
+	}
+	out, err := c.Scenario.Finish(sys)
+	return out, steps, err
+}
+
+// runStep performs one fault→failover→repair→redundancy round.
+func (c *SeqCampaign) runStep(
+	sys *core.System, i int, step SeqStep,
+	evCount *atomic.Int64, armed *atomic.Pointer[seqTripwire],
+) SeqStepResult {
+	sr := SeqStepResult{Step: step}
+
+	// Crash the target mid-round: the injector goroutine waits on the
+	// tripwire and applies the fault through the facade, as an external
+	// operator would.
+	tw := newSeqTripwire(step.When, step.K)
+	crashErr := make(chan error, 1)
+	go func() {
+		<-tw.fire
+		if tw.wasForced() {
+			crashErr <- nil
+			return
+		}
+		crashErr <- sys.Crash(step.Target)
+	}()
+	armed.Store(tw)
+	roundErr := c.Scenario.Round(sys, i)
+	armed.Store(nil)
+	sr.Fired = tw.force()
+	cerr := <-crashErr
+	if !sr.Fired {
+		// The round outran the wire: the fault still belongs to this step.
+		cerr = sys.Crash(step.Target)
+	}
+	sr.CrashErr = cerr
+	if roundErr != nil && sr.CrashErr == nil {
+		// Round traffic must survive the single fault; surface its failure
+		// through the crash-error slot so the oracle rejects the step.
+		sr.CrashErr = fmt.Errorf("round %d traffic failed: %w", i, roundErr)
+	}
+	if sr.CrashErr != nil {
+		return sr
+	}
+	sr.EventsAtCrash = int(evCount.Load())
+
+	// Repair, optionally with a second crash aimed at the rebacking phase.
+	var midTw *seqTripwire
+	midErr := make(chan error, 1)
+	if step.MidRepairArmed {
+		midTw = newSeqTripwire(OnRepairPhase(step.Target, types.RepairRebacking), 1)
+		go func() {
+			<-midTw.fire
+			if midTw.wasForced() {
+				midErr <- nil
+				return
+			}
+			midErr <- sys.Crash(step.MidRepair)
+		}()
+		armed.Store(midTw)
+	}
+	rerr := sys.Repair(step.Target)
+	if midTw != nil {
+		armed.Store(nil)
+		sr.MidRepairFired = midTw.force()
+		if merr := <-midErr; merr != nil && sr.MidRepairFired {
+			// The mid-repair crash racing the end of the repair may find
+			// its victim already down or the configuration unable to lose
+			// it; either way the step's fault schedule failed to apply.
+			sr.CrashErr = fmt.Errorf("mid-repair crash of %v: %w", step.MidRepair, merr)
+			return sr
+		}
+	}
+	if errors.Is(rerr, core.ErrRepairAborted) {
+		sr.RepairAborts++
+		rerr = nil
+	}
+	if rerr != nil {
+		sr.RepairErr = rerr
+		return sr
+	}
+
+	// Repair whatever is still (or newly) down: the re-crashed target
+	// after an abort, and/or the mid-repair victim.
+	for tries := 0; ; tries++ {
+		down := sys.CrashedClusters()
+		if len(down) == 0 {
+			break
+		}
+		if tries >= maxRepairRetries {
+			sr.RepairErr = fmt.Errorf("clusters %v still down after %d repair attempts", down, tries)
+			return sr
+		}
+		for _, cc := range down {
+			switch err := sys.Repair(cc); {
+			case err == nil:
+			case errors.Is(err, core.ErrRepairAborted):
+				sr.RepairAborts++
+			default:
+				sr.RepairErr = err
+				return sr
+			}
+		}
+	}
+
+	timeout := c.RedundantTimeout
+	if timeout <= 0 {
+		timeout = DefaultRedundantTimeout
+	}
+	sr.RedundantErr = sys.WaitRedundant(timeout)
+	if sr.RedundantErr == nil {
+		sr.EventsAtRedundant = int(evCount.Load())
+	}
+	return sr
+}
+
+// CheckSequential is the sequential oracle: the run survived every fault in
+// the plan (no hang, no error, no degradation), ended with the reference
+// outcome (the exactly-once check across every failover and repair), closed
+// every redundancy gap between steps, and kept §5.4 suppression pairing
+// intact across the whole stream — a crash during re-integration must not
+// corrupt suppression counts.
+func CheckSequential(ref, run *SeqResult) Verdict {
+	var v []string
+	if run.Hung {
+		v = append(v, "run hung (watchdog expired)")
+	}
+	if run.Err != nil && !run.Hung {
+		v = append(v, fmt.Sprintf("scenario error: %v", run.Err))
+	}
+	if run.Err == nil && run.Outcome != ref.Outcome {
+		v = append(v, fmt.Sprintf("outcome diverged: got %q want %q", run.Outcome, ref.Outcome))
+	}
+	if run.Degraded {
+		v = append(v, "system degraded under a sequence of single tolerated faults")
+	}
+	for i, st := range run.Steps {
+		if st.CrashErr != nil {
+			v = append(v, fmt.Sprintf("step %d (%s): fault failed to apply: %v", i, st.Step, st.CrashErr))
+		}
+		if st.RepairErr != nil {
+			v = append(v, fmt.Sprintf("step %d (%s): repair failed: %v", i, st.Step, st.RepairErr))
+		}
+		if st.RedundantErr != nil {
+			v = append(v, fmt.Sprintf("step %d (%s): redundancy not restored: %v", i, st.Step, st.RedundantErr))
+		}
+	}
+	if run.LogDropped == 0 {
+		v = append(v, checkSuppressionPairing(run.Events)...)
+	}
+	return Verdict{OK: len(v) == 0, Violations: v}
+}
+
+// SeqBankScenario is the sequential analogue of BankScenario: one bank
+// server lives across every round, each round runs a deterministic transfer
+// plan (varied only by round index), and the final probe reads back the
+// full balance vector. The outcome is a pure function of the rounds run, so
+// injected runs compare against a fault-free reference of the same plan.
+func SeqBankScenario(name string, accounts, txnsPerRound int, syncReads uint32) SeqScenario {
+	const initBalance = 100
+	return SeqScenario{
+		Name:      name,
+		Clusters:  3,
+		SyncReads: syncReads,
+		Register: func(reg *guest.Registry) {
+			workload.Register(reg)
+			reg.Register("chaos-prober", proberFactory())
+		},
+		Setup: func(sys *core.System) error {
+			_, err := spawnOn(sys, "bank-server",
+				fmt.Sprintf("chaos %d %d 0", accounts, initBalance), 2)
+			return err
+		},
+		Round: func(sys *core.System, i int) error {
+			plan := workload.TxnPlan{
+				Accounts: accounts, Txns: txnsPerRound, Amount: 7,
+				Seed: 0xA4A4 + uint64(i),
+			}
+			teller, err := spawnOn(sys, "teller",
+				fmt.Sprintf("chaos -1 %s", plan.Encode()), 1)
+			if err != nil {
+				return err
+			}
+			return sys.WaitExit(teller, 60*time.Second)
+		},
+		Finish: func(sys *core.System) (string, error) {
+			prober, err := spawnOn(sys, "chaos-prober",
+				fmt.Sprintf("chaos %d %d", accounts, proberTerm), 1)
+			if err != nil {
+				return "", err
+			}
+			if err := sys.WaitExit(prober, 30*time.Second); err != nil {
+				return "", err
+			}
+			return terminalLine(sys, proberTerm, "balances ", 10*time.Second)
+		},
+	}
+}

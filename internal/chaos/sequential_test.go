@@ -1,0 +1,286 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"auragen/internal/core"
+	"auragen/internal/guest"
+	"auragen/internal/types"
+	"auragen/internal/workload"
+)
+
+// seqScenario is the shared sequential workload: 4 accounts, 6 transfers
+// per round, sync every 2 reads.
+func seqScenario() SeqScenario {
+	return SeqBankScenario("seq", 4, 6, 2)
+}
+
+func newSeqCampaign() *SeqCampaign {
+	return &SeqCampaign{Scenario: seqScenario(), Timeout: 4 * time.Minute}
+}
+
+// altPlan is the acceptance plan: K=3 single failures alternating clusters
+// (the bank server's cluster, then server cluster 0 — with a re-crash of
+// the same cluster mid-re-integration — then server cluster 1), with a full
+// repair and a clean redundancy-restored oracle between each.
+func altPlan(seed int64) SeqPlan {
+	return SeqPlan{Seed: seed, Steps: []SeqStep{
+		{Target: 2, K: 80},
+		{Target: 0, K: 60, MidRepairArmed: true, MidRepair: 0},
+		{Target: 1, K: 60},
+	}}
+}
+
+func TestSequentialReferenceReproducible(t *testing.T) {
+	c := newSeqCampaign()
+	a := c.Reference(altPlan(31))
+	if a.Err != nil {
+		t.Fatalf("reference run failed: %v", a.Err)
+	}
+	if a.Outcome == "" {
+		t.Fatal("reference produced no outcome")
+	}
+	b := c.Reference(altPlan(31))
+	if b.Err != nil {
+		t.Fatalf("second reference run failed: %v", b.Err)
+	}
+	if a.Outcome != b.Outcome {
+		t.Fatalf("reference outcome not reproducible: %q vs %q", a.Outcome, b.Outcome)
+	}
+	if a.LogDropped != 0 {
+		t.Fatalf("reference overflowed the event ring (%d dropped); shrink the scenario", a.LogDropped)
+	}
+}
+
+// TestSequentialAlternatingClusters is the acceptance test for the repair
+// lifecycle: three single failures in sequence, alternating clusters, one
+// of them re-crashing the cluster under repair mid-re-integration. After
+// every step the redundancy-restored oracle must come back clean, and the
+// final balance vector must equal the fault-free reference's — exactly-once
+// across the whole fault schedule.
+func TestSequentialAlternatingClusters(t *testing.T) {
+	c := newSeqCampaign()
+	plan := altPlan(32)
+	ref := c.Reference(plan)
+	if ref.Err != nil {
+		t.Fatalf("reference run failed: %v", ref.Err)
+	}
+	run := c.Run(plan)
+	if v := CheckSequential(ref, run); !v.OK {
+		t.Fatalf("sequential campaign violated the contract: %s", v)
+	}
+	if len(run.Steps) != len(plan.Steps) {
+		t.Fatalf("ran %d steps, want %d", len(run.Steps), len(plan.Steps))
+	}
+	for i, st := range run.Steps {
+		t.Logf("step %d (%s): fired=%v midFired=%v aborts=%d window=%d events",
+			i, st.Step, st.Fired, st.MidRepairFired, st.RepairAborts,
+			st.EventsAtRedundant-st.EventsAtCrash)
+	}
+}
+
+// TestSequentialCrashDuringReintegration aims the second fault at the
+// repair itself: the cluster under repair is re-crashed the moment its
+// re-integration enters the rebacking phase. The repair must either have
+// completed or aborted cleanly — and a retried repair must then converge to
+// full redundancy with suppression counts intact.
+func TestSequentialCrashDuringReintegration(t *testing.T) {
+	c := newSeqCampaign()
+	plan := SeqPlan{Seed: 33, Steps: []SeqStep{
+		{Target: 2, K: 80, MidRepairArmed: true, MidRepair: 2},
+	}}
+	ref := c.Reference(plan)
+	if ref.Err != nil {
+		t.Fatalf("reference run failed: %v", ref.Err)
+	}
+	run := c.Run(plan)
+	if v := CheckSequential(ref, run); !v.OK {
+		t.Fatalf("mid-re-integration crash violated the contract: %s", v)
+	}
+	if len(run.Steps) != 1 {
+		t.Fatalf("ran %d steps, want 1", len(run.Steps))
+	}
+	st := run.Steps[0]
+	if !st.MidRepairFired {
+		t.Fatal("mid-repair tripwire never fired (repair skipped its rebacking phase?)")
+	}
+	// The crash raced the tail of the repair: both a clean abort (the
+	// common case) and a completed repair followed by a fresh crash+repair
+	// are legal; silent corruption is not, and CheckSequential above caught
+	// none.
+	t.Logf("mid-repair crash: aborts=%d", st.RepairAborts)
+}
+
+// TestSequentialDialAfterRepairRoutesFresh pins a route-staleness bug: the
+// file server's service registration records the listener's clusters at
+// registration time, so a client dialing AFTER the listener was promoted
+// (crash) and re-backed (repair) used to get a route stamped with the old
+// primary/backup pair. Traffic then survived only through the promoted
+// cluster's straggler forwarding — a separate, non-atomic transmission — and
+// a crash of that cluster between the original delivery and the forward lost
+// the request for the roll-forward, hanging both ends. Routing entries are
+// now refreshed from the directory at adoption, so the current backup saves
+// every client message directly off the bus. The plan reproduces the exact
+// failing schedule: crash the listener's cluster, repair, then crash the
+// promoted primary mid-conversation with a round-1 dialer.
+func TestSequentialDialAfterRepairRoutesFresh(t *testing.T) {
+	c := newSeqCampaign()
+	for _, k := range []int{1, 25, 49, 73} {
+		plan := SeqPlan{Seed: 1, Steps: []SeqStep{
+			{Target: 2, K: k},
+			{Target: 0, K: 60, MidRepairArmed: true, MidRepair: 0},
+			{Target: 1, K: 60},
+		}}
+		ref := c.Reference(plan)
+		if ref.Err != nil {
+			t.Fatalf("K=%d: reference run failed: %v", k, ref.Err)
+		}
+		run := c.Run(plan)
+		if v := CheckSequential(ref, run); !v.OK {
+			t.Fatalf("K=%d: stale-route schedule violated the contract: %s", k, v)
+		}
+	}
+}
+
+// TestRepairedBackupRollsForwardIdentically is the property test for the
+// regenerated backup: crash the new primary immediately after
+// re-integration completes, so the backup that exists ONLY because Repair
+// re-established it must carry the process — and the §5.4
+// suppression-pairing oracle plus the balance vector must match the
+// fault-free reference, exactly as they did for the original backup.
+func TestRepairedBackupRollsForwardIdentically(t *testing.T) {
+	c := newSeqCampaign()
+	for _, seed := range []int64{41, 42, 43} {
+		plan := SeqPlan{Seed: seed, Steps: []SeqStep{
+			// Crash the bank server's cluster; its backup on cluster 0
+			// promotes; Repair(2) regenerates a backup on the repaired
+			// cluster.
+			{Target: 2, K: 80},
+			// First event of the next round: crash the promoted primary's
+			// cluster. Only the regenerated backup can save the server.
+			{Target: 0, K: 1},
+		}}
+		ref := c.Reference(plan)
+		if ref.Err != nil {
+			t.Fatalf("seed %d: reference run failed: %v", seed, ref.Err)
+		}
+		run := c.Run(plan)
+		if v := CheckSequential(ref, run); !v.OK {
+			t.Errorf("seed %d: regenerated backup did not roll forward identically: %s", seed, v)
+		}
+	}
+}
+
+// TestSequentialLeaksNoGoroutines runs a full alternating campaign and
+// requires the goroutine count to settle back to baseline: three crashes,
+// three repairs, and an aborted re-integration must not abandon a single
+// injector, kernel, or process goroutine.
+func TestSequentialLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	c := newSeqCampaign()
+	run := c.Run(altPlan(34))
+	if run.Hung {
+		t.Fatalf("sequential run hung: %v", run.Err)
+	}
+	if run.Err != nil {
+		t.Fatalf("sequential run failed: %v", run.Err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked after sequential run: %d -> %d\n%s", base, n, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDoubleFailureAfterRepairDegrades re-checks the degradation contract
+// on a system that has already been through a crash→repair cycle: a
+// concurrent double failure (primary and backup clusters of one process)
+// must still surface types.ErrTooManyFailures promptly — repair must not
+// have left state that turns the honest error into a hang.
+func TestDoubleFailureAfterRepairDegrades(t *testing.T) {
+	base := runtime.NumGoroutine()
+	reg := guest.NewRegistry()
+	workload.Register(reg)
+	sys, err := core.New(core.Options{
+		Clusters:         4,
+		SyncReads:        2,
+		SyncTicks:        1 << 40,
+		EventLogLimit:    DefaultEventLogLimit,
+		PageFetchTimeout: 5 * time.Second,
+		Clock:            types.NewLogicalClock(35, 0),
+	}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+
+	if _, err := sys.Spawn("bank-server", []byte("chaos 4 100 0"),
+		core.SpawnConfig{Cluster: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// One full fault→repair→redundant cycle.
+	plan := workload.TxnPlan{Accounts: 4, Txns: 6, Amount: 7, Seed: 0xA4A4}
+	teller, err := sys.Spawn("teller", []byte(fmt.Sprintf("chaos -1 %s", plan.Encode())),
+		core.SpawnConfig{Cluster: 2, BackupCluster: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitExit(teller, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Repair(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.WaitRedundant(DefaultRedundantTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now the double failure: a fresh teller's primary and backup clusters
+	// both go down. The facade must degrade, not hang.
+	plan2 := workload.TxnPlan{Accounts: 4, Txns: 40, Amount: 7, Seed: 0xB5B5}
+	teller2, err := sys.Spawn("teller", []byte(fmt.Sprintf("chaos -1 %s", plan2.Encode())),
+		core.SpawnConfig{Cluster: 2, BackupCluster: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	err = sys.WaitExit(teller2, 30*time.Second)
+	if !errors.Is(err, types.ErrTooManyFailures) {
+		t.Fatalf("double failure after repair: got %v, want ErrTooManyFailures", err)
+	}
+
+	sys.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", base, n, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

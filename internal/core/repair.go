@@ -1,0 +1,440 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"auragen/internal/directory"
+	"auragen/internal/disk"
+	"auragen/internal/fileserver"
+	"auragen/internal/kernel"
+	"auragen/internal/pager"
+	"auragen/internal/procserver"
+	"auragen/internal/routing"
+	"auragen/internal/trace"
+	"auragen/internal/ttyserver"
+	"auragen/internal/types"
+)
+
+// ErrRepairAborted reports a repair interrupted by a further failure of the
+// cluster being repaired: the repair was cleanly abandoned (in-flight backup
+// establishments aborted by crash handling, no partial redundancy state
+// left behind) and the cluster is crashed again, eligible for a fresh
+// Repair call.
+var ErrRepairAborted = errors.New("core: repair aborted by a new failure")
+
+// repairEstablishTimeout bounds the per-process retry loop while the
+// directory catches up with the kernels during re-backup.
+const repairEstablishTimeout = 5 * time.Second
+
+// Repair returns a failed cluster to service and drives the system back to
+// full redundancy — the paper's availability story (§2, §7.3, §7.10): a
+// failed cluster is repaired, returned to service, and backups are
+// regenerated, after which the system is again ready for the next single
+// failure. The lifecycle advances through types.RepairPhase states, each
+// recorded as a trace.EvRepair event:
+//
+//	booting      a fresh kernel boots on the repaired hardware and
+//	             reattaches to the bus (volatile state was lost).
+//	resilvering  failed disk mirrors are resilvered block-for-block from
+//	             their survivors; if the cluster hosted server twins
+//	             (clusters 0 and 1), the page-server replica is cloned from
+//	             the surviving instance's accounts before it rejoins the
+//	             ordered bus stream, and replacement file/process/terminal
+//	             server twins are mounted and synced up.
+//	rebacking    every live process currently running without a backup —
+//	             promoted quarterbacks and halfbacks alike, not only the
+//	             halfbacks §7.3 ties to this event — gets a fresh backup
+//	             established on the repaired cluster via the online
+//	             establishment protocol (initial full-sync, KindBackupUp
+//	             announcement, routing unblocked).
+//	redundant    the repair is complete.
+//
+// A crash of the cluster under repair aborts the repair cleanly
+// (ErrRepairAborted; phase RepairAborted): crash handling aborts in-flight
+// establishments targeting the cluster and the next Repair starts over.
+// Crashes of other clusters during re-backup are tolerated — processes
+// destroyed by them are skipped, everything else is still re-backed.
+//
+// Repair returns once every re-established backup is up and viable; the
+// remaining convergence (epoch alignment, replica fingerprints) is
+// observable via WaitRedundant.
+func (s *System) Repair(c types.ClusterID) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return types.ErrShutdown
+	}
+	if !s.crashed[c] {
+		s.mu.Unlock()
+		return fmt.Errorf("core: %v is not crashed: %w", c, types.ErrNoCluster)
+	}
+	switch s.repair[c] {
+	case types.RepairBooting, types.RepairResilvering, types.RepairRebacking:
+		s.mu.Unlock()
+		return fmt.Errorf("core: %v repair already in flight (%s): %w", c, s.repair[c], types.ErrExists)
+	case types.RepairIdle, types.RepairRedundant, types.RepairAborted:
+		// Eligible: no repair in flight.
+	}
+	delete(s.crashed, c)
+	s.repair[c] = types.RepairBooting
+
+	k := kernel.New(kernel.Config{
+		ID:               c,
+		Bus:              s.bus,
+		Dir:              s.dir,
+		Registry:         s.registry,
+		Metrics:          s.metrics,
+		Log:              s.log,
+		PageSize:         s.opts.PageSize,
+		SyncReads:        s.opts.SyncReads,
+		SyncTicks:        s.opts.SyncTicks,
+		Clock:            s.opts.Clock,
+		PageFetchTimeout: s.opts.PageFetchTimeout,
+	})
+	s.kernels[int(c)] = k
+	s.mu.Unlock()
+	s.logRepair(c, types.RepairBooting)
+
+	// Re-arm failure detection before any repair state is published, so a
+	// crash landing mid-repair is detected, broadcast, and unwinds the
+	// partial repair through the ordinary crash-handling path.
+	s.detector.Watch(c)
+
+	s.setRepairPhase(c, types.RepairResilvering)
+	if err := s.resilverStorage(c, k); err != nil {
+		s.setRepairPhase(c, types.RepairAborted)
+		return err
+	}
+
+	s.setRepairPhase(c, types.RepairRebacking)
+	if err := s.rebackAll(c); err != nil {
+		s.setRepairPhase(c, types.RepairAborted)
+		return err
+	}
+
+	s.setRepairPhase(c, types.RepairRedundant)
+	return nil
+}
+
+// RepairState returns cluster c's position in the repair lifecycle.
+func (s *System) RepairState(c types.ClusterID) types.RepairPhase {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repair[c]
+}
+
+// setRepairPhase advances the lifecycle state and records the transition.
+func (s *System) setRepairPhase(c types.ClusterID, ph types.RepairPhase) {
+	s.mu.Lock()
+	s.repair[c] = ph
+	s.mu.Unlock()
+	s.logRepair(c, ph)
+}
+
+// logRepair emits one EvRepair event (phase transitions are rare; the
+// event is what sequential chaos campaigns aim mid-repair faults at).
+func (s *System) logRepair(c types.ClusterID, ph types.RepairPhase) {
+	if s.log == nil {
+		return
+	}
+	s.log.Append(trace.Event{
+		Kind:    trace.EvRepair,
+		Cluster: c,
+		Arg:     uint64(ph),
+	})
+}
+
+// resilverStorage performs the storage half of a repair: failed disk
+// mirrors are rebuilt from their survivors, and — when the repaired cluster
+// hosted server twins — the page-server replica catches up from the
+// surviving instance and replacement peripheral-server twins are mounted
+// and synced up. The kernel is started here: after its servers are
+// registered, before the surviving primaries push catch-up syncs.
+func (s *System) resilverStorage(c types.ClusterID, k *kernel.Kernel) error {
+	// Mirrored pairs first: a mirror failure is a tolerated single fault
+	// (§7.1); repair returns every pair to two-copy redundancy.
+	for _, d := range s.mirroredDisks() {
+		for _, i := range d.FailedMirrors() {
+			if err := d.Resilver(i); err != nil {
+				return fmt.Errorf("core: resilvering %s mirror %d: %w", d.Name(), i, err)
+			}
+		}
+	}
+
+	if c != 0 && c != 1 {
+		k.Start()
+		return nil
+	}
+	other := types.ClusterID(1 - int(c))
+	otherK := s.kern(other)
+
+	// Page server: resilver a fresh replica from the survivor's accounts,
+	// then rejoin the replication set. The clone happens before the new
+	// kernel starts consuming the ordered bus stream, so the replica never
+	// observes a page-out it did not either clone or receive in order.
+	pagerDisk := disk.New(fmt.Sprintf("pager-mirror-%d-restored", c), s.opts.PageSize, 0, 1)
+	np := pager.New(c, pagerDisk)
+	np.SetEventLog(s.log)
+	// The snapshot-and-replay handoff must not lose a page-out: the new
+	// kernel already holds a bus inbox (attached in kernel.New), so every
+	// message broadcast from here on replays through it. What the clone
+	// must cover is everything broadcast BEFORE that attach — so wait for
+	// the survivor to drain its backlog of those, then snapshot under its
+	// kernel lock (dispatch applies page-outs under that lock, so nothing
+	// is mid-application at the cut). Messages in the overlap are applied
+	// twice; pager operations are content-addressed sets, so the replay is
+	// idempotent. Without the drain, a repair started while traffic is
+	// still in flight — e.g. retried immediately after a mid-repair abort —
+	// clones a snapshot missing page-outs the survivor had queued but not
+	// applied, and the replicas diverge permanently.
+	drainDeadline := time.Now().Add(5 * time.Second)
+	for otherK.InboxBacklog() > 0 && time.Now().Before(drainDeadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	var cloneErr error
+	injected := otherK.ServerInject(directory.PIDFileServer, func(*kernel.ServerCtx, kernel.Server) {
+		cloneErr = np.CloneFrom(s.pagers[int(other)])
+	})
+	if !injected {
+		cloneErr = np.CloneFrom(s.pagers[int(other)])
+	}
+	if cloneErr != nil {
+		return fmt.Errorf("core: resilvering page server: %w", cloneErr)
+	}
+	s.pagers[int(c)] = np
+	k.SetPager(np)
+	s.dir.SetBackup(directory.PIDPageServer, c)
+
+	// File server twin over the shared dual-ported disk.
+	fsPID := directory.PIDFileServer
+	fsTwin, err := fileserver.New(fsPID, c, s.fsDisk, s.fs[int(other)].Super(), false)
+	if err != nil {
+		return fmt.Errorf("core: mounting file server twin: %w", err)
+	}
+	fsTwin.SyncEvery = s.fs[int(other)].SyncEvery
+	s.fs[int(c)] = fsTwin
+	k.RegisterServer(fsTwin, routing.Backup, other)
+	s.dir.SetBackup(fsPID, c)
+
+	// Process server twin.
+	procTwin := procserver.New(directory.PIDProcServer, k)
+	s.procSrv[int(c)] = procTwin
+	k.RegisterServer(procTwin, routing.Backup, other)
+	s.dir.SetBackup(directory.PIDProcServer, c)
+
+	// Terminal server twin over the shared device.
+	ttyTwin := ttyserver.New(directory.PIDTTYServer, s.ttyDevice)
+	s.ttySrv[int(c)] = ttyTwin
+	k.RegisterServer(ttyTwin, routing.Backup, other)
+	s.dir.SetBackup(directory.PIDTTYServer, c)
+
+	k.Start()
+
+	// Bring the new twins current: force one sync from each surviving
+	// primary.
+	otherK.ServerInject(fsPID, func(ctx *kernel.ServerCtx, srv kernel.Server) {
+		if fsrv, ok := srv.(*fileserver.Server); ok {
+			fsrv.SyncNow(ctx)
+		}
+	})
+	otherK.ServerInject(directory.PIDProcServer, func(ctx *kernel.ServerCtx, srv kernel.Server) {
+		ctx.Sync()
+	})
+	otherK.ServerInject(directory.PIDTTYServer, func(ctx *kernel.ServerCtx, srv kernel.Server) {
+		ctx.Sync()
+	})
+	return nil
+}
+
+// mirroredDisks returns every mirrored pair the system owns: the file
+// server's dual-ported disk and both page-server mirrors.
+func (s *System) mirroredDisks() []*disk.Disk {
+	out := []*disk.Disk{s.fsDisk}
+	for _, p := range s.pagers {
+		if p != nil {
+			out = append(out, p.Disk())
+		}
+	}
+	return out
+}
+
+// rebackAll establishes a fresh backup on the repaired cluster for every
+// live process currently running without one. §7.3 mandates this for
+// halfbacks ("Halfbacks have new backups created only when the cluster in
+// which the original primary ran is returned to service"); promoted
+// quarterbacks otherwise run unprotected forever, so repair re-backs them
+// too — the availability claim is "ready for the next failure", not "ready
+// if the next failure spares the survivors".
+func (s *System) rebackAll(c types.ClusterID) error {
+	for _, pid := range s.dir.Procs() {
+		if err := s.rebackOne(c, pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebackOne drives one process to a viable backup: initiate establishment
+// on the repaired cluster if the process is unbacked, then wait for the
+// backup shell to come up synced. It returns nil for processes that need
+// nothing (already backed and viable) or that stop existing along the way.
+func (s *System) rebackOne(c types.ClusterID, pid types.PID) error {
+	deadline := time.Now().Add(repairEstablishTimeout)
+	var lastState string
+	for {
+		s.mu.Lock()
+		crashedAgain := s.crashed[c]
+		stopped := s.stopped
+		s.mu.Unlock()
+		if stopped {
+			return types.ErrShutdown
+		}
+		if crashedAgain {
+			// The cluster under repair failed again: abort cleanly. Crash
+			// handling has already aborted in-flight establishments
+			// targeting c.
+			return fmt.Errorf("core: %v crashed during re-backup: %w", c, ErrRepairAborted)
+		}
+
+		loc, ok := s.dir.Proc(pid)
+		if !ok || loc.Cluster == types.NoCluster || s.dir.IsLost(pid) {
+			return nil // exited, or destroyed by a concurrent multiple failure
+		}
+		if loc.Cluster == c {
+			return nil // lives on the repaired cluster itself
+		}
+		if loc.BackupCluster != types.NoCluster {
+			// Backed — pre-existing or just established here. Wait until
+			// the shell is viable (its establishment sync applied), so the
+			// rebacking phase ends only when the backup could actually
+			// take over.
+			if bk := s.kern(loc.BackupCluster); bk != nil && !bk.Crashed() {
+				ep, viable, ok := bk.BackupStatus(pid)
+				if ok && viable {
+					return nil
+				}
+				lastState = fmt.Sprintf("backup on %v: shell=%v viable=%v epoch=%v", loc.BackupCluster, ok, viable, ep)
+			} else {
+				lastState = fmt.Sprintf("backup cluster %v is down", loc.BackupCluster)
+			}
+		} else {
+			pk := s.kern(loc.Cluster)
+			if pk == nil || pk.Crashed() {
+				return nil // its cluster just died; the next repair picks it up
+			}
+			err := pk.EstablishBackup(pid, c)
+			switch {
+			case err == nil:
+				lastState = "establishment initiated"
+			case errors.Is(err, types.ErrNoProcess), errors.Is(err, types.ErrExists), errors.Is(err, types.ErrNoCluster):
+				// The directory can run ahead of the kernels (locations
+				// update when the crash is detected; the kernels catch up
+				// when they process the notice): retry on "not promoted
+				// yet", "stale backup field not yet cleared", and
+				// "establishment already in flight".
+				lastState = err.Error()
+			default:
+				return fmt.Errorf("core: re-establishing backup for %s: %w", pid, err)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: re-backing %s: backup not viable after %v (%s)", pid, repairEstablishTimeout, lastState)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// RedundancyGaps reports everything still standing between the system and
+// full redundancy — the machine-checked form of "ready for the next single
+// failure". An empty slice means: every cluster is live, every live process
+// has a viable backup at its primary's current epoch, every system server
+// has a standby twin, every mirrored pair is block-identical, and both
+// page-server replicas hold identical content. Transient gaps (a sync in
+// flight, an establishment mid-protocol) are expected while traffic flows;
+// WaitRedundant polls until they close.
+func (s *System) RedundancyGaps() []string {
+	var gaps []string
+
+	s.mu.Lock()
+	for c := range s.crashed {
+		gaps = append(gaps, fmt.Sprintf("%v is crashed", c))
+	}
+	s.mu.Unlock()
+
+	for _, pid := range s.dir.Procs() {
+		loc, ok := s.dir.Proc(pid)
+		if !ok || loc.Cluster == types.NoCluster || s.dir.IsLost(pid) {
+			continue
+		}
+		if loc.BackupCluster == types.NoCluster {
+			gaps = append(gaps, fmt.Sprintf("%s has no backup", pid))
+			continue
+		}
+		pk := s.kern(loc.Cluster)
+		bk := s.kern(loc.BackupCluster)
+		if pk == nil || pk.Crashed() || bk == nil || bk.Crashed() {
+			gaps = append(gaps, fmt.Sprintf("%s placed on a dead cluster", pid))
+			continue
+		}
+		pe, ok := pk.ProcEpoch(pid)
+		if !ok {
+			gaps = append(gaps, fmt.Sprintf("%s not yet running on %v", pid, loc.Cluster))
+			continue
+		}
+		be, viable, ok := bk.BackupStatus(pid)
+		switch {
+		case !ok:
+			gaps = append(gaps, fmt.Sprintf("%s backup record missing on %v", pid, loc.BackupCluster))
+		case !viable:
+			gaps = append(gaps, fmt.Sprintf("%s backup shell on %v awaits its establishment sync", pid, loc.BackupCluster))
+		case be != pe:
+			gaps = append(gaps, fmt.Sprintf("%s backup at epoch %d, primary at %d", pid, be, pe))
+		}
+	}
+
+	for _, svc := range []types.PID{
+		directory.PIDPageServer, directory.PIDFileServer,
+		directory.PIDProcServer, directory.PIDTTYServer,
+	} {
+		loc, ok := s.dir.Service(svc)
+		if !ok || loc.Primary == types.NoCluster {
+			gaps = append(gaps, fmt.Sprintf("service %s has no primary", svc))
+			continue
+		}
+		if loc.Backup == types.NoCluster {
+			gaps = append(gaps, fmt.Sprintf("service %s has no standby twin", svc))
+		}
+	}
+
+	for _, d := range s.mirroredDisks() {
+		if !d.MirrorsEqual() {
+			gaps = append(gaps, fmt.Sprintf("disk %s mirrors not block-identical", d.Name()))
+		}
+	}
+
+	if s.pagers[0] != nil && s.pagers[1] != nil {
+		if s.pagers[0].Fingerprint() != s.pagers[1].Fingerprint() {
+			gaps = append(gaps, "page-server replicas diverged")
+		}
+	}
+	return gaps
+}
+
+// WaitRedundant blocks until RedundancyGaps is empty or the timeout
+// elapses; the error lists the gaps still open.
+func (s *System) WaitRedundant(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var gaps []string
+	for {
+		gaps = s.RedundancyGaps()
+		if len(gaps) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: not redundant after %v: %v", timeout, gaps)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}

@@ -1,163 +1,19 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
-	"auragen/internal/directory"
-	"auragen/internal/disk"
-	"auragen/internal/fileserver"
-	"auragen/internal/kernel"
-	"auragen/internal/pager"
-	"auragen/internal/procserver"
-	"auragen/internal/routing"
-	"auragen/internal/ttyserver"
 	"auragen/internal/types"
 )
 
-// RestoreCluster returns a failed cluster to service with repaired hardware
-// and a freshly booted kernel — the event §7.3 ties halfback re-backup to:
-// "Halfbacks have new backups created only when the cluster in which the
-// original primary ran is returned to service."
-//
-// Restoration performs, in order:
-//
-//  1. Boot a fresh kernel on the cluster and reattach it to the bus.
-//  2. If the cluster hosted server twins (clusters 0 and 1): resilver the
-//     page-server mirror from the survivor, then mount replacement twins
-//     for the file, process, and terminal servers and force the surviving
-//     primaries to sync them up.
-//  3. Re-establish backups on the restored cluster for every halfback
-//     currently running without one (the online protocol of
-//     kernel.EstablishBackup).
-//
-// The call returns once establishment has been initiated for every
-// halfback; completion is observable via WaitBackups. Restoration is
-// intended to run while the affected servers are quiet (see DESIGN.md,
-// substitution notes).
+// RestoreCluster returns a failed cluster to service. It is an alias of
+// Repair, kept for the original §7.3 vocabulary ("the cluster ... is
+// returned to service"): the full lifecycle — fresh kernel boot, mirror
+// resilvering, server-twin rebuild, and backup re-establishment for every
+// unbacked primary — lives in Repair.
 func (s *System) RestoreCluster(c types.ClusterID) error {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		return types.ErrShutdown
-	}
-	if !s.crashed[c] {
-		s.mu.Unlock()
-		return fmt.Errorf("core: %v is not crashed: %w", c, types.ErrNoCluster)
-	}
-	delete(s.crashed, c)
-
-	k := kernel.New(kernel.Config{
-		ID:               c,
-		Bus:              s.bus,
-		Dir:              s.dir,
-		Registry:         s.registry,
-		Metrics:          s.metrics,
-		Log:              s.log,
-		PageSize:         s.opts.PageSize,
-		SyncReads:        s.opts.SyncReads,
-		SyncTicks:        s.opts.SyncTicks,
-		Clock:            s.opts.Clock,
-		PageFetchTimeout: s.opts.PageFetchTimeout,
-	})
-	s.kernels[int(c)] = k
-	s.mu.Unlock()
-
-	// Rebuild server twins before starting the kernel, so the first
-	// messages it dispatches find their hosts.
-	if c == 0 || c == 1 {
-		other := types.ClusterID(1 - int(c))
-		otherK := s.kern(other)
-
-		// Page server: resilver a fresh mirror from the survivor, then
-		// rejoin the replication set.
-		pagerDisk := disk.New(fmt.Sprintf("pager-mirror-%d-restored", c), s.opts.PageSize, 0, 1)
-		np := pager.New(c, pagerDisk)
-		np.SetEventLog(s.log)
-		if err := np.CloneFrom(s.pagers[int(other)]); err != nil {
-			return fmt.Errorf("core: resilvering page server: %w", err)
-		}
-		s.pagers[int(c)] = np
-		k.SetPager(np)
-		s.dir.SetBackup(directory.PIDPageServer, c)
-
-		// File server twin over the shared dual-ported disk.
-		fsPID := directory.PIDFileServer
-		fsTwin, err := fileserver.New(fsPID, c, s.fsDisk, s.fs[int(other)].Super(), false)
-		if err != nil {
-			return fmt.Errorf("core: mounting file server twin: %w", err)
-		}
-		fsTwin.SyncEvery = s.fs[int(other)].SyncEvery
-		s.fs[int(c)] = fsTwin
-		k.RegisterServer(fsTwin, routing.Backup, other)
-		s.dir.SetBackup(fsPID, c)
-
-		// Process server twin.
-		procTwin := procserver.New(directory.PIDProcServer, k)
-		s.procSrv[int(c)] = procTwin
-		k.RegisterServer(procTwin, routing.Backup, other)
-		s.dir.SetBackup(directory.PIDProcServer, c)
-
-		// Terminal server twin over the shared device.
-		ttyTwin := ttyserver.New(directory.PIDTTYServer, s.ttyDevice)
-		s.ttySrv[int(c)] = ttyTwin
-		k.RegisterServer(ttyTwin, routing.Backup, other)
-		s.dir.SetBackup(directory.PIDTTYServer, c)
-
-		k.Start()
-		s.detector.Watch(c)
-
-		// Bring the new twins current: force one sync from each surviving
-		// primary.
-		otherK.ServerInject(fsPID, func(ctx *kernel.ServerCtx, srv kernel.Server) {
-			if fsrv, ok := srv.(*fileserver.Server); ok {
-				fsrv.SyncNow(ctx)
-			}
-		})
-		otherK.ServerInject(directory.PIDProcServer, func(ctx *kernel.ServerCtx, srv kernel.Server) {
-			ctx.Sync()
-		})
-		otherK.ServerInject(directory.PIDTTYServer, func(ctx *kernel.ServerCtx, srv kernel.Server) {
-			ctx.Sync()
-		})
-	} else {
-		k.Start()
-		s.detector.Watch(c)
-	}
-
-	// Halfbacks running without backups get new ones on the restored
-	// cluster (§7.3).
-	for _, pid := range s.dir.Procs() {
-		loc, ok := s.dir.Proc(pid)
-		if !ok || loc.Mode != types.Halfback {
-			continue
-		}
-		if loc.BackupCluster != types.NoCluster || loc.Cluster == types.NoCluster || loc.Cluster == c {
-			continue
-		}
-		pk := s.kern(loc.Cluster)
-		if pk == nil || pk.Crashed() {
-			continue
-		}
-		// The directory can run ahead of the kernels (locations update when
-		// the crash is detected; the kernels catch up when they process the
-		// notice): retry briefly on both "not promoted yet" and "stale
-		// backup field not yet cleared".
-		var err error
-		for deadline := time.Now().Add(5 * time.Second); ; {
-			err = pk.EstablishBackup(pid, c)
-			if err == nil || time.Now().After(deadline) ||
-				!(errors.Is(err, types.ErrNoProcess) || errors.Is(err, types.ErrExists)) {
-				break
-			}
-			time.Sleep(time.Millisecond)
-		}
-		if err != nil {
-			return fmt.Errorf("core: re-establishing backup for %s: %w", pid, err)
-		}
-	}
-	return nil
+	return s.Repair(c)
 }
 
 // WaitBackups blocks until every given process has a backup cluster

@@ -88,6 +88,9 @@ type System struct {
 
 	mu      sync.Mutex
 	crashed map[types.ClusterID]bool
+	// repair tracks each cluster's position in the repair lifecycle
+	// (types.RepairPhase); absent means RepairIdle.
+	repair  map[types.ClusterID]types.RepairPhase
 	stopped bool
 	// probeFaults holds injected detector false positives: the next N
 	// probes of a cluster lie "dead" regardless of its actual health.
@@ -144,6 +147,7 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 		log:         obs.Log,
 		registry:    registry,
 		crashed:     make(map[types.ClusterID]bool),
+		repair:      make(map[types.ClusterID]types.RepairPhase),
 		probeFaults: make(map[types.ClusterID]int),
 	}
 	s.bus = bus.New(s.metrics, s.log)
@@ -258,6 +262,20 @@ func (s *System) Clusters() int { return len(s.kernels) }
 
 // Live returns the live clusters, ascending.
 func (s *System) Live() []types.ClusterID { return s.bus.Live() }
+
+// CrashedClusters returns the clusters currently out of service, ascending.
+// Sequential chaos campaigns use it to find what still needs Repair.
+func (s *System) CrashedClusters() []types.ClusterID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []types.ClusterID
+	for c := types.ClusterID(0); int(c) < len(s.kernels); c++ {
+		if s.crashed[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
 
 // Pager returns pager instance i (0 or 1).
 func (s *System) Pager(i int) *pager.Server { return s.pagers[i] }
@@ -379,6 +397,9 @@ func (s *System) Crash(c types.ClusterID) error {
 func (s *System) handleDetectedCrash(c types.ClusterID) {
 	s.mu.Lock()
 	s.crashed[c] = true
+	// A crash voids any redundancy the cluster had; an in-flight Repair
+	// notices s.crashed and records RepairAborted itself.
+	delete(s.repair, c)
 	s.mu.Unlock()
 	if k := s.kern(c); k != nil && !k.Crashed() {
 		k.Crash()

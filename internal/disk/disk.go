@@ -87,9 +87,11 @@ func (d *Disk) FailMirror(i int) error {
 	return nil
 }
 
-// RepairMirror resilvers a failed mirror from its healthy twin and returns
-// it to service.
-func (d *Disk) RepairMirror(i int) error {
+// Resilver rebuilds a failed mirror block-for-block from its healthy twin
+// and returns it to service — the storage half of the repair lifecycle
+// (§7.1 mirrored pairs: either replica survives a single mirror failure;
+// resilvering restores the ability to survive the next one).
+func (d *Disk) Resilver(i int) error {
 	if i < 0 || i >= NumMirrors {
 		return fmt.Errorf("disk %s: no mirror %d", d.name, i)
 	}
@@ -114,6 +116,49 @@ func (d *Disk) RepairMirror(i int) error {
 	d.mirror[i] = fresh
 	d.failed[i] = false
 	return nil
+}
+
+// FailedMirrors returns the indices of mirrors currently out of service,
+// ascending.
+func (d *Disk) FailedMirrors() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []int
+	for i := range d.failed {
+		if d.failed[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MirrorsEqual reports whether both mirrors are in service and hold
+// block-for-block identical contents — the redundancy-restored condition
+// for a mirrored pair.
+func (d *Disk) MirrorsEqual() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.failed {
+		if d.failed[i] {
+			return false
+		}
+	}
+	a, b := d.mirror[0], d.mirror[1]
+	if len(a) != len(b) {
+		return false
+	}
+	for id, ab := range a {
+		bb, ok := b[id]
+		if !ok || len(ab) != len(bb) {
+			return false
+		}
+		for j := range ab {
+			if ab[j] != bb[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Alloc reserves a fresh block id.

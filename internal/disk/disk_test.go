@@ -79,7 +79,7 @@ func TestRepairResilvers(t *testing.T) {
 	d.FailMirror(0)
 	id2, _ := d.Alloc(0)
 	d.Write(0, id2, []byte("during")) // missed by mirror 0
-	if err := d.RepairMirror(0); err != nil {
+	if err := d.Resilver(0); err != nil {
 		t.Fatal(err)
 	}
 	d.FailMirror(1) // now mirror 0 must serve everything
@@ -89,11 +89,102 @@ func TestRepairResilvers(t *testing.T) {
 	}
 }
 
+// TestResilverRestoresBlockIdentity drives the full storage-repair cycle:
+// fail one mirror, mutate the surviving copy (writes, an overwrite, a free),
+// resilver, and require block-for-block identity — then prove the restored
+// redundancy is real by serving every block with each mirror failed in turn.
+func TestResilverRestoresBlockIdentity(t *testing.T) {
+	d := New("t", 512, 0, 1)
+	var ids []BlockID
+	for i := 0; i < 8; i++ {
+		id, err := d.Alloc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(0, id, []byte{byte(i), byte(i >> 4)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if !d.MirrorsEqual() {
+		t.Fatal("mirrors differ before any failure")
+	}
+
+	if err := d.FailMirror(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.MirrorsEqual() {
+		t.Fatal("MirrorsEqual with a failed mirror")
+	}
+	// Degraded-window mutations the dead mirror misses entirely: fresh
+	// blocks, an overwrite of an old one, and a free.
+	for i := 8; i < 12; i++ {
+		id, _ := d.Alloc(1)
+		if err := d.Write(1, id, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := d.Write(0, ids[2], []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(0, ids[5]); err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids[:5], ids[6:]...)
+
+	if err := d.Resilver(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.FailedMirrors(); len(got) != 0 {
+		t.Fatalf("FailedMirrors after resilver = %v", got)
+	}
+	if !d.MirrorsEqual() {
+		t.Fatal("mirrors not block-for-block identical after resilver")
+	}
+
+	// Either mirror alone must now serve every surviving block: the freshly
+	// resilvered copy first, then the original survivor.
+	readAll := func(stage string) {
+		t.Helper()
+		for _, id := range ids {
+			want := []byte("rewritten")
+			if id != ids[2] {
+				want = nil // content checked only for the overwrite
+			}
+			got, err := d.Read(1, id)
+			if err != nil {
+				t.Fatalf("%s: read block %d: %v", stage, id, err)
+			}
+			if want != nil && !bytes.Equal(got, want) {
+				t.Fatalf("%s: block %d = %q, want %q", stage, id, got, want)
+			}
+		}
+	}
+	if err := d.FailMirror(0); err != nil {
+		t.Fatal(err)
+	}
+	readAll("survivor=resilvered mirror 1")
+	if err := d.Resilver(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FailMirror(1); err != nil {
+		t.Fatal(err)
+	}
+	readAll("survivor=mirror 0")
+	if err := d.Resilver(1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.MirrorsEqual() {
+		t.Fatal("mirrors diverged across alternating failures")
+	}
+}
+
 func TestRepairWithoutHealthySource(t *testing.T) {
 	d := New("t", 512, 0, 1)
 	d.FailMirror(0)
 	d.FailMirror(1)
-	if err := d.RepairMirror(0); !errors.Is(err, types.ErrTooManyFailures) {
+	if err := d.Resilver(0); !errors.Is(err, types.ErrTooManyFailures) {
 		t.Fatalf("repair with no source: %v", err)
 	}
 }
@@ -144,8 +235,8 @@ func TestStatsAndRange(t *testing.T) {
 	if err := d.FailMirror(9); err == nil {
 		t.Fatal("FailMirror out of range accepted")
 	}
-	if err := d.RepairMirror(-1); err == nil {
-		t.Fatal("RepairMirror out of range accepted")
+	if err := d.Resilver(-1); err == nil {
+		t.Fatal("Resilver out of range accepted")
 	}
 	if !d.AttachedTo(0) || !d.AttachedTo(1) || d.AttachedTo(2) {
 		t.Fatal("attachment wrong")

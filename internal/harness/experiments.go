@@ -372,6 +372,74 @@ func E7BackupModes(mode types.BackupMode) (*Row, error) {
 	return row, nil
 }
 
+// E11WindowOfVulnerability measures the repair lifecycle's exposure window
+// per backup mode: how many trace events (and how much wall time) elapse
+// between a cluster crash and the redundancy-restored oracle coming back
+// clean after core.Repair — the stretch during which a second failure of the
+// wrong cluster would be fatal. The §7.3 modes differ in when re-backup
+// happens: fullbacks re-establish online at crash time, so repair finds
+// little left to do; quarterbacks and halfbacks run unbacked until the
+// repaired cluster returns to service.
+func E11WindowOfVulnerability(mode types.BackupMode) (*Row, error) {
+	reg := guest.NewRegistry()
+	workload.Register(reg)
+	RegisterGuests(reg)
+	sys, err := core.New(core.Options{
+		Clusters:      4,
+		SyncReads:     8,
+		SyncTicks:     1 << 40,
+		EventLogLimit: 1 << 18,
+	}, reg)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	if _, err := sys.Spawn("echo-server", []byte("e11"), core.SpawnConfig{
+		Cluster: 2, BackupCluster: 3, Mode: mode,
+	}); err != nil {
+		return nil, err
+	}
+	pid, err := sys.Spawn("echo-client", []byte("e11 2000 64"), core.SpawnConfig{Cluster: 1})
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for sys.Metrics().PrimaryDeliveries.Load() < 500 && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	evAt := func() uint64 { return uint64(sys.EventLog().Len()) + sys.EventLog().Dropped() }
+	before := sys.Metrics().Snapshot()
+	atCrash := evAt()
+	start := time.Now()
+	if err := sys.Crash(2); err != nil {
+		return nil, err
+	}
+	if err := sys.WaitExit(pid, 120*time.Second); err != nil {
+		return nil, err
+	}
+	if err := sys.Repair(2); err != nil {
+		return nil, err
+	}
+	if err := sys.WaitRedundant(60 * time.Second); err != nil {
+		return nil, fmt.Errorf("E11 %s: %w", mode, err)
+	}
+	elapsed := time.Since(start)
+	atRedundant := evAt()
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	row := NewRow().
+		Add("mode", "%s", mode).
+		Add("window_events", "%d", atRedundant-atCrash).
+		Add("window_ms", "%.1f", float64(elapsed.Microseconds())/1000).
+		Add("backups_created", "%d", d["backups_created"]).
+		Add("syncs", "%d", d["syncs"])
+	row.NsPerOp = float64(elapsed.Nanoseconds())
+	row.Metrics = d
+	return row, nil
+}
+
 // E9BusAtomicity measures raw bus multicast throughput by target count,
 // demonstrating the §5.1/§8.1 claim that fan-out costs no extra
 // transmissions.

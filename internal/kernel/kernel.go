@@ -352,6 +352,42 @@ func (k *Kernel) Backup(pid types.PID) (*BackupPCB, bool) {
 	return b, ok
 }
 
+// ProcEpoch returns the current sync epoch of a live primary, under the
+// kernel lock (PCB fields are guarded by it; the PCB returned by Proc must
+// not be read while the kernel runs).
+func (k *Kernel) ProcEpoch(pid types.PID) (types.Epoch, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	if !ok {
+		return 0, false
+	}
+	return p.epoch, true
+}
+
+// BackupStatus returns a backup record's epoch and viability under the
+// kernel lock. A backup is viable for promotion once it is synced (or never
+// needed a sync: a shell created at birth replays from the beginning).
+func (k *Kernel) BackupStatus(pid types.PID) (epoch types.Epoch, viable bool, ok bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	b, ok := k.backups[pid]
+	if !ok {
+		return 0, false, false
+	}
+	return b.epoch, !b.requiresSync || b.synced, true
+}
+
+// InboxBacklog returns the number of bus messages received but not yet
+// dispatched. Repair polls it on the surviving server cluster before
+// cloning the page-server replica: once the backlog is empty, everything
+// broadcast before the repaired kernel reattached has been applied, so a
+// snapshot plus the repaired kernel's own inbox replay covers the stream
+// with no gap.
+func (k *Kernel) InboxBacklog() int {
+	return k.inbox.Len()
+}
+
 // NumProcs returns the number of live processes.
 func (k *Kernel) NumProcs() int {
 	k.mu.Lock()
@@ -689,16 +725,37 @@ func (k *Kernel) adoptOpenReplyLocked(m *types.Message, role routing.Role) {
 	if loc, ok := k.dir.Proc(m.Dst); ok {
 		ownerBackup = loc.BackupCluster
 	}
+	peerCluster, peerBackup := k.freshPeerLoc(or)
 	k.table.Add(&routing.Entry{
 		Channel:            or.Channel,
 		Owner:              m.Dst,
 		Peer:               or.Peer,
 		Role:               role,
-		PeerCluster:        or.PeerCluster,
-		PeerBackupCluster:  or.PeerBackupCluster,
+		PeerCluster:        peerCluster,
+		PeerBackupCluster:  peerBackup,
 		OwnerBackupCluster: ownerBackup,
 		PeerIsServer:       or.PeerIsServer,
 	})
+}
+
+// freshPeerLoc resolves the peer location for a routing entry created from
+// an open reply. The reply's stamped fields reflect what the rendezvous
+// broker knew when the peer registered or dialed — a listener that has
+// since been promoted, or re-backed after a repair, leaves those fields
+// pointing at its old clusters, and a route built from them deprives the
+// current backup of its saved copy (§5.1). The shared directory is the
+// process server's always-current knowledge (§7.6), so it wins whenever it
+// knows the peer; the stamps remain as the fallback for peers it no longer
+// tracks.
+func (k *Kernel) freshPeerLoc(or *OpenReply) (peer, backup types.ClusterID) {
+	if or.PeerIsServer {
+		if loc, ok := k.dir.Service(or.Peer); ok {
+			return loc.Primary, loc.Backup
+		}
+	} else if loc, ok := k.dir.Proc(or.Peer); ok {
+		return loc.Cluster, loc.BackupCluster
+	}
+	return or.PeerCluster, or.PeerBackupCluster
 }
 
 // dispatchPageRequest serves a recovery page fetch if this cluster hosts

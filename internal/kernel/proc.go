@@ -287,13 +287,14 @@ func (pr *Proc) bindChannel(reply *OpenReply) (types.FD, error) {
 	// The entry normally exists already (created when the open reply was
 	// dispatched); create it defensively otherwise.
 	if _, ok := k.table.Lookup(reply.Channel, p.pid, routing.Primary); !ok {
+		peerCluster, peerBackup := k.freshPeerLoc(reply)
 		k.table.Add(&routing.Entry{
 			Channel:            reply.Channel,
 			Owner:              p.pid,
 			Peer:               reply.Peer,
 			Role:               routing.Primary,
-			PeerCluster:        reply.PeerCluster,
-			PeerBackupCluster:  reply.PeerBackupCluster,
+			PeerCluster:        peerCluster,
+			PeerBackupCluster:  peerBackup,
 			OwnerBackupCluster: p.backupCluster,
 			PeerIsServer:       reply.PeerIsServer,
 		})

@@ -309,6 +309,76 @@ func (s *Server) CloneFrom(src *Server) error {
 	return nil
 }
 
+// Disk returns the instance's disk mirror (for repair tooling and the
+// redundancy oracle).
+func (s *Server) Disk() *disk.Disk { return s.disk }
+
+// Fingerprint hashes the instance's logical content — every (pid, account,
+// page number, page bytes) tuple plus the per-pid epochs and primary
+// clusters — in a canonical order. Two replicas that consumed the same
+// ordered stream hash identically even though their physical block ids
+// differ (CloneFrom reallocates), so fingerprint equality is the
+// "both pager replicas current" condition of the redundancy oracle.
+func (s *Server) Fingerprint() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	mix64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	}
+	pids := make([]types.PID, 0, len(s.primary)+len(s.backup))
+	seen := make(map[types.PID]bool)
+	for pid := range s.primary {
+		if !seen[pid] {
+			seen[pid] = true
+			pids = append(pids, pid)
+		}
+	}
+	for pid := range s.backup {
+		if !seen[pid] {
+			seen[pid] = true
+			pids = append(pids, pid)
+		}
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	hashAcct := func(tag byte, pid types.PID, acct account) {
+		nos := make([]memory.PageNo, 0, len(acct))
+		for no := range acct {
+			nos = append(nos, no)
+		}
+		sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+		for _, no := range nos {
+			mix(tag)
+			mix64(uint64(pid))
+			mix64(uint64(no))
+			data, err := s.disk.Read(s.cluster, acct[no])
+			if err != nil {
+				mix(0xFF) // unreadable block: poison the hash
+				continue
+			}
+			mix64(uint64(len(data)))
+			for _, b := range data {
+				mix(b)
+			}
+		}
+	}
+	for _, pid := range pids {
+		hashAcct('P', pid, s.primary[pid])
+		hashAcct('B', pid, s.backup[pid])
+		mix64(uint64(s.epoch[pid]))
+		if c, ok := s.primaryCluster[pid]; ok {
+			mix64(uint64(c) + 1)
+		}
+	}
+	return h
+}
+
 // Epoch returns the last committed epoch for pid.
 func (s *Server) Epoch(pid types.PID) types.Epoch {
 	s.mu.Lock()

@@ -202,6 +202,10 @@ const (
 	// EvPageFetch records the page server serving a backup page account
 	// during recovery (§7.10.2). Arg is the number of pages returned.
 	EvPageFetch
+	// EvRepair records a cluster's repair/re-integration lifecycle advancing
+	// one phase (§7.3 re-backup; see core.Repair). Cluster is the cluster
+	// under repair; Arg is the types.RepairPhase entered.
+	EvRepair
 	// EvNote is a freeform annotation for rare conditions (bus failure,
 	// guest software fault); the detail lives in Note.
 	EvNote
@@ -233,6 +237,8 @@ func (k EventKind) String() string {
 		return "suppress"
 	case EvPageFetch:
 		return "page-fetch"
+	case EvRepair:
+		return "repair"
 	case EvNote:
 		return "note"
 	default:
@@ -497,6 +503,8 @@ func (e Event) Detail() string {
 		parts = append(parts, fmt.Sprintf("crashed=%s", types.ClusterID(e.Arg)))
 	case EvPageFetch:
 		parts = append(parts, fmt.Sprintf("pages=%d", e.Arg))
+	case EvRepair:
+		parts = append(parts, fmt.Sprintf("phase=%s", types.RepairPhase(e.Arg)))
 	default:
 		// The remaining kinds carry no kind-specific argument.
 	}

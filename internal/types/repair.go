@@ -1,0 +1,56 @@
+package types
+
+import "fmt"
+
+// RepairPhase tracks one cluster's position in the repair/re-integration
+// lifecycle (§2, §7.3): a failed cluster is repaired, returned to service,
+// and backups are regenerated until the system is again ready for the next
+// single failure. The phases advance strictly forward within one repair;
+// RepairAborted is the terminal state of a repair interrupted by a further
+// failure of the cluster being repaired (the repair is cleanly abandoned
+// and a fresh Repair call starts over at RepairBooting).
+type RepairPhase uint8
+
+const (
+	// RepairIdle is the zero value: no repair in flight for the cluster
+	// (either it never failed, or a completed repair has been acknowledged).
+	RepairIdle RepairPhase = iota
+	// RepairBooting covers the fresh kernel boot and bus reattachment.
+	RepairBooting
+	// RepairResilvering covers storage recovery: failed disk mirrors are
+	// resilvered block-for-block from their survivors, and the page-server
+	// replica catches up from the surviving instance's accounts before it
+	// rejoins the ordered bus stream.
+	RepairResilvering
+	// RepairRebacking covers backup regeneration: every promoted or
+	// otherwise unbacked primary gets a fresh backup established on the
+	// repaired cluster via the §7.3 online protocol.
+	RepairRebacking
+	// RepairRedundant marks a completed repair: the cluster serves traffic
+	// and the system is back at full redundancy.
+	RepairRedundant
+	// RepairAborted marks a repair interrupted by a new failure of the
+	// cluster under repair. No partial state survives: in-flight backup
+	// establishments were aborted by crash handling and the cluster is
+	// crashed again, eligible for a fresh Repair.
+	RepairAborted
+)
+
+func (p RepairPhase) String() string {
+	switch p {
+	case RepairIdle:
+		return "idle"
+	case RepairBooting:
+		return "booting"
+	case RepairResilvering:
+		return "resilvering"
+	case RepairRebacking:
+		return "rebacking"
+	case RepairRedundant:
+		return "redundant"
+	case RepairAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("RepairPhase(%d)", uint8(p))
+	}
+}
