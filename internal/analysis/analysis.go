@@ -17,6 +17,7 @@
 //	AURO006  bus.New/kernel.New wired outside the core assembly package
 //	AURO007  ignored error from a message-system call
 //	AURO008  non-exhaustive switch over a message/event enum
+//	AURO009  fresh wire.Writer allocation in a hot-path package
 //	AURO000  malformed //lint:ignore suppression comment
 //
 // A finding on line N is suppressed by `//lint:ignore AURO00X reason` on
@@ -75,6 +76,12 @@ type Config struct {
 	// EmitLocalFuncs lists per-package function names treated as emission
 	// roots (e.g. the kernel's sendLocked outgoing-queue append).
 	EmitLocalFuncs []string
+	// PooledWirePkgs lists the hot-path packages in which wire.NewWriter
+	// must not be called directly: encode buffers there come from the
+	// sync.Pool (wire.GetWriter/PutWriter) or a sanctioned cold-path
+	// funnel carrying a suppression that documents why its product may
+	// not alias a pooled buffer (AURO009).
+	PooledWirePkgs []string
 }
 
 // DefaultConfig returns the repository configuration for the given module
@@ -120,6 +127,7 @@ func DefaultConfig(module string) *Config {
 			in("trace") + ".EventLog.Add",
 		},
 		EmitLocalFuncs: []string{"sendLocked", "logMsg"},
+		PooledWirePkgs: []string{in("kernel"), in("bus")},
 	}
 }
 

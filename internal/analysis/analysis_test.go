@@ -26,6 +26,8 @@ func fixtureConfig(module string) *Config {
 		cfg.DeterministicPkgs = append(cfg.DeterministicPkgs,
 			module+"/internal/analysis/testdata/src/"+name)
 	}
+	cfg.PooledWirePkgs = append(cfg.PooledWirePkgs,
+		module+"/internal/analysis/testdata/src/pool_bad")
 	return cfg
 }
 
@@ -84,7 +86,7 @@ func collectWants(t *testing.T, pkg *Package) []*want {
 func TestFixtures(t *testing.T) {
 	l, module := fixtureLoader(t)
 	cfg := fixtureConfig(module)
-	for _, name := range []string{"det_bad", "lock_bad", "api_bad", "switch_bad", "clean_ok", "suppress_ok"} {
+	for _, name := range []string{"det_bad", "lock_bad", "api_bad", "switch_bad", "pool_bad", "clean_ok", "suppress_ok"} {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, l, module, name)
 			wants := collectWants(t, pkg)

@@ -1,0 +1,36 @@
+// Package pool_bad seeds AURO009 violations: a hot-path package (listed in
+// Config.PooledWirePkgs) allocating fresh wire encode buffers instead of
+// acquiring them from the pool, plus the sanctioned suppressed funnel form.
+package pool_bad
+
+import "auragen/internal/wire"
+
+// EncodeHot allocates a fresh buffer on what the config declares a hot
+// path; the encode should go through wire.GetWriter/PutWriter.
+func EncodeHot(v uint32) []byte {
+	w := wire.NewWriter(64) // want "AURO009"
+	w.U32(v)
+	return w.Bytes()
+}
+
+// EncodePooled is the sanctioned hot-path form: pooled acquire + release.
+func EncodePooled(v uint32) []byte {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.U32(v)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// coldFunnel models the one sanctioned allocation site: the suppression
+// documents why its product must not alias a pooled buffer.
+func coldFunnel(capHint int) *wire.Writer {
+	//lint:ignore AURO009 fixture funnel: retained payloads must not alias pooled buffers
+	return wire.NewWriter(capHint)
+}
+
+// EncodeCold builds a retained payload through the funnel.
+func EncodeCold(v uint32) []byte {
+	w := coldFunnel(16)
+	w.U32(v)
+	return w.Bytes()
+}

@@ -1,0 +1,417 @@
+package bus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"auragen/internal/trace"
+	"auragen/internal/types"
+)
+
+// TestBroadcastBatchOrderAndRouting: a mixed batch (ordinary routes plus a
+// membership-level kind mid-batch) is transmitted in order with increasing
+// IDs, routed per message, and counted as ONE batch.
+func TestBroadcastBatchOrderAndRouting(t *testing.T) {
+	m := &trace.Metrics{}
+	b := New(m, nil)
+	in0 := b.Attach(0)
+	in1 := b.Attach(1)
+	in2 := b.Attach(2)
+
+	batch := []*types.Message{
+		dataMsg(1, 2, types.Route{Dst: 1, DstBackup: types.NoCluster, SrcBackup: types.NoCluster}, "a"),
+		{Kind: types.KindCrashNotice, Route: types.Route{Dst: types.NoCluster}},
+		dataMsg(1, 2, types.Route{Dst: 1, DstBackup: 2, SrcBackup: 0}, "b"),
+	}
+	sent, err := b.BroadcastBatch(batch)
+	if err != nil || sent != 3 {
+		t.Fatalf("sent=%d err=%v", sent, err)
+	}
+	for i := 1; i < len(batch); i++ {
+		if batch[i].ID <= batch[i-1].ID {
+			t.Fatalf("IDs not increasing: %d then %d", batch[i-1].ID, batch[i].ID)
+		}
+	}
+	// in1 gets all three; in0/in2 get the crash notice + "b".
+	if in1.Len() != 3 || in0.Len() != 2 || in2.Len() != 2 {
+		t.Fatalf("inbox depths = %d %d %d", in0.Len(), in1.Len(), in2.Len())
+	}
+	// Per-inbox arrival order matches batch order.
+	var kinds []types.Kind
+	for {
+		m, ok := in1.TryPop()
+		if !ok {
+			break
+		}
+		kinds = append(kinds, m.Kind)
+	}
+	want := []types.Kind{types.KindData, types.KindCrashNotice, types.KindData}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("in1 arrival order %v, want %v", kinds, want)
+		}
+	}
+	if got := m.BusBatches.Load(); got != 1 {
+		t.Fatalf("bus_batches = %d, want 1", got)
+	}
+	if got := m.BusBatchedMessages.Load(); got != 3 {
+		t.Fatalf("bus_batched_messages = %d, want 3", got)
+	}
+}
+
+// TestBroadcastBatchFaultRetryWithinBatch: a transient fault on one
+// message's first attempt is retried inside the critical section and the
+// whole batch still goes through.
+func TestBroadcastBatchFaultRetryWithinBatch(t *testing.T) {
+	m := &trace.Metrics{}
+	b := New(m, nil)
+	b.Attach(0)
+	in1 := b.Attach(1)
+	b.SetFaultHook(func(busIdx int, msg *types.Message, attempt int) bool {
+		return string(msg.Payload) == "flaky" && attempt == 0
+	})
+	batch := []*types.Message{
+		dataMsg(1, 2, types.Route{Dst: 1}, "ok"),
+		dataMsg(1, 2, types.Route{Dst: 1}, "flaky"),
+		dataMsg(1, 2, types.Route{Dst: 1}, "ok2"),
+	}
+	sent, err := b.BroadcastBatch(batch)
+	if err != nil || sent != 3 {
+		t.Fatalf("sent=%d err=%v", sent, err)
+	}
+	if in1.Len() != 3 {
+		t.Fatalf("delivered %d, want 3", in1.Len())
+	}
+	if m.BusRetries.Load() != 1 {
+		t.Fatalf("bus_retries = %d, want 1", m.BusRetries.Load())
+	}
+}
+
+// TestBroadcastBatchTruncatesOnFailure: a message dropped past the retry
+// budget truncates the batch — earlier messages are delivered, the failed
+// one and everything after are not (no holes).
+func TestBroadcastBatchTruncatesOnFailure(t *testing.T) {
+	m := &trace.Metrics{}
+	b := New(m, nil)
+	b.Attach(0)
+	in1 := b.Attach(1)
+	b.SetFaultHook(func(busIdx int, msg *types.Message, attempt int) bool {
+		return string(msg.Payload) == "doomed"
+	})
+	batch := []*types.Message{
+		dataMsg(1, 2, types.Route{Dst: 1}, "a"),
+		dataMsg(1, 2, types.Route{Dst: 1}, "b"),
+		dataMsg(1, 2, types.Route{Dst: 1}, "doomed"),
+		dataMsg(1, 2, types.Route{Dst: 1}, "after"),
+	}
+	sent, err := b.BroadcastBatch(batch)
+	if err == nil {
+		t.Fatal("doomed batch reported success")
+	}
+	if sent != 2 {
+		t.Fatalf("sent = %d, want 2", sent)
+	}
+	if in1.Len() != 2 {
+		t.Fatalf("delivered %d, want 2", in1.Len())
+	}
+	for _, want := range []string{"a", "b"} {
+		got, _ := in1.TryPop()
+		if string(got.Payload) != want {
+			t.Fatalf("delivered %q, want %q", got.Payload, want)
+		}
+	}
+}
+
+// TestBroadcastBatchBothBusesDown: nothing is transmitted or delivered.
+func TestBroadcastBatchBothBusesDown(t *testing.T) {
+	b := New(&trace.Metrics{}, nil)
+	b.Attach(0)
+	in1 := b.Attach(1)
+	if err := b.FailBus(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FailBus(1); err != nil {
+		t.Fatal(err)
+	}
+	sent, err := b.BroadcastBatch([]*types.Message{
+		dataMsg(1, 2, types.Route{Dst: 1}, "x"),
+	})
+	if err == nil || sent != 0 {
+		t.Fatalf("sent=%d err=%v, want 0 and error", sent, err)
+	}
+	if in1.Len() != 0 {
+		t.Fatal("message delivered with both buses down")
+	}
+}
+
+// TestInboxPeakWatermark: the inbox_peak metric records the deepest queue
+// observed across pushes, batch or not.
+func TestInboxPeakWatermark(t *testing.T) {
+	m := &trace.Metrics{}
+	b := New(m, nil)
+	in1 := b.Attach(1)
+	var batch []*types.Message
+	for i := 0; i < 10; i++ {
+		batch = append(batch, dataMsg(1, 2, types.Route{Dst: 1}, fmt.Sprint(i)))
+	}
+	if _, err := b.BroadcastBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if in1.Peak() != 10 {
+		t.Fatalf("Inbox.Peak = %d, want 10", in1.Peak())
+	}
+	if got := m.InboxPeak.Load(); got != 10 {
+		t.Fatalf("inbox_peak = %d, want 10", got)
+	}
+	// Draining then refilling shallower must not lower the watermark.
+	for {
+		if _, ok := in1.TryPop(); !ok {
+			break
+		}
+	}
+	if err := b.Broadcast(dataMsg(1, 2, types.Route{Dst: 1}, "one")); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.InboxPeak.Load(); got != 10 {
+		t.Fatalf("inbox_peak dropped to %d", got)
+	}
+}
+
+// TestInboxBoundedBackpressure: with SetLimit, a slow consumer bounds the
+// queue — the producer blocks instead of growing the inbox, every message
+// is still delivered exactly once, and the peak never exceeds the limit.
+func TestInboxBoundedBackpressure(t *testing.T) {
+	b := New(&trace.Metrics{}, nil)
+	in1 := b.Attach(1)
+	in1.SetLimit(4)
+
+	const total = 100
+	done := make(chan struct{})
+	var got int
+	go func() { // slow consumer
+		defer close(done)
+		for got < total {
+			if _, ok := in1.Pop(); !ok {
+				return
+			}
+			got++
+			if got%10 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	for i := 0; i < total; i += 5 {
+		var batch []*types.Message
+		for j := 0; j < 5; j++ {
+			batch = append(batch, dataMsg(1, 2, types.Route{Dst: 1}, fmt.Sprint(i+j)))
+		}
+		if _, err := b.BroadcastBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if got != total {
+		t.Fatalf("consumer saw %d messages, want %d", got, total)
+	}
+	if peak := in1.Peak(); peak > 4 {
+		t.Fatalf("bounded inbox peaked at %d, limit 4", peak)
+	}
+}
+
+// TestInboxCloseUnblocksBoundedPush: closing a full bounded inbox releases
+// a blocked producer instead of wedging the bus forever.
+func TestInboxCloseUnblocksBoundedPush(t *testing.T) {
+	b := New(&trace.Metrics{}, nil)
+	in1 := b.Attach(1)
+	in1.SetLimit(1)
+	if err := b.Broadcast(dataMsg(1, 2, types.Route{Dst: 1}, "fill")); err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan error, 1)
+	go func() {
+		released <- b.Broadcast(dataMsg(1, 2, types.Route{Dst: 1}, "blocked"))
+	}()
+	time.Sleep(5 * time.Millisecond) // let the push reach the wait
+	in1.Close()
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked push not released by Close")
+	}
+}
+
+// TestBroadcastBatchSteadyStateAllocs pins the batch path's allocation
+// contract: once queues and slabs are warm, a BroadcastBatch call whose
+// messages carry no payload bytes allocates nothing at all — the only
+// steady-state allocation in the batch path is the per-batch payload slab,
+// which is sized by the batch's payload bytes.
+func TestBroadcastBatchSteadyStateAllocs(t *testing.T) {
+	bus := New(&trace.Metrics{}, nil)
+	for c := types.ClusterID(0); c < 3; c++ {
+		in := bus.Attach(c)
+		in.SetLimit(8192)
+		go func() {
+			var buf []types.Message
+			for {
+				ms, ok := in.PopAll(buf)
+				if !ok {
+					return
+				}
+				buf = ms
+			}
+		}()
+	}
+	route := types.Route{Dst: 0, DstBackup: 1, SrcBackup: 2}
+	batch := make([]*types.Message, 64)
+	for j := range batch {
+		batch[j] = dataMsg(1, 2, route, "")
+	}
+	send := func() {
+		if _, err := bus.BroadcastBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ { // warm queue capacities past their high-water mark
+		send()
+	}
+	if allocs := testing.AllocsPerRun(200, send); allocs > 0 {
+		t.Fatalf("BroadcastBatch allocated %.2f objects per payload-free batch; want 0", allocs)
+	}
+	for c := types.ClusterID(0); c < 3; c++ {
+		bus.Detach(c)
+	}
+}
+
+// BenchmarkBroadcast is the unbatched baseline: one critical-section
+// acquisition per message.
+func BenchmarkBroadcast(b *testing.B) {
+	bus := New(&trace.Metrics{}, nil)
+	for c := types.ClusterID(0); c < 3; c++ {
+		in := bus.Attach(c)
+		in.SetLimit(8192)
+		go func() {
+			var buf []types.Message
+			for {
+				ms, ok := in.PopAll(buf)
+				if !ok {
+					return
+				}
+				buf = ms
+			}
+		}()
+	}
+	route := types.Route{Dst: 0, DstBackup: 1, SrcBackup: 2}
+	m := dataMsg(1, 2, route, string(make([]byte, 64)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bus.Broadcast(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastBatch64 sends the same traffic 64 messages per
+// critical-section acquisition.
+func BenchmarkBroadcastBatch64(b *testing.B) {
+	bus := New(&trace.Metrics{}, nil)
+	for c := types.ClusterID(0); c < 3; c++ {
+		in := bus.Attach(c)
+		in.SetLimit(8192)
+		go func() {
+			var buf []types.Message
+			for {
+				ms, ok := in.PopAll(buf)
+				if !ok {
+					return
+				}
+				buf = ms
+			}
+		}()
+	}
+	route := types.Route{Dst: 0, DstBackup: 1, SrcBackup: 2}
+	payload := string(make([]byte, 64))
+	batch := make([]*types.Message, 64)
+	for j := range batch {
+		batch[j] = dataMsg(1, 2, route, payload)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 64 {
+		if _, err := bus.BroadcastBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastContended measures per-message Broadcast with GOMAXPROCS
+// producers contending for the critical section.
+func BenchmarkBroadcastContended(b *testing.B) {
+	bus := New(&trace.Metrics{}, nil)
+	in := bus.Attach(0)
+	in.SetLimit(8192)
+	go func() {
+		var buf []types.Message
+		for {
+			ms, ok := in.PopAll(buf)
+			if !ok {
+				return
+			}
+			buf = ms
+		}
+	}()
+	route := types.Route{Dst: 0}
+	payload := string(make([]byte, 64))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		m := dataMsg(1, 2, route, payload)
+		for pb.Next() {
+			if err := bus.Broadcast(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBroadcastBatchContended is the batched counterpart of
+// BenchmarkBroadcastContended: each producer offers 64-message batches.
+func BenchmarkBroadcastBatchContended(b *testing.B) {
+	bus := New(&trace.Metrics{}, nil)
+	in := bus.Attach(0)
+	in.SetLimit(8192)
+	go func() {
+		var buf []types.Message
+		for {
+			ms, ok := in.PopAll(buf)
+			if !ok {
+				return
+			}
+			buf = ms
+		}
+	}()
+	route := types.Route{Dst: 0}
+	payload := string(make([]byte, 64))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		batch := make([]*types.Message, 0, 64)
+		for j := 0; j < 64; j++ {
+			batch = append(batch, dataMsg(1, 2, route, payload))
+		}
+		pending := 0
+		for pb.Next() {
+			pending++
+			if pending == 64 {
+				if _, err := bus.BroadcastBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				pending = 0
+			}
+		}
+		if pending > 0 {
+			if _, err := bus.BroadcastBatch(batch[:pending]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -61,6 +61,20 @@ type Bus struct {
 	// nextID mints the monotonic per-transmission message ID under mu, so
 	// IDs are assigned in the bus's total transmission order.
 	nextID uint64
+	// ports mirrors inboxes as a slice sorted by cluster id, for the batch
+	// hot path: a linear scan over a handful of clusters beats a map
+	// lookup per message per target.
+	ports []*busPort
+}
+
+// busPort is one attached cluster as seen by the batch fast path. dirty is
+// scratch state of the batch in flight: whether this port received any
+// appends and must be signalled at flush (only touched under both b.mu and
+// the port's inbox lock).
+type busPort struct {
+	c     types.ClusterID
+	in    *Inbox
+	dirty bool
 }
 
 // New returns an empty bus reporting into the given shared metrics sink.
@@ -96,7 +110,27 @@ func (b *Bus) Attach(c types.ClusterID) *Inbox {
 	}
 	in := newInbox(c)
 	b.inboxes[c] = in
+	b.rebuildPortsLocked()
 	return in
+}
+
+// rebuildPortsLocked re-derives the sorted port slice from the inbox map
+// after an attach or detach. Caller holds mu.
+func (b *Bus) rebuildPortsLocked() {
+	b.ports = b.ports[:0]
+	for _, c := range b.liveSortedLocked() {
+		b.ports = append(b.ports, &busPort{c: c, in: b.inboxes[c]})
+	}
+}
+
+// portLocked returns the port for cluster c, or nil if c is not attached.
+func (b *Bus) portLocked(c types.ClusterID) *busPort {
+	for _, p := range b.ports {
+		if p.c == c {
+			return p
+		}
+	}
+	return nil
 }
 
 // Detach removes a crashed cluster. Its inbox is closed; in-flight messages
@@ -108,6 +142,7 @@ func (b *Bus) Detach(c types.ClusterID) {
 	if in, ok := b.inboxes[c]; ok {
 		in.Close()
 		delete(b.inboxes, c)
+		b.rebuildPortsLocked()
 	}
 }
 
@@ -194,14 +229,30 @@ func (b *Bus) selectBusLocked(attempt int) int {
 	return -1
 }
 
-func (b *Bus) deliver(m *types.Message, targets []types.ClusterID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	// Transmit over a healthy physical bus, retrying (within the same
-	// critical section, preserving the total order) when an injected
-	// transient fault drops an attempt. The loss of one bus is a tolerated
-	// single failure: traffic fails over to the survivor and the caller
-	// never notices. Losing both is a multiple failure.
+// transmitLocked is offerLocked plus the per-message transmit metrics; the
+// single-message paths use it, while BroadcastBatch aggregates the counter
+// updates across the whole batch.
+func (b *Bus) transmitLocked(m *types.Message) error {
+	if err := b.offerLocked(m); err != nil {
+		return err
+	}
+	b.metrics.BusTransmissions.Add(1)
+	b.metrics.BusBytes.Add(uint64(len(m.Payload)))
+	return nil
+}
+
+// offerLocked runs the physical-transmission half of one message: pick
+// a healthy bus, retry (within the same critical section, preserving the
+// total order) when an injected transient fault drops an attempt, mint the
+// message ID, and record the transmit event. The loss of one
+// bus is a tolerated single failure: traffic fails over to the survivor
+// and the caller never notices. Losing both is a multiple failure.
+func (b *Bus) offerLocked(m *types.Message) error {
+	if m.Lazy != nil {
+		// The executive resolves deferred payloads before the bus accepts
+		// the message; the transmit event below hashes the bytes.
+		panic("bus: message reached the bus with an unresolved lazy payload")
+	}
 	sent := false
 	for attempt := 0; attempt < MaxTransmitAttempts; attempt++ {
 		idx := b.selectBusLocked(attempt)
@@ -233,8 +284,6 @@ func (b *Bus) deliver(m *types.Message, targets []types.ClusterID) error {
 	}
 	b.nextID++
 	m.ID = b.nextID
-	b.metrics.BusTransmissions.Add(1)
-	b.metrics.BusBytes.Add(uint64(len(m.Payload)))
 	if b.log != nil {
 		b.log.Append(trace.Event{
 			Kind:    trace.EvTransmit,
@@ -246,67 +295,304 @@ func (b *Bus) deliver(m *types.Message, targets []types.ClusterID) error {
 			Arg:     trace.HashPayload(m.Payload),
 		})
 	}
+	return nil
+}
+
+// liveSortedLocked returns the attached clusters in ascending order.
+func (b *Bus) liveSortedLocked() []types.ClusterID {
+	out := make([]types.ClusterID, 0, len(b.inboxes))
+	for c := range b.inboxes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (b *Bus) logReceive(m *types.Message, c types.ClusterID) {
+	if b.log != nil {
+		b.log.Append(trace.Event{
+			Kind:    trace.EvReceive,
+			Cluster: c,
+			MsgID:   m.ID,
+			MsgKind: m.Kind,
+			PID:     m.Dst,
+			Channel: m.Channel,
+		})
+	}
+}
+
+func (b *Bus) deliver(m *types.Message, targets []types.ClusterID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.transmitLocked(m); err != nil {
+		return err
+	}
 	if targets == nil {
-		for c := range b.inboxes {
-			targets = append(targets, c)
-		}
-		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		targets = b.liveSortedLocked()
 	}
 	for _, c := range targets {
 		in, ok := b.inboxes[c]
 		if !ok {
 			continue
 		}
-		in.push(m.Clone())
+		depth := in.push(m.Clone())
 		b.metrics.BusDeliveries.Add(1)
-		if b.log != nil {
-			b.log.Append(trace.Event{
-				Kind:    trace.EvReceive,
-				Cluster: c,
-				MsgID:   m.ID,
-				MsgKind: m.Kind,
-				PID:     m.Dst,
-				Channel: m.Channel,
-			})
-		}
+		b.metrics.MaxInboxPeak(uint64(depth))
+		b.logReceive(m, c)
 	}
 	return nil
 }
 
+// globalKind reports whether a message kind is a membership-level event
+// that every live cluster must observe at the same point in the total
+// message order (§7.10.1), i.e. whether it routes like BroadcastAll.
+func globalKind(k types.Kind) bool {
+	return k == types.KindBackupUp || k == types.KindCrashNotice
+}
+
+// BroadcastBatch transmits msgs, in order, inside ONE critical section:
+// the executive acquires the §5.1 ordering lock once per batch instead of
+// once per message, which is where batched senders win their throughput.
+// Per-message semantics are unchanged — every message gets its own
+// transmission attempt/fault-retry loop, minted ID, transmit event, and
+// per-target delivery (messages of a membership-level kind reach every
+// live cluster, as with BroadcastAll). Every target inbox is acquired once
+// for the whole batch (uniform ascending-cluster order; consumers only
+// ever take their own inbox lock, so the nesting cannot deadlock), and
+// each delivered message value is written exactly once, directly into its
+// target queues — no staging list, no second copy at flush.
+//
+// Unlike Broadcast, which heap-clones per target, the batch path writes
+// message values straight into each target's receive buffers and copies
+// all payload bytes into one shared per-batch slab: §5.1 says copies are
+// executive work, not bus work, so steady-state batched delivery
+// allocates nothing per message beyond its payload bytes, and the
+// per-executive private copy happens in the receiving cluster's dispatch
+// loop, off the shared critical section. Receivers must treat payload and
+// nondet slices of delivered messages as read-only (they are shared by
+// all three targets; the kernel's dispatch takes a shallow copy of the
+// message itself before stamping arrival state).
+//
+// Returns the number of messages transmitted. On error, msgs[sent:] were
+// not transmitted and not delivered anywhere (the batch analogue of
+// atomicity: a fault truncates the batch, it never punches holes in it);
+// messages before the fault are delivered normally.
+func (b *Bus) BroadcastBatch(msgs []*types.Message) (int, error) {
+	if len(msgs) == 0 {
+		return 0, nil
+	}
+	// All payload bytes of the batch are copied into one contiguous slab —
+	// a single allocation replacing one per message per target. The copies
+	// are safe to share across the three targets because receivers treat
+	// payload bytes and nondet words as read-only (values are decoded out,
+	// never written back). Sizing and allocating the slab reads only the
+	// caller-owned batch, so it happens before the ordering critical
+	// section is entered.
+	payloadTotal := 0
+	for _, m := range msgs {
+		payloadTotal += len(m.Payload)
+	}
+	payloadSlab := make([]byte, 0, payloadTotal)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Acquire every attached cluster's receive buffer for the duration of
+	// the batch. Nothing can close or replace an inbox while b.mu is held,
+	// and bounded inboxes only exist in benchmark rigs whose consumers
+	// never send, so waiting for receive-buffer space inside this nesting
+	// cannot deadlock.
+	for _, p := range b.ports {
+		p.in.mu.Lock()
+		p.dirty = false
+	}
+	sent := 0
+	var failure error
+	var txBytes, deliveries uint64
+	// Consecutive messages in a batch usually share a Route (one sender,
+	// one conversation, one backup set), so the route→ports resolution is
+	// computed once and reused until the route changes.
+	var cachedRoute types.Route
+	var cachedPorts [3]*busPort
+	cachedN := -1
+	for _, m := range msgs {
+		if err := b.offerLocked(m); err != nil {
+			failure = err
+			break
+		}
+		sent++
+		txBytes += uint64(len(m.Payload))
+		var payload []byte
+		if len(m.Payload) > 0 {
+			off := len(payloadSlab)
+			payloadSlab = append(payloadSlab, m.Payload...)
+			payload = payloadSlab[off:len(payloadSlab):len(payloadSlab)]
+		}
+		var nondet []uint64
+		if len(m.Nondet) > 0 {
+			nondet = append([]uint64(nil), m.Nondet...)
+		}
+		if globalKind(m.Kind) {
+			for _, p := range b.ports {
+				if p.in.stageLocked(m, payload, nondet) {
+					p.dirty = true
+					deliveries++
+					b.logReceive(m, p.c)
+				}
+			}
+			continue
+		}
+		if cachedN < 0 || m.Route != cachedRoute {
+			cachedRoute = m.Route
+			cachedN = 0
+			var tbuf [3]types.ClusterID
+			for _, c := range m.Route.AppendTargets(tbuf[:0]) {
+				if p := b.portLocked(c); p != nil {
+					cachedPorts[cachedN] = p
+					cachedN++
+				}
+			}
+		}
+		for _, p := range cachedPorts[:cachedN] {
+			if p.in.stageLocked(m, payload, nondet) {
+				p.dirty = true
+				deliveries++
+				b.logReceive(m, p.c)
+			}
+		}
+	}
+	b.metrics.BusBatches.Add(1)
+	b.metrics.BusBatchedMessages.Add(uint64(sent))
+	b.metrics.BusTransmissions.Add(uint64(sent))
+	b.metrics.BusBytes.Add(txBytes)
+	b.metrics.BusDeliveries.Add(deliveries)
+	// Release the receive buffers in the same uniform order, waking each
+	// consumer that got messages. Still inside the bus critical section, so
+	// no observer can distinguish this from per-message pushes.
+	for _, p := range b.ports {
+		if p.dirty {
+			b.metrics.MaxInboxPeak(uint64(p.in.peak))
+			p.in.cond.Signal()
+		}
+		p.in.mu.Unlock()
+	}
+	return sent, failure
+}
+
 // Inbox is a cluster's inbound message queue, drained by the cluster's
-// executive processor. Pushes never block (the executive keeps pace in the
-// real hardware; here the queue is unbounded and the executive goroutine
-// drains it).
+// executive processor. By default pushes never block (the executive keeps
+// pace in the real hardware; here the queue is unbounded and the executive
+// goroutine drains it) and the depth high-watermark is exported through
+// Peak and the shared inbox_peak metric — the backpressure signal a
+// production deployment watches. SetLimit opts one inbox into a bounded,
+// blocking queue for tests that need hard backpressure; see its caveats.
 type Inbox struct {
 	cluster types.ClusterID
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      []*types.Message
+	mu    sync.Mutex
+	cond  *sync.Cond // signaled when messages arrive or the inbox closes
+	space *sync.Cond // signaled when a bounded queue frees a slot
+	// q stores message VALUES, not pointers: queue slots are the cluster's
+	// receive buffers, and PopAll recycles their backing arrays between
+	// the bus and the consumer, so steady-state delivery allocates nothing
+	// per message beyond the payload bytes.
+	q      []types.Message
+	limit  int // 0: unbounded
+	peak   int
 	closed bool
 }
 
 func newInbox(c types.ClusterID) *Inbox {
 	in := &Inbox{cluster: c}
 	in.cond = sync.NewCond(&in.mu)
+	in.space = sync.NewCond(&in.mu)
 	return in
 }
 
 // Cluster returns the owning cluster.
 func (in *Inbox) Cluster() types.ClusterID { return in.cluster }
 
-func (in *Inbox) push(m *types.Message) {
+// SetLimit bounds the queue to n messages (n <= 0 restores the default,
+// unbounded). When bounded, push blocks until the consumer frees a slot or
+// the inbox closes. Pushes run inside the bus critical section, so a
+// bounded inbox backpressures the WHOLE bus: no cluster receives anything
+// while a push waits, and a consumer that never drains would wedge every
+// sender. It exists for backpressure tests; systems keep inboxes unbounded
+// and watch the inbox_peak watermark instead (see DESIGN.md).
+func (in *Inbox) SetLimit(n int) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if in.closed {
-		return
+	if n < 0 {
+		n = 0
 	}
-	in.q = append(in.q, m)
-	in.cond.Signal()
+	in.limit = n
+	in.space.Broadcast()
 }
 
-// Pop blocks until a message is available or the inbox is closed. The
-// second result is false once the inbox is closed and drained.
+// Peak returns the high-watermark queue depth observed so far.
+func (in *Inbox) Peak() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.peak
+}
+
+// appendLocked enqueues a copy of *m, waiting for a slot when bounded.
+// Returns false once the inbox is closed. Caller holds in.mu.
+func (in *Inbox) appendLocked(m *types.Message) bool {
+	for in.limit > 0 && len(in.q) >= in.limit && !in.closed {
+		in.space.Wait()
+	}
+	if in.closed {
+		return false
+	}
+	in.q = append(in.q, *m)
+	if len(in.q) > in.peak {
+		in.peak = len(in.q)
+	}
+	return true
+}
+
+// push enqueues a copy of *m and returns the resulting queue depth (0 when
+// the inbox is closed and the message discarded).
+func (in *Inbox) push(m *types.Message) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.appendLocked(m) {
+		return 0
+	}
+	in.cond.Signal()
+	return len(in.q)
+}
+
+// stageLocked appends one delivered message value behind the queue, with
+// payload and nondet swapped for the bus-owned per-batch copies (m itself
+// stays caller-owned; its slices are never shared with receivers). Caller
+// already holds in.mu — the batch path acquires every target inbox once
+// for the whole batch and signals the consumer once at release. A bounded
+// queue that is out of receive-buffer space wakes its consumer and waits
+// for room (space.Wait releases in.mu, so the consumer can drain mid-
+// batch). Returns false if the inbox is closed: a powered-off cluster
+// loses its receive buffers and the message is simply not received there.
+func (in *Inbox) stageLocked(m *types.Message, payload []byte, nondet []uint64) bool {
+	for in.limit > 0 && len(in.q) >= in.limit && !in.closed {
+		in.cond.Signal()
+		in.space.Wait()
+	}
+	if in.closed {
+		return false
+	}
+	in.q = append(in.q, *m)
+	q := &in.q[len(in.q)-1]
+	q.Payload = payload
+	q.Nondet = nondet
+	q.Lazy = nil
+	if len(in.q) > in.peak {
+		in.peak = len(in.q)
+	}
+	return true
+}
+
+// Pop blocks until a message is available or the inbox is closed, and
+// returns a private copy of the head message. The second result is false
+// once the inbox is closed and drained.
 func (in *Inbox) Pop() (*types.Message, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -318,10 +604,40 @@ func (in *Inbox) Pop() (*types.Message, bool) {
 	}
 	m := in.q[0]
 	in.q = in.q[1:]
-	return m, true
+	if len(in.q) > 0 {
+		// More queued: keep the consumer awake (pushAll signals once for a
+		// whole batch).
+		in.cond.Signal()
+	}
+	in.space.Signal()
+	return &m, true
 }
 
-// TryPop returns the next message without blocking.
+// PopAll blocks until at least one message is available or the inbox is
+// closed, then drains the entire queue in one lock acquisition by SWAPPING
+// buffers: the queue's backing array is handed to the caller and the
+// caller's previous buffer (buf; nil is fine) becomes the new queue, so
+// steady-state draining moves no messages and allocates nothing. The
+// caller must therefore be completely done with the previously returned
+// slice before passing it back — the executive copies each message before
+// handing it to process-level code (see Kernel.dispatch). The second
+// result is false once the inbox is closed and drained.
+func (in *Inbox) PopAll(buf []types.Message) ([]types.Message, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for len(in.q) == 0 && !in.closed {
+		in.cond.Wait()
+	}
+	if len(in.q) == 0 {
+		return buf[:0], false
+	}
+	ms := in.q
+	in.q = buf[:0]
+	in.space.Broadcast()
+	return ms, true
+}
+
+// TryPop returns a private copy of the next message without blocking.
 func (in *Inbox) TryPop() (*types.Message, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -330,7 +646,8 @@ func (in *Inbox) TryPop() (*types.Message, bool) {
 	}
 	m := in.q[0]
 	in.q = in.q[1:]
-	return m, true
+	in.space.Signal()
+	return &m, true
 }
 
 // Len returns the number of queued messages.
@@ -340,9 +657,10 @@ func (in *Inbox) Len() int {
 	return len(in.q)
 }
 
-// Close marks the inbox closed and wakes blocked readers. Queued messages
-// remain poppable until drained only if the owner is shutting down cleanly;
-// a crash discards them by dropping the whole Inbox.
+// Close marks the inbox closed and wakes blocked readers and writers.
+// Queued messages remain poppable until drained only if the owner is
+// shutting down cleanly; a crash discards them by dropping the whole
+// Inbox.
 func (in *Inbox) Close() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -352,6 +670,7 @@ func (in *Inbox) Close() {
 	in.closed = true
 	in.q = nil
 	in.cond.Broadcast()
+	in.space.Broadcast()
 }
 
 // Closed reports whether Close has been called.

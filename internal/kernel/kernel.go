@@ -29,6 +29,7 @@ import (
 	"auragen/internal/routing"
 	"auragen/internal/trace"
 	"auragen/internal/types"
+	"auragen/internal/wire"
 )
 
 // Default sync triggers (§7.8). Both are per-process tunable via SpawnOpts.
@@ -50,6 +51,12 @@ const (
 	txMaxAttempts = 5
 	txBackoff     = 2 * time.Millisecond
 )
+
+// DefaultTxBatch is how many queued outbound messages the transmit loop
+// coalesces into one bus offer when Config.MaxBatch is zero. One batch
+// acquires the bus ordering critical section once, so the per-message cost
+// of the §5.1 no-interleaving guarantee is amortized across the batch.
+const DefaultTxBatch = 64
 
 // DefaultPageFetchTimeout bounds how long a promoted backup waits for its
 // page account during roll-forward before the recovery is abandoned (the
@@ -80,6 +87,11 @@ type Config struct {
 	// selects DefaultPageFetchTimeout. Fault-injection campaigns shorten
 	// it so abandoned recoveries surface quickly.
 	PageFetchTimeout time.Duration
+
+	// MaxBatch caps how many outbound messages the transmit loop
+	// coalesces into one bus transmission. Zero selects DefaultTxBatch;
+	// 1 disables coalescing (the pre-batching behavior).
+	MaxBatch int
 }
 
 // Kernel is one cluster's operating system kernel.
@@ -102,6 +114,12 @@ type Kernel struct {
 	txCond *sync.Cond
 
 	outgoing []*types.Message
+	// txHold parks the transmit loop without stopping enqueues, so tests
+	// can deterministically open the window between batch-enqueue and
+	// batch-transmit (see HoldTransmit).
+	txHold bool
+	// maxBatch caps the messages coalesced per bus offer (Config.MaxBatch).
+	maxBatch int
 	// held parks outgoing messages whose fullback destination lost its
 	// backup, until a BackupUp notice arrives (§7.10.1 step 4).
 	held map[types.PID][]*types.Message
@@ -182,6 +200,9 @@ func New(cfg Config) *Kernel {
 	if cfg.PageFetchTimeout <= 0 {
 		cfg.PageFetchTimeout = DefaultPageFetchTimeout
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultTxBatch
+	}
 	k := &Kernel{
 		id:         cfg.ID,
 		bus:        cfg.Bus,
@@ -201,6 +222,7 @@ func New(cfg Config) *Kernel {
 		nondetLogs: make(map[types.PID][]uint64),
 		servers:    make(map[types.PID]*ServerHost),
 		dieCh:      make(chan struct{}),
+		maxBatch:   cfg.MaxBatch,
 
 		pageFetchTimeout: cfg.PageFetchTimeout,
 	}
@@ -406,23 +428,81 @@ func (k *Kernel) sendLocked(m *types.Message) {
 	k.txCond.Signal()
 }
 
+// HoldTransmit pauses (hold=true) or resumes (hold=false) the transmit
+// loop. Enqueues continue, so a held kernel accumulates an outgoing
+// backlog; tests use the hold to open the batch-enqueue → batch-transmit
+// window deterministically (e.g. to land a crash inside it).
+func (k *Kernel) HoldTransmit(hold bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.txHold = hold
+	k.txCond.Broadcast()
+}
+
+// OutgoingBacklog returns the number of messages queued but not yet
+// offered to the bus.
+func (k *Kernel) OutgoingBacklog() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.outgoing)
+}
+
 // txLoop is the executive processor's transmit half: it drains the
-// outgoing queue onto the bus, one message at a time, in order.
+// outgoing queue onto the bus in FIFO order, coalescing up to maxBatch
+// queued messages into one bus offer. Lazy payloads are resolved into
+// pooled wire buffers here — off the kernel lock and off the enqueuing
+// process's critical path — and the buffers are released once the bus has
+// cloned the payload for every destination.
 func (k *Kernel) txLoop() {
 	defer k.wg.Done()
+	var (
+		batch   []*types.Message
+		writers []*wire.Writer // parallel to batch; nil for eager payloads
+	)
 	for {
 		k.mu.Lock()
-		for len(k.outgoing) == 0 && !k.crashed && !k.stopped && !k.degraded {
+		for (len(k.outgoing) == 0 || k.txHold) && !k.crashed && !k.stopped && !k.degraded {
 			k.txCond.Wait()
 		}
 		if k.crashed || k.stopped || k.degraded {
 			k.mu.Unlock()
 			return
 		}
-		m := k.outgoing[0]
-		k.outgoing = k.outgoing[1:]
+		n := len(k.outgoing)
+		if n > k.maxBatch {
+			n = k.maxBatch
+		}
+		batch = append(batch[:0], k.outgoing[:n]...)
+		k.outgoing = k.outgoing[n:]
 		k.mu.Unlock()
-		if err := k.transmit(m); err != nil {
+
+		// Resolve deferred payloads into pooled buffers. Encoders touch
+		// only data the enqueuer handed off (captured pages, retired sync
+		// state), so running them here is race-free.
+		writers = writers[:0]
+		for _, m := range batch {
+			var w *wire.Writer
+			if m.Lazy != nil {
+				w = wire.GetWriter()
+				m.Lazy.EncodePayload(w)
+				m.Payload = w.Bytes()
+				m.Lazy = nil
+			}
+			writers = append(writers, w)
+		}
+
+		err := k.transmitBatch(batch)
+
+		// The bus deep-clones payloads per destination inside its critical
+		// section, so once the offer returns the pooled buffers are ours
+		// again. Drop the aliases before recycling.
+		for i, w := range writers {
+			if w != nil {
+				batch[i].Payload = nil
+				wire.PutWriter(w)
+			}
+		}
+		if err != nil {
 			// Both physical buses down past the retry budget: an
 			// untolerated multiple failure. The cluster is cut off;
 			// degrade so blocked processes unwind with
@@ -434,10 +514,12 @@ func (k *Kernel) txLoop() {
 	}
 }
 
-// transmit offers one message to the bus, retrying with backoff so a
-// transient outage (or a bus repair racing the failure detector) does not
-// escalate into a cluster-wide degradation.
-func (k *Kernel) transmit(m *types.Message) error {
+// transmitBatch offers a batch to the bus, retrying the unsent suffix with
+// backoff so a transient outage (or a bus repair racing the failure
+// detector) does not escalate into a cluster-wide degradation. The bus
+// truncates a batch at the first failed message — it never punches holes —
+// so retrying batch[sent:] preserves FIFO order.
+func (k *Kernel) transmitBatch(batch []*types.Message) error {
 	var err error
 	for attempt := 0; attempt < txMaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -447,18 +529,14 @@ func (k *Kernel) transmit(m *types.Message) error {
 			dead := k.crashed || k.stopped
 			k.mu.Unlock()
 			if dead {
-				// The cluster died while retrying; the message is lost
+				// The cluster died while retrying; the messages are lost
 				// with it, which is not a bus fault.
 				return nil
 			}
 		}
-		if m.Kind == types.KindBackupUp || m.Kind == types.KindCrashNotice {
-			// Backup-up and crash notices go to every live cluster
-			// (§7.10.1 step 1 waits on them system-wide).
-			err = k.bus.BroadcastAll(m)
-		} else {
-			err = k.bus.Broadcast(m)
-		}
+		var sent int
+		sent, err = k.bus.BroadcastBatch(batch)
+		batch = batch[sent:]
 		if err == nil {
 			return nil
 		}
@@ -469,12 +547,20 @@ func (k *Kernel) transmit(m *types.Message) error {
 // rxLoop is the executive processor's receive half.
 func (k *Kernel) rxLoop() {
 	defer k.wg.Done()
+	var buf []types.Message
 	for {
-		m, ok := k.inbox.Pop()
+		// Drain whatever the bus has batched in with one inbox acquisition;
+		// dispatch order within the drained slice is the arrival order.
+		ms, ok := k.inbox.PopAll(buf)
 		if !ok {
 			return
 		}
-		k.dispatch(m)
+		for i := range ms {
+			// dispatch copies the message before any mutation or retention,
+			// which is what lets the buffer be recycled on the next PopAll.
+			k.dispatch(&ms[i])
+		}
+		buf = ms
 	}
 }
 
@@ -500,6 +586,14 @@ func (k *Kernel) logMsg(kind trace.EventKind, m *types.Message, pid types.PID, a
 // primary destination, the destination's backup, or the sender's backup,
 // and a single cluster may play several of those roles for one message.
 func (k *Kernel) dispatch(m *types.Message) {
+	// Batched deliveries hand the SAME message value to every target
+	// cluster (§5.1: copies are executive work, not bus work). Take a
+	// private shallow copy before stamping any arrival state so sibling
+	// executives never observe this cluster's writes; the payload bytes
+	// and nondet words stay shared and are treated as read-only.
+	cp := *m
+	m = &cp
+
 	// Page requests are served outside the critical section: the handler
 	// performs a synchronous read-back RPC against the page store, and
 	// holding k.mu across a cross-component blocking call is the deadlock

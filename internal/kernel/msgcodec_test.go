@@ -1,0 +1,96 @@
+package kernel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"auragen/internal/types"
+	"auragen/internal/wire"
+)
+
+// randomMessage builds a message with pseudo-random field values, biased to
+// exercise empty and populated Payload/Nondet alike.
+func randomMessage(rng *rand.Rand) *types.Message {
+	m := &types.Message{
+		ID:      rng.Uint64(),
+		Kind:    types.Kind(rng.Intn(18)),
+		Channel: types.ChannelID(rng.Uint64()),
+		Src:     types.PID(rng.Uint64()),
+		Dst:     types.PID(rng.Uint64()),
+		Route: types.Route{
+			Dst:       types.ClusterID(rng.Intn(5) - 1),
+			DstBackup: types.ClusterID(rng.Intn(5) - 1),
+			SrcBackup: types.ClusterID(rng.Intn(5) - 1),
+		},
+		Seq: types.Seq(rng.Uint64()),
+	}
+	if rng.Intn(3) > 0 {
+		m.Payload = make([]byte, 1+rng.Intn(200))
+		rng.Read(m.Payload)
+	}
+	if rng.Intn(3) == 0 {
+		n := 1 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			m.Nondet = append(m.Nondet, rng.Uint64())
+		}
+	}
+	return m
+}
+
+// TestMessageBatchRoundTripProperty: for seeded-random message sequences,
+// encode-batch → decode-batch reproduces every field of every message.
+func TestMessageBatchRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		msgs := make([]*types.Message, rng.Intn(12))
+		for i := range msgs {
+			msgs[i] = randomMessage(rng)
+		}
+		w := wire.NewWriter(0)
+		EncodeMessageBatch(w, msgs)
+		got, err := DecodeMessageBatch(w.Bytes())
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if len(got) != len(msgs) {
+			t.Fatalf("seed %d: %d messages round-tripped to %d", seed, len(msgs), len(got))
+		}
+		for i := range msgs {
+			if !reflect.DeepEqual(msgs[i], got[i]) {
+				t.Fatalf("seed %d: message %d mismatch:\n in: %+v\nout: %+v", seed, i, msgs[i], got[i])
+			}
+		}
+	}
+}
+
+// TestMessageBatchFailsClosed: a truncated or corrupted batch yields an
+// error and zero messages, never a partial prefix.
+func TestMessageBatchFailsClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	msgs := []*types.Message{randomMessage(rng), randomMessage(rng), randomMessage(rng)}
+	w := wire.NewWriter(0)
+	EncodeMessageBatch(w, msgs)
+	full := w.Bytes()
+
+	for cut := 0; cut < len(full); cut += 7 {
+		got, err := DecodeMessageBatch(full[:cut])
+		if err == nil {
+			t.Fatalf("cut %d: truncated batch decoded", cut)
+		}
+		if len(got) != 0 {
+			t.Fatalf("cut %d: truncated batch yielded %d messages", cut, len(got))
+		}
+	}
+	for i := 0; i < len(full); i += 5 {
+		corrupt := append([]byte(nil), full...)
+		corrupt[i] ^= 0x08
+		got, err := DecodeMessageBatch(corrupt)
+		if err == nil {
+			t.Fatalf("byte %d: corrupted batch decoded", i)
+		}
+		if len(got) != 0 {
+			t.Fatalf("byte %d: corrupted batch yielded %d messages", i, len(got))
+		}
+	}
+}

@@ -8,6 +8,19 @@ import (
 	"auragen/internal/wire"
 )
 
+// newPayloadWriter allocates a fresh Writer for the cold-path Encode()
+// methods below. Their product is a retained []byte (stored in
+// Message.Payload, saved queues, backup images), so it must NOT alias a
+// pooled buffer — returning one to the pool while the payload lives would
+// corrupt it. Hot paths defer encoding via types.PayloadEncoder instead and
+// let the transmit loop use wire.GetWriter/PutWriter. Keeping the one
+// sanctioned allocation in this funnel is what lets aurolint's AURO009 flag
+// any other wire.NewWriter in this package.
+func newPayloadWriter(capHint int) *wire.Writer {
+	//lint:ignore AURO009 cold-path payload encoding builds retained []byte values that must not alias pooled buffers
+	return wire.NewWriter(capHint)
+}
+
 // ChannelInfo describes one channel end in a sync message, birth notice, or
 // backup image: the fd binding, routing information (so the backup cluster
 // can create a missing entry), and the reads-since-sync count the backup
@@ -99,7 +112,17 @@ type SyncMsg struct {
 
 // Encode serializes the sync message.
 func (s *SyncMsg) Encode() []byte {
-	w := wire.NewWriter(256)
+	w := newPayloadWriter(256)
+	s.EncodePayload(w)
+	return w.Bytes()
+}
+
+// EncodePayload appends the sync message to w. SyncMsg implements
+// types.PayloadEncoder so the executive's transmit loop can serialize it
+// into a pooled buffer off the syncing process's critical path; every field
+// is exclusively owned by the message (or immutable, like Args) once the
+// sync is enqueued.
+func (s *SyncMsg) EncodePayload(w *wire.Writer) {
 	w.U64(uint64(s.PID))
 	w.U32(uint32(s.Epoch))
 	w.String(s.Program)
@@ -143,7 +166,6 @@ func (s *SyncMsg) Encode() []byte {
 		w.U64(uint64(ch))
 		w.U32(s.EstablishDupes[ch])
 	}
-	return w.Bytes()
 }
 
 // DecodeSyncMsg parses a sync message payload.
@@ -233,7 +255,7 @@ type BirthNotice struct {
 
 // Encode serializes the birth notice.
 func (bn *BirthNotice) Encode() []byte {
-	w := wire.NewWriter(128)
+	w := newPayloadWriter(128)
 	w.U64(uint64(bn.Parent))
 	w.U64(uint64(bn.Child))
 	w.String(bn.Program)
@@ -287,7 +309,7 @@ type OpenRequest struct {
 
 // Encode serializes the open request.
 func (o *OpenRequest) Encode() []byte {
-	w := wire.NewWriter(64)
+	w := newPayloadWriter(64)
 	w.U64(uint64(o.Opener))
 	w.String(o.Name)
 	w.I32(int32(o.OpenerCluster))
@@ -327,7 +349,7 @@ type OpenReply struct {
 
 // Encode serializes the open reply.
 func (o *OpenReply) Encode() []byte {
-	w := wire.NewWriter(64)
+	w := newPayloadWriter(64)
 	w.U64(uint64(o.Channel))
 	w.U64(uint64(o.Peer))
 	w.I32(int32(o.PeerCluster))
@@ -354,29 +376,57 @@ func DecodeOpenReply(b []byte) (*OpenReply, error) {
 	return o, nil
 }
 
-// PageOut is the payload of a KindPageOut message: one modified page on its
-// way to the page server during sync part one (§7.8).
+// PageOut is the payload of a KindPageOut message: the modified pages of
+// one sync on their way to the page server (sync part one, §7.8). A whole
+// dirty set travels as ONE bus transmission — the pages ride as checksummed
+// wire batch frames — so the bus ordering lock is taken once per sync, and
+// the page server applies the set atomically under one lock.
 type PageOut struct {
 	PID   types.PID
 	Epoch types.Epoch
 	// From is the cluster of the syncing primary; the page server uses it
 	// to decide which accounts to roll back after a crash.
 	From types.ClusterID
-	Page memory.Page
+	// Pages is the dirty set in ascending page order. With copy-on-write
+	// capture these slices alias frozen pages of the live address space;
+	// they are immutable, so deferring the encode to the transmit loop
+	// (via Message.Lazy) is race-free.
+	Pages []memory.Page
 }
 
-// Encode serializes the page-out.
-func (p *PageOut) Encode() []byte {
-	w := wire.NewWriter(32 + len(p.Page.Data))
+// EncodePayload appends the page-out to w: a fixed header followed by a
+// wire batch with one frame per page. PageOut implements
+// types.PayloadEncoder; syncs enqueue it lazily so serialization of the
+// page data happens on the transmit goroutine, off the syncing process's
+// critical path.
+func (p *PageOut) EncodePayload(w *wire.Writer) {
 	w.U64(uint64(p.PID))
 	w.U32(uint32(p.Epoch))
 	w.I32(int32(p.From))
-	w.U32(uint32(p.Page.No))
-	w.Bytes32(p.Page.Data)
+	bw := wire.NewBatchWriter(w)
+	for _, pg := range p.Pages {
+		bw.BeginFrame()
+		w.U32(uint32(pg.No))
+		w.Bytes32(pg.Data)
+		bw.EndFrame()
+	}
+	bw.Finish()
+}
+
+// Encode serializes the page-out (cold path; see EncodePayload).
+func (p *PageOut) Encode() []byte {
+	size := 32
+	for _, pg := range p.Pages {
+		size += 12 + len(pg.Data)
+	}
+	w := newPayloadWriter(size)
+	p.EncodePayload(w)
 	return w.Bytes()
 }
 
-// DecodePageOut parses a page-out payload.
+// DecodePageOut parses a page-out payload. It fails closed: a truncated or
+// corrupted page batch yields an error and no pages, never a partial
+// prefix.
 func DecodePageOut(b []byte) (*PageOut, error) {
 	r := wire.NewReader(b)
 	p := &PageOut{
@@ -384,9 +434,23 @@ func DecodePageOut(b []byte) (*PageOut, error) {
 		Epoch: types.Epoch(r.U32()),
 		From:  types.ClusterID(r.I32()),
 	}
-	p.Page.No = memory.PageNo(r.U32())
-	p.Page.Data = r.Bytes32()
-	if err := r.Done(); err != nil {
+	if r.Err() != nil {
+		return nil, fmt.Errorf("kernel: page-out: %w", r.Err())
+	}
+	br := wire.NewBatchReader(r.Rest())
+	for {
+		f, ok := br.Next()
+		if !ok {
+			break
+		}
+		fr := wire.NewReader(f)
+		pg := memory.Page{No: memory.PageNo(fr.U32()), Data: fr.Bytes32()}
+		if err := fr.Done(); err != nil {
+			return nil, fmt.Errorf("kernel: page-out frame: %w", err)
+		}
+		p.Pages = append(p.Pages, pg)
+	}
+	if err := br.Done(); err != nil {
 		return nil, fmt.Errorf("kernel: page-out: %w", err)
 	}
 	return p, nil
@@ -401,7 +465,7 @@ type PageRequest struct {
 
 // Encode serializes the page request.
 func (p *PageRequest) Encode() []byte {
-	w := wire.NewWriter(16)
+	w := newPayloadWriter(16)
 	w.U64(uint64(p.PID))
 	w.I32(int32(p.ReplyTo))
 	return w.Bytes()
@@ -433,7 +497,7 @@ func (p *PageReply) Encode() []byte {
 	for _, pg := range p.Pages {
 		size += 8 + len(pg.Data)
 	}
-	w := wire.NewWriter(size)
+	w := newPayloadWriter(size)
 	w.U64(uint64(p.PID))
 	w.U32(uint32(len(p.Pages)))
 	for _, pg := range p.Pages {
@@ -475,7 +539,7 @@ type ExitNotice struct {
 
 // Encode serializes the exit notice.
 func (e *ExitNotice) Encode() []byte {
-	w := wire.NewWriter(32)
+	w := newPayloadWriter(32)
 	w.U64(uint64(e.PID))
 	w.U64(uint64(e.Parent))
 	w.Bool(e.NeverSynced)
@@ -516,7 +580,7 @@ type CrashNotice struct {
 
 // Encode serializes the crash notice.
 func (c *CrashNotice) Encode() []byte {
-	w := wire.NewWriter(16)
+	w := newPayloadWriter(16)
 	w.I32(int32(c.Crashed))
 	w.U64(uint64(c.PID))
 	return w.Bytes()
@@ -548,7 +612,7 @@ type BackupUp struct {
 
 // Encode serializes the backup-up notice.
 func (b *BackupUp) Encode() []byte {
-	w := wire.NewWriter(24)
+	w := newPayloadWriter(24)
 	w.U64(uint64(b.PID))
 	w.I32(int32(b.BackupCluster))
 	w.I32(int32(b.Origin))
@@ -580,7 +644,7 @@ type BackupAck struct {
 
 // Encode serializes the backup ack.
 func (b *BackupAck) Encode() []byte {
-	w := wire.NewWriter(16)
+	w := newPayloadWriter(16)
 	w.U64(uint64(b.PID))
 	w.I32(int32(b.From))
 	return w.Bytes()
@@ -627,7 +691,7 @@ type BackupImage struct {
 
 // Encode serializes the backup image.
 func (bi *BackupImage) Encode() []byte {
-	w := wire.NewWriter(512)
+	w := newPayloadWriter(512)
 	w.Bytes32(bi.Sync.Encode())
 	w.U32(uint32(len(bi.Queues)))
 	for _, sm := range bi.Queues {
@@ -717,7 +781,7 @@ type ServerSyncMsg struct {
 
 // Encode serializes the server sync.
 func (s *ServerSyncMsg) Encode() []byte {
-	w := wire.NewWriter(64 + len(s.Blob))
+	w := newPayloadWriter(64 + len(s.Blob))
 	w.U64(uint64(s.PID))
 	w.Bytes32(s.Blob)
 	w.U32(uint32(len(s.Discards)))

@@ -105,11 +105,22 @@ func TestOpenRequestReplyRoundTrip(t *testing.T) {
 }
 
 func TestPagePayloadsRoundTrip(t *testing.T) {
-	po := &PageOut{PID: 7, Epoch: 3, From: 2, Page: memory.Page{No: 9, Data: []byte{1, 2, 3}}}
+	po := &PageOut{PID: 7, Epoch: 3, From: 2, Pages: []memory.Page{
+		{No: 9, Data: []byte{1, 2, 3}},
+		{No: 12, Data: []byte{4, 5}},
+	}}
 	gotPO, err := DecodePageOut(po.Encode())
 	if err != nil || gotPO.PID != 7 || gotPO.Epoch != 3 || gotPO.From != 2 ||
-		gotPO.Page.No != 9 || !bytes.Equal(gotPO.Page.Data, []byte{1, 2, 3}) {
+		len(gotPO.Pages) != 2 ||
+		gotPO.Pages[0].No != 9 || !bytes.Equal(gotPO.Pages[0].Data, []byte{1, 2, 3}) ||
+		gotPO.Pages[1].No != 12 || !bytes.Equal(gotPO.Pages[1].Data, []byte{4, 5}) {
 		t.Fatalf("page-out: %v %+v", err, gotPO)
+	}
+	// Corrupting the page batch fails closed: no partial page set.
+	enc := po.Encode()
+	enc[len(enc)-3] ^= 0x10
+	if bad, err := DecodePageOut(enc); err == nil {
+		t.Fatalf("corrupted page-out decoded: %+v", bad)
 	}
 	pr := &PageRequest{PID: 7, ReplyTo: 1}
 	gotPR, err := DecodePageRequest(pr.Encode())

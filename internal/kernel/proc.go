@@ -539,7 +539,7 @@ const (
 
 // EncodeProcRequest builds a process-server request.
 func EncodeProcRequest(op uint8, arg uint64) []byte {
-	w := wire.NewWriter(9)
+	w := newPayloadWriter(9)
 	w.U8(op)
 	w.U64(arg)
 	return w.Bytes()
@@ -555,7 +555,7 @@ func DecodeProcRequest(b []byte) (op uint8, arg uint64, err error) {
 
 // EncodeProcReply builds a process-server reply.
 func EncodeProcReply(op uint8, val uint64) []byte {
-	w := wire.NewWriter(9)
+	w := newPayloadWriter(9)
 	w.U8(op)
 	w.U64(val)
 	return w.Bytes()

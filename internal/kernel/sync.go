@@ -76,27 +76,35 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 	zeroReads := p.establishSyncPending
 	p.establishSyncPending = false
 
-	// Part 1b: ship dirty pages to the page server (primary account). In
-	// the baseline mode the entire resident data space goes instead,
-	// reproducing the §2 strawman's cost profile.
+	// Part 1b: ship the pages modified since the last sync to the page
+	// server (primary account) as ONE PageOut message. The dirty set is
+	// captured copy-on-write — the PageOut aliases frozen pages, the
+	// primary resumes immediately, and only pages it rewrites while the
+	// sync streams out pay a copy. Serialization is deferred (Message.Lazy)
+	// to the transmit loop, which encodes into a pooled wire buffer off
+	// this process's critical path. In the baseline mode the entire
+	// resident data space goes instead, copied eagerly, reproducing the §2
+	// strawman's cost profile.
 	var pages []memory.Page
 	if p.fullCheckpoint {
 		pages = p.space.SnapshotAll()
 		p.space.ClearDirty()
 	} else {
-		pages = p.space.TakeDirty()
+		pages = p.space.CaptureDirty()
 	}
-	for _, pg := range pages {
-		po := &PageOut{PID: p.pid, Epoch: epoch, From: k.id, Page: pg}
+	if len(pages) > 0 {
+		po := &PageOut{PID: p.pid, Epoch: epoch, From: k.id, Pages: pages}
 		k.sendLocked(&types.Message{
-			Kind:    types.KindPageOut,
-			Src:     p.pid,
-			Dst:     directory.PIDPageServer,
-			Route:   types.Route{Dst: pagerLoc.Primary, DstBackup: pagerLoc.Backup, SrcBackup: types.NoCluster},
-			Payload: po.Encode(),
+			Kind:  types.KindPageOut,
+			Src:   p.pid,
+			Dst:   directory.PIDPageServer,
+			Route: types.Route{Dst: pagerLoc.Primary, DstBackup: pagerLoc.Backup, SrcBackup: types.NoCluster},
+			Lazy:  po,
 		})
-		k.metrics.PagesOut.Add(1)
-		k.metrics.PageBytes.Add(uint64(len(pg.Data)))
+		k.metrics.PagesOut.Add(uint64(len(pages)))
+		for _, pg := range pages {
+			k.metrics.PageBytes.Add(uint64(len(pg.Data)))
+		}
 	}
 
 	// Part 2: construct and send the sync message.
@@ -168,12 +176,16 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 	// Events captured by this sync need no log entry anymore.
 	p.nondetPending = nil
 
+	// The sync message is also encoded lazily: every SyncMsg field is
+	// exclusively owned by the message (the delta slices were detached from
+	// the PCB below; Args/Regs are immutable once marshaled), so the
+	// transmit loop can serialize it into a pooled buffer.
 	k.sendLocked(&types.Message{
-		Kind:    types.KindSync,
-		Src:     p.pid,
-		Dst:     p.pid,
-		Route:   types.Route{Dst: backup, DstBackup: pagerLoc.Primary, SrcBackup: pagerLoc.Backup},
-		Payload: sm.Encode(),
+		Kind:  types.KindSync,
+		Src:   p.pid,
+		Dst:   p.pid,
+		Route: types.Route{Dst: backup, DstBackup: pagerLoc.Primary, SrcBackup: pagerLoc.Backup},
+		Lazy:  sm,
 	})
 
 	p.epoch = epoch

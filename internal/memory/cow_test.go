@@ -1,0 +1,176 @@
+package memory
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCaptureDirtyImmutableUnderWrites: pages captured by CaptureDirty keep
+// their contents even when the primary rewrites them while the capture is
+// outstanding (copy-on-write), so a sync can stream them out while the
+// process keeps executing.
+func TestCaptureDirtyImmutableUnderWrites(t *testing.T) {
+	a := NewAddressSpace(64)
+	a.WriteAt(0, bytes.Repeat([]byte{0xAA}, 64))
+	a.WriteAt(64, bytes.Repeat([]byte{0xBB}, 64))
+
+	cap1 := a.CaptureDirty()
+	if len(cap1) != 2 {
+		t.Fatalf("captured %d pages, want 2", len(cap1))
+	}
+	if a.DirtyCount() != 0 {
+		t.Fatalf("dirty count %d after capture, want 0", a.DirtyCount())
+	}
+	if a.FrozenCount() != 2 {
+		t.Fatalf("frozen count %d after capture, want 2", a.FrozenCount())
+	}
+
+	// Primary keeps executing: rewrite page 0, leave page 1 untouched.
+	a.WriteAt(0, bytes.Repeat([]byte{0xCC}, 64))
+
+	for _, b := range cap1[0].Data {
+		if b != 0xAA {
+			t.Fatalf("captured page 0 mutated: %#x", b)
+		}
+	}
+	if a.FrozenCount() != 1 {
+		t.Fatalf("frozen count %d after COW write, want 1", a.FrozenCount())
+	}
+
+	// The space itself sees the new contents.
+	got := make([]byte, 64)
+	a.ReadAt(0, got)
+	for _, b := range got {
+		if b != 0xCC {
+			t.Fatalf("space page 0 = %#x, want 0xCC", b)
+		}
+	}
+
+	// The rewritten page is dirty again and the next capture ships it.
+	cap2 := a.CaptureDirty()
+	if len(cap2) != 1 || cap2[0].No != 0 {
+		t.Fatalf("second capture = %v, want page 0 only", cap2)
+	}
+	for _, b := range cap2[0].Data {
+		if b != 0xCC {
+			t.Fatalf("second capture page 0 = %#x, want 0xCC", b)
+		}
+	}
+}
+
+// TestCaptureDirtyIdenticalRewriteIsFree: rewriting identical bytes to a
+// frozen page neither copies nor re-dirties it (the MMU-dirty-bit analogy
+// holds through COW).
+func TestCaptureDirtyIdenticalRewriteIsFree(t *testing.T) {
+	a := NewAddressSpace(64)
+	data := bytes.Repeat([]byte{7}, 64)
+	a.WriteAt(0, data)
+	_ = a.CaptureDirty()
+	a.WriteAt(0, data)
+	if a.FrozenCount() != 1 {
+		t.Fatalf("identical rewrite thawed the page (frozen=%d)", a.FrozenCount())
+	}
+	if a.DirtyCount() != 0 {
+		t.Fatalf("identical rewrite dirtied the page")
+	}
+}
+
+// TestCaptureDirtyConcurrentReaders: a goroutine reading captured pages
+// races writes to the same pages; with COW this is race-free (run under
+// -race) and the reader observes the capture-time contents.
+func TestCaptureDirtyConcurrentReaders(t *testing.T) {
+	a := NewAddressSpace(128)
+	for p := int64(0); p < 8; p++ {
+		a.WriteAt(p*128, bytes.Repeat([]byte{byte(p + 1)}, 128))
+	}
+	captured := a.CaptureDirty()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan string, 1)
+	go func() { // the "transmit loop" reading the capture
+		defer wg.Done()
+		for iter := 0; iter < 100; iter++ {
+			for _, pg := range captured {
+				want := byte(pg.No + 1)
+				for _, b := range pg.Data {
+					if b != want {
+						select {
+						case errs <- "captured page mutated during concurrent writes":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}
+	}()
+	go func() { // the primary, still executing
+		defer wg.Done()
+		for iter := 0; iter < 100; iter++ {
+			for p := int64(0); p < 8; p++ {
+				a.WriteAt(p*128, bytes.Repeat([]byte{byte(iter + 100)}, 128))
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestInstallThaws: restoring a page account over frozen pages must not
+// leave stale frozen marks (Install allocates private copies).
+func TestInstallThaws(t *testing.T) {
+	a := NewAddressSpace(32)
+	a.WriteAt(0, bytes.Repeat([]byte{1}, 32))
+	captured := a.CaptureDirty()
+	a.Install([]Page{{No: 0, Data: bytes.Repeat([]byte{2}, 32)}})
+	if a.FrozenCount() != 0 {
+		t.Fatalf("Install left %d frozen marks", a.FrozenCount())
+	}
+	for _, b := range captured[0].Data {
+		if b != 1 {
+			t.Fatalf("Install mutated a captured page")
+		}
+	}
+}
+
+// TestResetClearsFrozen: Reset drops frozen marks with everything else.
+func TestResetClearsFrozen(t *testing.T) {
+	a := NewAddressSpace(32)
+	a.WriteAt(0, bytes.Repeat([]byte{1}, 32))
+	_ = a.CaptureDirty()
+	a.Reset()
+	if a.FrozenCount() != 0 {
+		t.Fatalf("Reset left %d frozen marks", a.FrozenCount())
+	}
+}
+
+// BenchmarkCaptureDirty freezes pages instead of copying them (compare
+// BenchmarkTakeDirty in bench_test.go, the stop-the-world baseline): the
+// capture itself is O(dirty) map work with zero page copies.
+func BenchmarkCaptureDirty(b *testing.B) {
+	for _, pages := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("pages=%d", pages), func(b *testing.B) {
+			a := NewAddressSpace(1024)
+			stamp := make([]byte, 8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(stamp, uint64(i)+1)
+				for p := 0; p < pages; p++ {
+					a.WriteAt(int64(p)*1024, stamp)
+				}
+				if got := a.CaptureDirty(); len(got) != pages {
+					b.Fatalf("dirty = %d", len(got))
+				}
+			}
+		})
+	}
+}

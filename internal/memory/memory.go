@@ -40,6 +40,10 @@ type AddressSpace struct {
 	mu    sync.Mutex
 	pages map[PageNo][]byte
 	dirty map[PageNo]struct{}
+	// frozen marks pages whose backing slices are aliased by an outstanding
+	// CaptureDirty: the next write copies the page first (copy-on-write),
+	// so the captured slices stay immutable while the sync streams out.
+	frozen map[PageNo]struct{}
 	// ever counts pages ever touched; used for accounting.
 	high PageNo
 }
@@ -54,6 +58,7 @@ func NewAddressSpace(pageSize int) *AddressSpace {
 		pageSize: pageSize,
 		pages:    make(map[PageNo][]byte),
 		dirty:    make(map[PageNo]struct{}),
+		frozen:   make(map[PageNo]struct{}),
 	}
 }
 
@@ -158,6 +163,7 @@ func (a *AddressSpace) WriteAt(off int64, data []byte) {
 			}
 		}
 		if changed {
+			p = a.thawLocked(n, p)
 			copy(p[po:po+span], data[:span])
 			a.dirty[n] = struct{}{}
 		}
@@ -167,12 +173,66 @@ func (a *AddressSpace) WriteAt(off int64, data []byte) {
 }
 
 // Touch marks page n dirty without changing contents. Used by guests that
-// mutate a page through an aliased view.
+// mutate a page through an aliased view. Note the caveat with CaptureDirty:
+// a guest holding an aliased view mutates the captured slice directly,
+// defeating copy-on-write; Touch thaws the page so at least future aliases
+// obtained after the Touch observe a private copy.
 func (a *AddressSpace) Touch(n PageNo) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.page(n)
+	p := a.page(n)
+	a.thawLocked(n, p)
 	a.dirty[n] = struct{}{}
+}
+
+// thawLocked gives page n a private backing slice if it is frozen by an
+// outstanding CaptureDirty, returning the writable slice. Caller holds
+// a.mu and must use the returned slice for the write.
+func (a *AddressSpace) thawLocked(n PageNo, p []byte) []byte {
+	if _, ok := a.frozen[n]; !ok {
+		return p
+	}
+	clone := make([]byte, a.pageSize)
+	copy(clone, p)
+	a.pages[n] = clone
+	delete(a.frozen, n)
+	return clone
+}
+
+// CaptureDirty returns the dirty pages in ascending page order WITHOUT
+// copying them — the returned Page.Data slices alias the address space —
+// and clears the dirty set. The aliased pages are frozen: the next write to
+// any of them copies the page first (copy-on-write), so the returned slices
+// are immutable from the caller's point of view and may be read from
+// another goroutine (the transmit loop encoding a sync) without
+// synchronization. The primary keeps executing; only pages it actually
+// rewrites while the capture is in flight pay a copy.
+func (a *AddressSpace) CaptureDirty() []Page {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.dirty) == 0 {
+		return nil
+	}
+	nos := make([]PageNo, 0, len(a.dirty))
+	for n := range a.dirty {
+		nos = append(nos, n)
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	out := make([]Page, 0, len(nos))
+	for _, n := range nos {
+		a.frozen[n] = struct{}{}
+		out = append(out, Page{No: n, Data: a.pages[n]})
+	}
+	a.dirty = make(map[PageNo]struct{})
+	return out
+}
+
+// FrozenCount returns the number of pages currently frozen by an
+// outstanding CaptureDirty (tests).
+func (a *AddressSpace) FrozenCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.frozen)
 }
 
 // DirtyCount returns the number of pages currently marked dirty.
@@ -259,6 +319,7 @@ func (a *AddressSpace) Install(pages []Page) {
 		d := make([]byte, a.pageSize)
 		copy(d, pg.Data)
 		a.pages[pg.No] = d
+		delete(a.frozen, pg.No) // the fresh copy is private
 		if pg.No+1 > a.high {
 			a.high = pg.No + 1
 		}
@@ -279,6 +340,7 @@ func (a *AddressSpace) Reset() {
 	defer a.mu.Unlock()
 	a.pages = make(map[PageNo][]byte)
 	a.dirty = make(map[PageNo]struct{})
+	a.frozen = make(map[PageNo]struct{})
 	a.high = 0
 }
 

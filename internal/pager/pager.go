@@ -78,29 +78,34 @@ func (s *Server) decRef(b disk.BlockID) {
 	}
 }
 
-// HandlePageOut adds one modified page to the primary's account ("The page
-// server sees no difference between these pages and any other it receives.
-// It simply adds them to the primary's page account", §7.8).
+// HandlePageOut adds the modified pages of one sync to the primary's
+// account ("The page server sees no difference between these pages and any
+// other it receives. It simply adds them to the primary's page account",
+// §7.8). The whole set is applied under one lock acquisition: the account
+// moves atomically from its pre-sync to its post-sync page set.
 func (s *Server) HandlePageOut(po *kernel.PageOut) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id, err := s.disk.Alloc(s.cluster)
-	if err != nil {
-		return
+	for i := range po.Pages {
+		pg := &po.Pages[i]
+		id, err := s.disk.Alloc(s.cluster)
+		if err != nil {
+			return
+		}
+		if err := s.disk.Write(s.cluster, id, pg.Data); err != nil {
+			return
+		}
+		acct := s.primary[po.PID]
+		if acct == nil {
+			acct = make(account)
+			s.primary[po.PID] = acct
+		}
+		if old, ok := acct[pg.No]; ok {
+			s.decRef(old)
+		}
+		acct[pg.No] = id
+		s.incRef(id)
 	}
-	if err := s.disk.Write(s.cluster, id, po.Page.Data); err != nil {
-		return
-	}
-	acct := s.primary[po.PID]
-	if acct == nil {
-		acct = make(account)
-		s.primary[po.PID] = acct
-	}
-	if old, ok := acct[po.Page.No]; ok {
-		s.decRef(old)
-	}
-	acct[po.Page.No] = id
-	s.incRef(id)
 	s.primaryCluster[po.PID] = po.From
 }
 

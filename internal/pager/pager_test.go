@@ -22,8 +22,8 @@ func page(no memory.PageNo, fill byte) memory.Page {
 	return memory.Page{No: no, Data: d}
 }
 
-func out(pid types.PID, epoch types.Epoch, pg memory.Page) *kernel.PageOut {
-	return &kernel.PageOut{PID: pid, Epoch: epoch, From: 2, Page: pg}
+func out(pid types.PID, epoch types.Epoch, pgs ...memory.Page) *kernel.PageOut {
+	return &kernel.PageOut{PID: pid, Epoch: epoch, From: 2, Pages: pgs}
 }
 
 func TestPageOutThenCommitVisibleToBackupAccount(t *testing.T) {

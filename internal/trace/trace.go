@@ -38,6 +38,18 @@ type Metrics struct {
 	BusDeliveries atomic.Uint64
 	// BusBytes counts payload bytes transmitted (once per multicast).
 	BusBytes atomic.Uint64
+	// BusBatches counts batched bus acquisitions (BroadcastBatch calls):
+	// the ordering critical section is taken once per batch, however many
+	// messages ride it.
+	BusBatches atomic.Uint64
+	// BusBatchedMessages counts messages transmitted via BroadcastBatch;
+	// BusBatchedMessages/BusBatches is the achieved mean batch size.
+	BusBatchedMessages atomic.Uint64
+	// InboxPeak is the high-watermark queue depth observed across every
+	// cluster inbox. Inboxes are unbounded (pushes inside the bus critical
+	// section must not block), so this gauge is the backpressure signal:
+	// a consumer falling behind shows up here long before memory does.
+	InboxPeak atomic.Uint64
 
 	// PrimaryDeliveries counts messages enqueued for primary destinations.
 	PrimaryDeliveries atomic.Uint64
@@ -101,6 +113,17 @@ func (m *Metrics) AddRecovery(d time.Duration) {
 	m.RecoveryNanos.Add(int64(d))
 }
 
+// MaxInboxPeak raises the InboxPeak watermark to n if n exceeds it
+// (lock-free monotone max).
+func (m *Metrics) MaxInboxPeak(n uint64) {
+	for {
+		cur := m.InboxPeak.Load()
+		if n <= cur || m.InboxPeak.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Snapshot is a point-in-time copy of every counter, keyed by name.
 type Snapshot map[string]uint64
 
@@ -110,6 +133,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		"bus_transmissions":    m.BusTransmissions.Load(),
 		"bus_deliveries":       m.BusDeliveries.Load(),
 		"bus_bytes":            m.BusBytes.Load(),
+		"bus_batches":          m.BusBatches.Load(),
+		"bus_batched_messages": m.BusBatchedMessages.Load(),
+		"inbox_peak":           m.InboxPeak.Load(),
 		"primary_deliveries":   m.PrimaryDeliveries.Load(),
 		"backup_saves":         m.BackupSaves.Load(),
 		"sender_backup_counts": m.SenderBackupCounts.Load(),

@@ -1,6 +1,10 @@
 package types
 
-import "fmt"
+import (
+	"fmt"
+
+	"auragen/internal/wire"
+)
 
 // Kind discriminates message types carried over the intercluster bus.
 //
@@ -150,22 +154,29 @@ type Route struct {
 
 // Targets returns the distinct live destination clusters in a fixed order.
 func (r Route) Targets() []ClusterID {
-	out := make([]ClusterID, 0, 3)
-	add := func(c ClusterID) {
+	return r.AppendTargets(make([]ClusterID, 0, 3))
+}
+
+// AppendTargets appends the distinct delivery targets to dst and returns
+// the result — the allocation-free form of Targets for hot paths, which
+// pass a stack-backed buffer.
+func (r Route) AppendTargets(dst []ClusterID) []ClusterID {
+	for _, c := range [3]ClusterID{r.Dst, r.DstBackup, r.SrcBackup} {
 		if c == NoCluster {
-			return
+			continue
 		}
-		for _, seen := range out {
+		dup := false
+		for _, seen := range dst {
 			if seen == c {
-				return
+				dup = true
+				break
 			}
 		}
-		out = append(out, c)
+		if !dup {
+			dst = append(dst, c)
+		}
 	}
-	add(r.Dst)
-	add(r.DstBackup)
-	add(r.SrcBackup)
-	return out
+	return dst
 }
 
 // Message is the unit of interprocess and kernel-to-kernel communication.
@@ -202,6 +213,22 @@ type Message struct {
 	// sender's backup logs them for deterministic re-creation during
 	// roll-forward.
 	Nondet []uint64
+	// Lazy, when non-nil, supplies Payload at transmit time: the sending
+	// executive's transmit loop encodes it into a pooled wire buffer just
+	// before offering the message to the bus, then clears it. It lets a
+	// syncing primary enqueue captured state by reference and resume
+	// immediately; the serialization cost moves off the process's critical
+	// path. The encoder must be safe to run on the transmit goroutine
+	// (exclusively owned or immutable data). A message must never reach
+	// the bus with Lazy still set.
+	Lazy PayloadEncoder
+}
+
+// PayloadEncoder is implemented by structured payloads whose serialization
+// is deferred to transmit time (see Message.Lazy).
+type PayloadEncoder interface {
+	// EncodePayload appends the payload bytes to w.
+	EncodePayload(w *wire.Writer)
 }
 
 // Clone returns a deep copy of m. The bus hands independent copies to each

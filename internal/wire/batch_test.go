@@ -1,0 +1,185 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomFrames generates a deterministic pseudo-random frame sequence,
+// including empty frames and nil.
+func randomFrames(rng *rand.Rand) [][]byte {
+	n := rng.Intn(20)
+	frames := make([][]byte, n)
+	for i := range frames {
+		switch rng.Intn(4) {
+		case 0:
+			frames[i] = nil
+		default:
+			f := make([]byte, rng.Intn(300))
+			rng.Read(f)
+			frames[i] = f
+		}
+	}
+	return frames
+}
+
+// encodeFrames builds a batch from frames, alternating between the whole-
+// record and streamed framing APIs.
+func encodeFrames(w *Writer, frames [][]byte) {
+	bw := NewBatchWriter(w)
+	for i, f := range frames {
+		if i%2 == 0 {
+			bw.Frame(f)
+		} else {
+			bw.BeginFrame()
+			w.buf = append(w.buf, f...)
+			bw.EndFrame()
+		}
+	}
+	bw.Finish()
+}
+
+func decodeFrames(t *testing.T, b []byte) [][]byte {
+	t.Helper()
+	br := NewBatchReader(b)
+	var out [][]byte
+	for {
+		f, ok := br.Next()
+		if !ok {
+			break
+		}
+		out = append(out, f)
+	}
+	if err := br.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	return out
+}
+
+// TestBatchRoundTripProperty: for seeded-random frame sequences,
+// encode-batch → decode-batch is the identity.
+func TestBatchRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		frames := randomFrames(rng)
+		w := NewWriter(0)
+		encodeFrames(w, frames)
+		got := decodeFrames(t, w.Bytes())
+		if len(got) != len(frames) {
+			t.Fatalf("seed %d: %d frames round-tripped to %d", seed, len(frames), len(got))
+		}
+		for i := range frames {
+			if !bytes.Equal(got[i], frames[i]) {
+				t.Fatalf("seed %d: frame %d mismatch: %x != %x", seed, i, got[i], frames[i])
+			}
+		}
+	}
+}
+
+// TestBatchEmbeddedAfterHeader checks that a batch framed after leading
+// fields (the PageOut layout) round-trips via Reader.Rest.
+func TestBatchEmbeddedAfterHeader(t *testing.T) {
+	w := NewWriter(0)
+	w.U64(7)
+	w.U32(3)
+	bw := NewBatchWriter(w)
+	bw.Frame([]byte("alpha"))
+	bw.Frame([]byte("beta"))
+	bw.Finish()
+
+	r := NewReader(w.Bytes())
+	if got := r.U64(); got != 7 {
+		t.Fatalf("header u64 = %d", got)
+	}
+	if got := r.U32(); got != 3 {
+		t.Fatalf("header u32 = %d", got)
+	}
+	br := NewBatchReader(r.Rest())
+	f1, ok1 := br.Next()
+	f2, ok2 := br.Next()
+	if !ok1 || !ok2 || string(f1) != "alpha" || string(f2) != "beta" {
+		t.Fatalf("embedded frames = %q %q (%v %v)", f1, f2, ok1, ok2)
+	}
+	if err := br.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+// TestBatchTruncationFailsClosed: every proper prefix of an encoded batch
+// yields zero frames and a latched Reader error — never a partial prefix
+// of messages.
+func TestBatchTruncationFailsClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	frames := [][]byte{[]byte("one"), []byte("two"), make([]byte, 100)}
+	rng.Read(frames[2])
+	w := NewWriter(0)
+	encodeFrames(w, frames)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		br := NewBatchReader(full[:cut])
+		if f, ok := br.Next(); ok {
+			t.Fatalf("cut %d: truncated batch yielded a frame (%d bytes)", cut, len(f))
+		}
+		if br.Err() == nil {
+			t.Fatalf("cut %d: truncated batch has nil Err", cut)
+		}
+		if br.Done() == nil {
+			t.Fatalf("cut %d: truncated batch passed Done", cut)
+		}
+	}
+}
+
+// TestBatchCorruptionFailsClosed: flipping any single byte of the batch is
+// caught by the checksum (or magic) before a frame is handed out.
+func TestBatchCorruptionFailsClosed(t *testing.T) {
+	w := NewWriter(0)
+	bw := NewBatchWriter(w)
+	bw.Frame([]byte("payload-one"))
+	bw.Frame([]byte("payload-two"))
+	bw.Finish()
+	full := w.Bytes()
+	for i := 0; i < len(full); i++ {
+		corrupt := append([]byte(nil), full...)
+		corrupt[i] ^= 0x40
+		br := NewBatchReader(corrupt)
+		if _, ok := br.Next(); ok {
+			t.Fatalf("byte %d: corrupted batch yielded a frame", i)
+		}
+		if br.Err() == nil {
+			t.Fatalf("byte %d: corrupted batch has nil Err", i)
+		}
+	}
+}
+
+// TestBatchEmpty: a zero-frame batch is valid and distinguishable from a
+// failed one.
+func TestBatchEmpty(t *testing.T) {
+	w := NewWriter(0)
+	NewBatchWriter(w).Finish()
+	br := NewBatchReader(w.Bytes())
+	if br.Len() != 0 {
+		t.Fatalf("Len = %d", br.Len())
+	}
+	if _, ok := br.Next(); ok {
+		t.Fatal("empty batch yielded a frame")
+	}
+	if err := br.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+// TestBatchUnconsumedFramesRejected: Done refuses a partially drained
+// batch, the analogue of Reader.Done's trailing-bytes check.
+func TestBatchUnconsumedFramesRejected(t *testing.T) {
+	w := NewWriter(0)
+	bw := NewBatchWriter(w)
+	bw.Frame([]byte("a"))
+	bw.Frame([]byte("b"))
+	bw.Finish()
+	br := NewBatchReader(w.Bytes())
+	br.Next()
+	if err := br.Done(); err == nil {
+		t.Fatal("Done accepted a half-consumed batch")
+	}
+}

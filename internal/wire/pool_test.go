@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPooledEncodeZeroAllocs pins the point of the pool: a get → encode →
+// release cycle on the hot path performs no allocations.
+func TestPooledEncodeZeroAllocs(t *testing.T) {
+	payload := make([]byte, 256)
+	// Warm the pool so the measured runs only recycle.
+	PutWriter(GetWriter())
+	n := testing.AllocsPerRun(1000, func() {
+		w := GetWriter()
+		w.U64(42)
+		w.U32(7)
+		w.Bytes32(payload)
+		_ = w.Bytes()
+		PutWriter(w)
+	})
+	if n != 0 {
+		t.Fatalf("pooled encode path allocates %.1f times per op, want 0", n)
+	}
+}
+
+// TestPoolRecyclesResetWriters: a recycled Writer starts empty and does
+// not leak the previous payload.
+func TestPoolRecyclesResetWriters(t *testing.T) {
+	w := GetWriter()
+	w.U64(0xdeadbeef)
+	PutWriter(w)
+	w2 := GetWriter()
+	if w2.Len() != 0 {
+		t.Fatalf("recycled writer has %d residual bytes", w2.Len())
+	}
+	PutWriter(w2)
+}
+
+// TestPoolDropsOversizedBuffers: a buffer grown past maxPooledCap is not
+// retained, so a one-off burst cannot pin its high-water mark.
+func TestPoolDropsOversizedBuffers(t *testing.T) {
+	w := NewWriter(maxPooledCap * 2)
+	PutWriter(w)
+	got := GetWriter()
+	if got == w {
+		t.Fatal("pool retained an oversized buffer")
+	}
+	PutWriter(got)
+	PutWriter(nil) // must not panic
+}
+
+// TestPoolConcurrentUse exercises the pool under the race detector.
+func TestPoolConcurrentUse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w := GetWriter()
+				w.U64(uint64(g))
+				w.String("concurrent")
+				_ = w.Bytes()
+				PutWriter(w)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkEncodeFresh is the unpooled baseline: one allocation per
+// payload.
+func BenchmarkEncodeFresh(b *testing.B) {
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(96)
+		w.U64(uint64(i))
+		w.Bytes32(payload)
+		_ = w.Bytes()
+	}
+}
+
+// BenchmarkEncodePooled is the pooled hot path; allocs/op must be 0 (also
+// asserted by TestPooledEncodeZeroAllocs).
+func BenchmarkEncodePooled(b *testing.B) {
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := GetWriter()
+		w.U64(uint64(i))
+		w.Bytes32(payload)
+		_ = w.Bytes()
+		PutWriter(w)
+	}
+}
+
+// BenchmarkBatchEncode frames 64 records per batch through a pooled
+// writer.
+func BenchmarkBatchEncode(b *testing.B) {
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := GetWriter()
+		bw := NewBatchWriter(w)
+		for j := 0; j < 64; j++ {
+			bw.Frame(payload)
+		}
+		bw.Finish()
+		_ = w.Bytes()
+		PutWriter(w)
+	}
+}
+
+// BenchmarkBatchDecode iterates the frames of a 64-record batch.
+func BenchmarkBatchDecode(b *testing.B) {
+	payload := make([]byte, 64)
+	w := NewWriter(0)
+	bw := NewBatchWriter(w)
+	for j := 0; j < 64; j++ {
+		bw.Frame(payload)
+	}
+	bw.Finish()
+	buf := w.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		br := NewBatchReader(buf)
+		for {
+			if _, ok := br.Next(); !ok {
+				break
+			}
+		}
+		if err := br.Done(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

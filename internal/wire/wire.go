@@ -42,6 +42,17 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // Len returns the number of bytes encoded so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
+// Reset truncates the Writer to length zero, retaining the allocated
+// buffer for reuse. Previously returned Bytes() slices are invalidated.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// SetU32 overwrites a previously written little-endian uint32 at byte
+// offset off. Batch framing uses it to patch length and count
+// placeholders; off must point at bytes already written.
+func (w *Writer) SetU32(off int, v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[off:off+4], v)
+}
+
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
 
@@ -199,6 +210,11 @@ func (r *Reader) Bytes32() []byte {
 	copy(out, b)
 	return out
 }
+
+// Rest consumes and returns every remaining byte. The result aliases the
+// input buffer. Decoders whose payload ends in an embedded batch use it to
+// hand the tail to a BatchReader.
+func (r *Reader) Rest() []byte { return r.take(r.Remaining()) }
 
 // String consumes a length-prefixed string.
 func (r *Reader) String() string {
