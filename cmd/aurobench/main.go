@@ -1,5 +1,5 @@
 // aurobench regenerates the experiment tables of EXPERIMENTS.md: one table
-// per experiment id (E1–E11), each row produced by the same harness
+// per experiment id (E1–E15), each row produced by the same harness
 // functions the Go benchmarks drive.
 //
 // Usage:
@@ -8,6 +8,11 @@
 //	aurobench -e E2,E5   # run a subset
 //	aurobench -quick     # smaller parameter points (CI-sized)
 //	aurobench -json      # also write BENCH_baseline.json (see -o)
+//
+// The stress experiments' recorded run (work throughput vs fault rate,
+// soak stability) lives in its own file:
+//
+//	aurobench -e E14,E15 -json -o BENCH_stress.json
 //
 // With -json, the run is additionally recorded as machine-readable data:
 // one entry per experiment, each row carrying the rendered fields, the
@@ -229,6 +234,23 @@ func main() {
 				}
 				emit(b64, nil)
 			}
+		}
+	}
+
+	if sel("E14") {
+		table("E14", "work throughput vs fault rate: teller rounds with periodic crash+repair cycles")
+		rounds := scale(12, 6)
+		for _, every := range []int{0, 4, 2, 1} {
+			row, err := harness.E14WorkThroughputUnderFaults(rounds, scale(40, 20), every)
+			failed = emit(row, err) || failed
+		}
+	}
+
+	if sel("E15") {
+		table("E15", "long-soak stability: fault→repair→fault cycles under the schedule perturber")
+		for _, jitter := range []uint64{0, 0xD1CE} {
+			row, err := harness.E15SoakThroughput(scale(25, 6), jitter)
+			failed = emit(row, err) || failed
 		}
 	}
 

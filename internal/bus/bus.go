@@ -498,6 +498,18 @@ type Inbox struct {
 	limit  int // 0: unbounded
 	peak   int
 	closed bool
+	// borrowed is the size of the batch most recently handed out by PopAll
+	// and not yet returned — the consumer signals it is done by coming back
+	// for more (PopAll's contract already requires that). Backlog counts it;
+	// Len does not.
+	borrowed int
+	// jitter, when non-nil, makes PopAll hand back a random FIFO *prefix*
+	// of the queue instead of the whole thing — the schedule perturber's
+	// delivery-order hook. A prefix never reorders messages within the
+	// inbox, so every partial-order guarantee (per-channel sequencing,
+	// §5.1 atomic-broadcast ordering) is preserved; only the interleaving
+	// of executive dispatch against bus arrivals changes. Off by default.
+	jitter *types.RNG
 }
 
 func newInbox(c types.ClusterID) *Inbox {
@@ -525,6 +537,16 @@ func (in *Inbox) SetLimit(n int) {
 	}
 	in.limit = n
 	in.space.Broadcast()
+}
+
+// SetDrainJitter installs (or, with nil, removes) the seeded RNG that
+// perturbs PopAll into partial drains. The RNG is owned by the inbox
+// afterwards: all draws happen under in.mu, so a shared parent RNG must
+// be split before installation (see core.Options.ScheduleSeed).
+func (in *Inbox) SetDrainJitter(rng *types.RNG) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.jitter = rng
 }
 
 // Peak returns the high-watermark queue depth observed so far.
@@ -625,16 +647,51 @@ func (in *Inbox) Pop() (*types.Message, bool) {
 func (in *Inbox) PopAll(buf []types.Message) ([]types.Message, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	// Coming back for more means the previous batch has been fully consumed
+	// (the buffer-recycling contract above); it stops counting toward
+	// Backlog from here on.
+	in.borrowed = 0
 	for len(in.q) == 0 && !in.closed {
 		in.cond.Wait()
 	}
 	if len(in.q) == 0 {
 		return buf[:0], false
 	}
+	if in.jitter != nil && len(in.q) > 1 {
+		// Perturbed drain: hand over a random FIFO prefix and keep the
+		// tail queued, so the consumer interleaves with later arrivals
+		// differently on every (seeded) draw. The three-index slice caps
+		// the prefix's capacity at k: when the caller recycles it as the
+		// next buf, appends past k reallocate instead of clobbering the
+		// still-queued tail sharing the backing array.
+		if k := 1 + in.jitter.Intn(len(in.q)); k < len(in.q) {
+			ms := in.q[:k:k]
+			in.q = in.q[k:]
+			in.borrowed = k
+			in.cond.Signal() // tail still queued: keep the consumer awake
+			in.space.Broadcast()
+			return ms, true
+		}
+	}
 	ms := in.q
 	in.q = buf[:0]
+	in.borrowed = len(ms)
 	in.space.Broadcast()
 	return ms, true
+}
+
+// Backlog returns the number of delivered-but-unconsumed messages: the
+// queued depth plus the batch the consumer currently holds. PopAll swaps
+// the queue out wholesale, so Len alone reads 0 while the consumer is
+// still dispatching dozens of popped messages; anything that needs "has
+// everything delivered so far been APPLIED" — repair's snapshot cut
+// before cloning the page-server replica — must poll Backlog, not Len.
+// The count is conservative: a fully dispatched batch keeps counting
+// until the consumer's next PopAll call returns it.
+func (in *Inbox) Backlog() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.q) + in.borrowed
 }
 
 // TryPop returns a private copy of the next message without blocking.

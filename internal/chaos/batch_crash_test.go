@@ -2,10 +2,10 @@ package chaos
 
 import (
 	"fmt"
-	"runtime"
 	"testing"
 	"time"
 
+	"auragen/internal/chaos/leakcheck"
 	"auragen/internal/core"
 	"auragen/internal/trace"
 	"auragen/internal/types"
@@ -95,7 +95,7 @@ func checkNoDoubleDelivery(t *testing.T, events []trace.Event) {
 // lost or doubly delivered, no degradation, and no goroutines leaked by the
 // batched transmit machinery.
 func TestCrashBetweenBatchEnqueueAndTransmit(t *testing.T) {
-	before := runtime.NumGoroutine()
+	before := leakcheck.Baseline()
 
 	ref := newCampaign().Reference(1)
 	if ref.Err != nil {
@@ -111,17 +111,6 @@ func TestCrashBetweenBatchEnqueueAndTransmit(t *testing.T) {
 
 	// Goroutine-leak check: both systems are stopped; the batched transmit
 	// loop, inbox consumers, and held-transmit machinery must all have
-	// unwound. Allow a settle window for the runtime to reap.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+4 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
-				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// unwound.
+	leakcheck.Check(t, before, 4, 10*time.Second)
 }

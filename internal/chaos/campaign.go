@@ -105,6 +105,7 @@ func (c *Campaign) Run(plan Plan) *RunResult {
 		EventLogLimit:    limit,
 		PageFetchTimeout: 5 * time.Second,
 		Clock:            types.NewLogicalClock(plan.Seed, 0),
+		ScheduleSeed:     plan.JitterSeed,
 	}, reg)
 	if err != nil {
 		res.Err = err
@@ -291,4 +292,46 @@ func (c *Campaign) Sweep(seed int64, tmpl Injection, stride int) (*SweepReport, 
 		}
 	}
 	return rep, nil
+}
+
+// Burst plans: correlated multi-injection schedules. A burst fires two
+// tolerated faults a few events apart — close enough that the second
+// lands while the system is still mid-crash-handling for the first, far
+// enough apart that each remains an individually tolerated single fault
+// (one bus of two, one crashable cluster). The §6 contract has no
+// "unless recovering" escape hatch, so the survival oracle applies to a
+// burst run unchanged.
+
+// DefaultBurstSpacing is the event gap between a burst's injections:
+// small enough to land inside crash handling (failover alone emits
+// dozens of events), large enough that the tripwires observe distinct
+// events.
+const DefaultBurstSpacing = 12
+
+// BusPlusCrashBurst fails one physical bus and then crashes a cluster
+// while every transmission is squeezed onto the surviving bus.
+func BusPlusCrashBurst(seed int64, k, busIdx int, target types.ClusterID) Plan {
+	return Plan{Seed: seed, Injections: []Injection{
+		{Fault: FaultBusFailure, When: Any(), K: k, Bus: busIdx},
+		{Fault: FaultClusterCrash, When: Any(), K: k + DefaultBurstSpacing, Target: target},
+	}}
+}
+
+// TransientPlusCrashBurst arms a transient transmission-drop storm and
+// crashes a cluster while the retry machinery is absorbing the drops.
+func TransientPlusCrashBurst(seed int64, k, drops int, target types.ClusterID) Plan {
+	return Plan{Seed: seed, Injections: []Injection{
+		{Fault: FaultBusTransient, When: Any(), K: k, Drops: drops},
+		{Fault: FaultClusterCrash, When: Any(), K: k + DefaultBurstSpacing, Target: target},
+	}}
+}
+
+// FalsePositivePlusCrashBurst makes the detector briefly lie about one
+// cluster and then really crashes another: the false positive must be
+// absorbed by the debounce even while genuine crash handling runs.
+func FalsePositivePlusCrashBurst(seed int64, k int, accused, target types.ClusterID) Plan {
+	return Plan{Seed: seed, Injections: []Injection{
+		{Fault: FaultDetectorFalsePositive, When: Any(), K: k, Target: accused, Probes: 1},
+		{Fault: FaultClusterCrash, When: Any(), K: k + DefaultBurstSpacing, Target: target},
+	}}
 }

@@ -196,6 +196,12 @@ type Plan struct {
 	// Seed feeds the logical clock (and is the only run-to-run variation
 	// source a campaign admits).
 	Seed int64
+	// JitterSeed, when non-zero, enables the seeded schedule perturber
+	// for this run (core.Options.ScheduleSeed): same workload, same
+	// injections, different — but seed-determined — batching, delivery,
+	// and detector timing. The schedule search sweeps this while holding
+	// Seed fixed.
+	JitterSeed uint64
 	// Injections all arm at run start; each fires independently when its
 	// own tripwire trips.
 	Injections []Injection

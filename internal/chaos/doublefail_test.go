@@ -3,10 +3,10 @@ package chaos
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"testing"
 	"time"
 
+	"auragen/internal/chaos/leakcheck"
 	"auragen/internal/core"
 	"auragen/internal/trace"
 	"auragen/internal/types"
@@ -146,7 +146,7 @@ func TestBothBusesDown(t *testing.T) {
 // requires the goroutine count to settle back to the baseline: degradation
 // must unwind every blocked process goroutine, not abandon it.
 func TestDoubleFailureLeaksNoGoroutines(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := leakcheck.Baseline()
 	c := newDoubleFailCampaign()
 	run := c.Run(Plan{Seed: 15, Injections: []Injection{
 		{Fault: FaultClusterCrash, When: Any(), K: 80, Target: 2},
@@ -158,17 +158,5 @@ func TestDoubleFailureLeaksNoGoroutines(t *testing.T) {
 	if !errors.Is(run.Err, types.ErrTooManyFailures) {
 		t.Fatalf("expected ErrTooManyFailures, got %v", run.Err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= base+3 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			buf = buf[:runtime.Stack(buf, true)]
-			t.Fatalf("goroutines leaked after degraded run: %d -> %d\n%s", base, n, buf)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	leakcheck.Check(t, base, 3, 5*time.Second)
 }

@@ -44,6 +44,14 @@ const proberTerm = 52
 // balance and the audited total. The outcome line is the full balance
 // vector, so the oracle catches lost transfers AND duplicated ones — a
 // double-applied xfer conserves the total but moves two balances.
+// SaturatedBankScenario is the burst campaigns' workload: the same bank
+// scenario with enough accounts and transfers that the teller keeps the
+// transmit loop coalescing continuously, so burst injections land while
+// the bus is saturated rather than idle.
+func SaturatedBankScenario(name string) Scenario {
+	return BankScenario(name, 8, 40, 2)
+}
+
 func BankScenario(name string, accounts, txns int, syncReads uint32) Scenario {
 	const initBalance = 100
 	plan := workload.TxnPlan{Accounts: accounts, Txns: txns, Amount: 7, Seed: 0xA4A4}

@@ -1,0 +1,171 @@
+// Schedule search: replay one scenario under many seeded schedule
+// perturbations (core.Options.ScheduleSeed) and hold every interleaving
+// to the survival oracle. The campaign engine already proves the §5/§6
+// contract at every event *coordinate* of one schedule; the search
+// varies the schedule itself — transmit coalescing, inbox drain order,
+// detector timing — so the contract is checked across interleavings, not
+// just along one.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"auragen/internal/types"
+)
+
+// DefaultScheduleRuns is the number of perturbed runs a search performs
+// when ScheduleSearch.Runs is zero.
+const DefaultScheduleRuns = 8
+
+// DefaultScheduleKMax bounds the injection coordinates a search draws
+// when ScheduleSearch.KMax is zero. It is a fixed constant, NOT derived
+// from a reference run's event count: event counts shift slightly
+// between same-seed runs (goroutine interleaving), so deriving the
+// coordinate space from one would make the drawn coordinates — and the
+// verdict stream — depend on scheduling. A draw beyond the run's actual
+// event count simply never fires, which is itself a valid (fault-free)
+// perturbed run.
+const DefaultScheduleKMax = 160
+
+// scheduleFaults is the default fault rotation: the none entry checks
+// that perturbation alone never changes the observable outcome; the rest
+// re-check single-fault survival under each perturbed schedule.
+var scheduleFaults = []Fault{
+	FaultNone,
+	FaultClusterCrash,
+	FaultBusFailure,
+	FaultBusTransient,
+	FaultDetectorFalsePositive,
+}
+
+// ScheduleSearch explores seeded schedule perturbations of one scenario.
+// The workload seed is held fixed; each run draws a fresh jitter seed
+// and one injection coordinate from SearchSeed, so the whole search is a
+// pure function of (Seed, SearchSeed, Runs, KMax).
+type ScheduleSearch struct {
+	Campaign *Campaign
+	// Seed is the workload/clock seed, identical across all runs.
+	Seed int64
+	// SearchSeed drives the per-run jitter-seed and coordinate draws;
+	// zero derives one from Seed.
+	SearchSeed uint64
+	// Runs is the number of perturbed runs (default DefaultScheduleRuns).
+	Runs int
+	// KMax bounds drawn injection coordinates (default
+	// DefaultScheduleKMax).
+	KMax int
+	// Crash is the victim cluster for crash and false-positive
+	// injections; the zero value selects cluster 2, the bank scenarios'
+	// crashable teller cluster. (Clusters 0 and 1 host the backed-up
+	// servers; crashing one of them is also tolerated, but 2 keeps the
+	// search aligned with the sweep campaigns.)
+	Crash types.ClusterID
+}
+
+// ScheduleVerdict is one perturbed run's outcome.
+type ScheduleVerdict struct {
+	Index      int
+	JitterSeed uint64
+	Fault      Fault
+	K          int
+	// Fired reports whether the injection tripped mid-run (a drawn K
+	// beyond the run's event count is applied never). Excluded from
+	// VerdictStream: a coordinate near the stream's end may or may not
+	// fire depending on goroutine interleaving.
+	Fired   bool
+	Verdict Verdict
+}
+
+// ScheduleReport is a completed search.
+type ScheduleReport struct {
+	Seed       int64
+	SearchSeed uint64
+	Ref        *RunResult
+	Verdicts   []ScheduleVerdict
+	Violations int
+}
+
+// Run performs the search: one unperturbed reference run, then Runs
+// perturbed runs cycling through the fault rotation, each judged by the
+// survival oracle against the reference.
+func (s *ScheduleSearch) Run() (*ScheduleReport, error) {
+	runs := s.Runs
+	if runs <= 0 {
+		runs = DefaultScheduleRuns
+	}
+	kmax := s.KMax
+	if kmax <= 0 {
+		kmax = DefaultScheduleKMax
+	}
+	searchSeed := s.SearchSeed
+	if searchSeed == 0 {
+		searchSeed = uint64(s.Seed)*0x9E3779B97F4A7C15 + 1
+	}
+	crash := s.Crash
+	if crash == 0 {
+		crash = 2
+	}
+
+	ref := s.Campaign.Reference(s.Seed)
+	if ref.Err != nil {
+		return nil, fmt.Errorf("chaos: schedule-search reference run failed: %w", ref.Err)
+	}
+	rep := &ScheduleReport{Seed: s.Seed, SearchSeed: searchSeed, Ref: ref}
+
+	rng := types.NewRNG(searchSeed)
+	for i := 0; i < runs; i++ {
+		jitterSeed := rng.Next() | 1 // non-zero: zero would disable jitter
+		k := 1 + rng.Intn(kmax)
+		fault := scheduleFaults[i%len(scheduleFaults)]
+
+		plan := Plan{Seed: s.Seed, JitterSeed: jitterSeed}
+		switch fault {
+		case FaultClusterCrash:
+			plan.Injections = []Injection{{Fault: fault, When: Any(), K: k, Target: crash}}
+		case FaultBusFailure:
+			plan.Injections = []Injection{{Fault: fault, When: Any(), K: k, Bus: int(jitterSeed >> 1 & 1)}}
+		case FaultBusTransient:
+			plan.Injections = []Injection{{Fault: fault, When: Any(), K: k, Drops: 1 + int(jitterSeed>>2&1)}}
+		case FaultDetectorFalsePositive:
+			// One lying probe: below every debounce, must be absorbed.
+			plan.Injections = []Injection{{Fault: fault, When: Any(), K: k, Target: crash, Probes: 1}}
+		case FaultNone, FaultProcessCrash:
+			// Perturbation only (k is drawn regardless, keeping the RNG
+			// stream aligned across rotations).
+		}
+
+		run := s.Campaign.Run(plan)
+		sv := ScheduleVerdict{
+			Index:      i,
+			JitterSeed: jitterSeed,
+			Fault:      fault,
+			K:          k,
+			Fired:      len(run.Fired) > 0 && run.Fired[0],
+			Verdict:    CheckSurvival(ref, run),
+		}
+		if !sv.Verdict.OK {
+			rep.Violations++
+		}
+		rep.Verdicts = append(rep.Verdicts, sv)
+	}
+	return rep, nil
+}
+
+// VerdictStream renders the canonical per-run verdict lines. It is a
+// pure function of the search parameters on a passing search: every
+// field it prints (index, jitter seed, fault, drawn coordinate, verdict)
+// is drawn from the seeded RNG or the oracle, and scheduling-dependent
+// observables (whether a borderline coordinate fired, raw event counts)
+// are deliberately excluded — same seed, byte-identical stream.
+func (r *ScheduleReport) VerdictStream() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule-search seed=%d search=%016x runs=%d\n",
+		r.Seed, r.SearchSeed, len(r.Verdicts))
+	for _, sv := range r.Verdicts {
+		fmt.Fprintf(&b, "run=%02d jitter=%016x fault=%s k=%03d %s\n",
+			sv.Index, sv.JitterSeed, sv.Fault, sv.K, sv.Verdict)
+	}
+	fmt.Fprintf(&b, "violations=%d\n", r.Violations)
+	return b.String()
+}

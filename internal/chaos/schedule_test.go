@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"auragen/internal/chaos/leakcheck"
+)
+
+func newScheduleSearch(runs int) *ScheduleSearch {
+	return &ScheduleSearch{
+		Campaign: newCampaign(),
+		Seed:     1,
+		Runs:     runs,
+	}
+}
+
+// TestScheduleSearchSurvives sweeps one full fault rotation under
+// perturbed schedules: the fault-free perturbed run must reproduce the
+// reference outcome exactly, and every perturbed single fault must still
+// pass the survival oracle.
+func TestScheduleSearchSurvives(t *testing.T) {
+	base := leakcheck.Baseline()
+	runs := len(scheduleFaults) * 2
+	if testing.Short() {
+		runs = len(scheduleFaults)
+	}
+	rep, err := newScheduleSearch(runs).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("schedule search found %d violations:\n%s", rep.Violations, rep.VerdictStream())
+	}
+	if len(rep.Verdicts) != runs {
+		t.Fatalf("expected %d verdicts, got %d", runs, len(rep.Verdicts))
+	}
+	leakcheck.Check(t, base, 0, 0)
+}
+
+// TestScheduleSearchDeterministic: the same seed must produce a
+// byte-identical verdict stream across two full searches, even though
+// each run's actual interleaving differs — the stream is a pure function
+// of the seeds.
+func TestScheduleSearchDeterministic(t *testing.T) {
+	runs := len(scheduleFaults)
+	a, err := newScheduleSearch(runs).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newScheduleSearch(runs).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.VerdictStream(), b.VerdictStream()
+	if sa != sb {
+		t.Fatalf("verdict stream not deterministic:\n--- first ---\n%s--- second ---\n%s", sa, sb)
+	}
+	if a.Violations != 0 {
+		t.Fatalf("deterministic search found violations:\n%s", sa)
+	}
+}
+
+// TestPerturbedReferenceMatchesUnperturbed pins the core property the
+// whole search rests on: schedule jitter alone — no faults — must never
+// change the observable outcome, only the interleaving that produced it.
+func TestPerturbedReferenceMatchesUnperturbed(t *testing.T) {
+	c := newCampaign()
+	ref := c.Reference(7)
+	if ref.Err != nil {
+		t.Fatalf("reference run failed: %v", ref.Err)
+	}
+	for _, jitter := range []uint64{0x1111, 0xBEEF_CAFE, ^uint64(0)} {
+		run := c.Run(Plan{Seed: 7, JitterSeed: jitter})
+		if v := CheckSurvival(ref, run); !v.OK {
+			t.Fatalf("jitter %#x changed the outcome: %s", jitter, v)
+		}
+	}
+}
+
+// TestBurstPlansSurvive fires each correlated burst against the
+// saturated bank workload: two tolerated faults landing a dozen events
+// apart, judged by the unchanged survival oracle.
+func TestBurstPlansSurvive(t *testing.T) {
+	base := leakcheck.Baseline()
+	c := &Campaign{Scenario: SaturatedBankScenario("burst"), Timeout: 2 * time.Minute}
+	ref := c.Reference(3)
+	if ref.Err != nil {
+		t.Fatalf("reference run failed: %v", ref.Err)
+	}
+	ks := []int{40, 120, 200}
+	if testing.Short() {
+		ks = ks[:1]
+	}
+	for _, k := range ks {
+		for name, plan := range map[string]Plan{
+			"bus+crash":       BusPlusCrashBurst(3, k, 0, 2),
+			"transient+crash": TransientPlusCrashBurst(3, k, 3, 2),
+			"falsepos+crash":  FalsePositivePlusCrashBurst(3, k, 1, 2),
+		} {
+			run := c.Run(plan)
+			if v := CheckSurvival(ref, run); !v.OK {
+				t.Fatalf("burst %s at k=%d violated the oracle: %s", name, k, v)
+			}
+		}
+	}
+	leakcheck.Check(t, base, 0, 0)
+}
+
+// TestBurstUnderJitter combines the two tentpole axes: a correlated
+// burst injected into a perturbed schedule.
+func TestBurstUnderJitter(t *testing.T) {
+	c := &Campaign{Scenario: SaturatedBankScenario("burst"), Timeout: 2 * time.Minute}
+	ref := c.Reference(3)
+	if ref.Err != nil {
+		t.Fatalf("reference run failed: %v", ref.Err)
+	}
+	plan := BusPlusCrashBurst(3, 80, 1, 2)
+	plan.JitterSeed = 0xD1CE
+	run := c.Run(plan)
+	if v := CheckSurvival(ref, run); !v.OK {
+		t.Fatalf("jittered burst violated the oracle: %s", v)
+	}
+}
+
+// TestResilverCrashStep: the sequential burst — a second cluster lost
+// while the first is still resilvering — must converge to the reference
+// outcome with full redundancy after every step. Victim is cluster 1:
+// after crashing 2, the bank server's only copy runs on its backup
+// cluster 0, so a victim of 0 would be an untolerated double failure
+// of that process (see ResilverCrashStep).
+func TestResilverCrashStep(t *testing.T) {
+	base := leakcheck.Baseline()
+	c := newSeqCampaign()
+	plan := SeqPlan{Seed: 41, Steps: []SeqStep{ResilverCrashStep(2, 1, 70)}}
+	ref := c.Reference(plan)
+	if ref.Err != nil {
+		t.Fatalf("reference run failed: %v", ref.Err)
+	}
+	run := c.Run(plan)
+	if v := CheckSequential(ref, run); !v.OK {
+		t.Fatalf("resilver-crash burst violated the oracle: %s", v)
+	}
+	leakcheck.Check(t, base, 0, 0)
+}

@@ -45,27 +45,61 @@ type SeqStep struct {
 	When Predicate
 	K    int
 	// MidRepair, armed by MidRepairArmed, crashes that cluster the moment
-	// the repair of Target enters its rebacking phase — a failure during
+	// the repair of Target enters the phase named by MidRepairPhase
+	// (RepairIdle, the zero value, selects rebacking) — a failure during
 	// re-integration. MidRepair == Target re-fails the cluster under
 	// repair (the repair must abort cleanly and be retried); any other
-	// cluster exercises repair continuing around a concurrent failure.
+	// cluster exercises repair continuing around a concurrent failure,
+	// e.g. a crash landing while the target is still resilvering.
 	// (A separate flag because the zero ClusterID is the legal cluster 0.)
 	MidRepairArmed bool
 	MidRepair      types.ClusterID
+	MidRepairPhase types.RepairPhase
+}
+
+// midRepairPhase resolves the zero MidRepairPhase to the default.
+func (st SeqStep) midRepairPhase() types.RepairPhase {
+	if st.MidRepairPhase == types.RepairIdle {
+		return types.RepairRebacking
+	}
+	return st.MidRepairPhase
+}
+
+// ResilverCrashStep is the sequential burst: crash target, then crash
+// victim the moment target's repair enters resilvering — a second
+// cluster lost while the first is still cloning its storage back. The
+// repair machinery must either finish around the concurrent failure or
+// abort cleanly and be retried; the step runner tolerates both.
+//
+// The victim must not host the promoted primary of a process whose
+// backup died with target (for SeqBankScenario: the bank server is
+// primary-2/backup-0, so after crashing 2 its only copy runs on 0, and
+// a victim of 0 is a double failure of that process — the §6 contract
+// then promises degradation, not survival, and the survival-shaped
+// sequential oracle will rightly reject the run).
+func ResilverCrashStep(target, victim types.ClusterID, k int) SeqStep {
+	return SeqStep{
+		Target: target, K: k,
+		MidRepairArmed: true, MidRepair: victim,
+		MidRepairPhase: types.RepairResilvering,
+	}
 }
 
 func (st SeqStep) String() string {
 	s := fmt.Sprintf("crash %s", st.Target)
 	if st.MidRepairArmed {
-		s += fmt.Sprintf("+%s@rebacking", st.MidRepair)
+		s += fmt.Sprintf("+%s@%s", st.MidRepair, st.midRepairPhase())
 	}
 	return s
 }
 
 // SeqPlan is a deterministic sequence of single failures.
 type SeqPlan struct {
-	Seed  int64
-	Steps []SeqStep
+	Seed int64
+	// JitterSeed, when non-zero, runs the whole sequence under the seeded
+	// schedule perturber (see Plan.JitterSeed).
+	JitterSeed uint64
+	Steps      []SeqStep
 }
 
 // SeqScenario is a workload built for multi-round runs: Setup spawns the
@@ -131,6 +165,10 @@ type SeqCampaign struct {
 	// RedundantTimeout bounds each step's redundancy wait (default
 	// DefaultRedundantTimeout).
 	RedundantTimeout time.Duration
+	// afterStep, when set, observes the live system right after each
+	// completed step (soak fingerprinting). It runs on the drive
+	// goroutine, between steps, with no tripwire armed.
+	afterStep func(sys *core.System, i int, sr *SeqStepResult)
 }
 
 // seqTripwire fires at the Kth event matching when. force releases any
@@ -224,6 +262,7 @@ func (c *SeqCampaign) run(plan SeqPlan, inject bool) *SeqResult {
 		EventLogLimit:    limit,
 		PageFetchTimeout: 5 * time.Second,
 		Clock:            types.NewLogicalClock(plan.Seed, 0),
+		ScheduleSeed:     plan.JitterSeed,
 	}, reg)
 	if err != nil {
 		res.Err = err
@@ -295,6 +334,9 @@ func (c *SeqCampaign) drive(
 		}
 		sr := c.runStep(sys, i, step, evCount, armed)
 		steps = append(steps, sr)
+		if c.afterStep != nil {
+			c.afterStep(sys, i, &steps[len(steps)-1])
+		}
 		if sr.CrashErr != nil || sr.RepairErr != nil {
 			err := sr.CrashErr
 			if err == nil {
@@ -354,7 +396,7 @@ func (c *SeqCampaign) runStep(
 	var midTw *seqTripwire
 	midErr := make(chan error, 1)
 	if step.MidRepairArmed {
-		midTw = newSeqTripwire(OnRepairPhase(step.Target, types.RepairRebacking), 1)
+		midTw = newSeqTripwire(OnRepairPhase(step.Target, step.midRepairPhase()), 1)
 		go func() {
 			<-midTw.fire
 			if midTw.wasForced() {

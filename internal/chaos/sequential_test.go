@@ -3,10 +3,10 @@ package chaos
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"testing"
 	"time"
 
+	"auragen/internal/chaos/leakcheck"
 	"auragen/internal/core"
 	"auragen/internal/guest"
 	"auragen/internal/types"
@@ -180,7 +180,7 @@ func TestRepairedBackupRollsForwardIdentically(t *testing.T) {
 // three repairs, and an aborted re-integration must not abandon a single
 // injector, kernel, or process goroutine.
 func TestSequentialLeaksNoGoroutines(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := leakcheck.Baseline()
 	c := newSeqCampaign()
 	run := c.Run(altPlan(34))
 	if run.Hung {
@@ -189,19 +189,7 @@ func TestSequentialLeaksNoGoroutines(t *testing.T) {
 	if run.Err != nil {
 		t.Fatalf("sequential run failed: %v", run.Err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= base+3 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			buf = buf[:runtime.Stack(buf, true)]
-			t.Fatalf("goroutines leaked after sequential run: %d -> %d\n%s", base, n, buf)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	leakcheck.Check(t, base, 3, 5*time.Second)
 }
 
 // TestDoubleFailureAfterRepairDegrades re-checks the degradation contract
@@ -210,7 +198,7 @@ func TestSequentialLeaksNoGoroutines(t *testing.T) {
 // must still surface types.ErrTooManyFailures promptly — repair must not
 // have left state that turns the honest error into a hang.
 func TestDoubleFailureAfterRepairDegrades(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := leakcheck.Baseline()
 	reg := guest.NewRegistry()
 	workload.Register(reg)
 	sys, err := core.New(core.Options{
@@ -270,17 +258,5 @@ func TestDoubleFailureAfterRepairDegrades(t *testing.T) {
 	}
 
 	sys.Stop()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		n := runtime.NumGoroutine()
-		if n <= base+3 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			buf = buf[:runtime.Stack(buf, true)]
-			t.Fatalf("goroutines leaked: %d -> %d\n%s", base, n, buf)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	leakcheck.Check(t, base, 3, 5*time.Second)
 }

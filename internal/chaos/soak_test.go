@@ -1,0 +1,111 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"auragen/internal/chaos/leakcheck"
+)
+
+func soakConfig(cycles int, jitter uint64) SoakConfig {
+	return SoakConfig{
+		Scenario:   seqScenario(),
+		Cycles:     cycles,
+		Seed:       9,
+		JitterSeed: jitter,
+	}
+}
+
+// TestSoakNoDrift is the tentpole acceptance test: a ≥25-cycle
+// fault→repair→fault soak on one long-lived system, with zero drift in
+// goroutine count, redundancy, suppression budget, and inbox watermark
+// between cycle fingerprints. -short shrinks the cycle count so the
+// race-enabled CI lane stays inside its budget; the full run keeps the
+// acceptance-sized campaign.
+func TestSoakNoDrift(t *testing.T) {
+	base := leakcheck.Baseline()
+	cycles := DefaultSoakCycles
+	if testing.Short() {
+		cycles = 8
+	}
+	res := RunSoak(soakConfig(cycles, 0))
+	if !res.Verdict.OK {
+		t.Fatalf("soak drifted:\n%s", res.VerdictStream())
+	}
+	if len(res.Cycles) != cycles {
+		t.Fatalf("fingerprinted %d of %d cycles", len(res.Cycles), cycles)
+	}
+	leakcheck.Check(t, base, 0, 0)
+}
+
+// TestSoakUnderJitterNoDrift reruns a shorter soak with the schedule
+// perturber on: churn plus perturbed interleavings must still converge
+// to redundancy with flat fingerprints.
+func TestSoakUnderJitterNoDrift(t *testing.T) {
+	cycles := 10
+	if testing.Short() {
+		cycles = 6
+	}
+	res := RunSoak(soakConfig(cycles, 0x50AC))
+	if !res.Verdict.OK {
+		t.Fatalf("jittered soak drifted:\n%s", res.VerdictStream())
+	}
+}
+
+// TestSoakDeterministicStream: same config ⇒ byte-identical verdict
+// stream, run twice.
+func TestSoakDeterministicStream(t *testing.T) {
+	cycles := 6
+	if testing.Short() {
+		cycles = 5
+	}
+	a := RunSoak(soakConfig(cycles, 0x50AC))
+	b := RunSoak(soakConfig(cycles, 0x50AC))
+	sa, sb := a.VerdictStream(), b.VerdictStream()
+	if sa != sb {
+		t.Fatalf("soak stream not deterministic:\n--- first ---\n%s--- second ---\n%s", sa, sb)
+	}
+	if !a.Verdict.OK {
+		t.Fatalf("deterministic soak drifted:\n%s", sa)
+	}
+}
+
+// TestSoakDriftOracleRejects pins the oracle itself: a fabricated
+// fingerprint series with a goroutine leak, a spent suppression budget,
+// and an open gap must each be rejected.
+func TestSoakDriftOracleRejects(t *testing.T) {
+	mk := func(mut func(*SoakResult)) Verdict {
+		res := &SoakResult{
+			Warmup: 2,
+			Run:    &SeqResult{Plan: SeqPlan{Steps: make([]SeqStep, 5)}},
+		}
+		for i := 0; i < 5; i++ {
+			res.Cycles = append(res.Cycles, SoakCycle{
+				Cycle: i, Goroutines: 20, SuppressedDelta: 4, InboxPeak: 50,
+			})
+		}
+		mut(res)
+		return CheckSoakDrift(res)
+	}
+	if v := mk(func(r *SoakResult) {}); !v.OK {
+		t.Fatalf("flat fingerprints rejected: %s", v)
+	}
+	if v := mk(func(r *SoakResult) { r.Cycles[4].Goroutines = 20 + soakGoroutineSlack + 1 }); v.OK {
+		t.Fatal("goroutine drift accepted")
+	}
+	if v := mk(func(r *SoakResult) { r.Cycles[4].SuppressedDelta = 200 }); v.OK {
+		t.Fatal("suppression drift accepted")
+	}
+	if v := mk(func(r *SoakResult) { r.Cycles[3].Gaps = 1 }); v.OK {
+		t.Fatal("open redundancy gap accepted")
+	}
+	if v := mk(func(r *SoakResult) { r.Cycles[4].InboxPeak = 500 }); v.OK {
+		t.Fatal("inbox watermark drift accepted")
+	}
+	if v := mk(func(r *SoakResult) { r.Cycles = r.Cycles[:3] }); v.OK {
+		t.Fatal("missing fingerprints accepted")
+	}
+	if v := mk(func(r *SoakResult) { r.Run.Hung = true; r.Run.Err = errors.New("watchdog") }); v.OK {
+		t.Fatal("hung soak accepted")
+	}
+}

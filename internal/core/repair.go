@@ -79,6 +79,8 @@ func (s *System) Repair(c types.ClusterID) error {
 	}
 	delete(s.crashed, c)
 	s.repair[c] = types.RepairBooting
+	s.repairGen[c]++
+	drain, rx := scheduleRNGs(s.opts.ScheduleSeed, c, s.repairGen[c])
 
 	k := kernel.New(kernel.Config{
 		ID:               c,
@@ -92,6 +94,8 @@ func (s *System) Repair(c types.ClusterID) error {
 		SyncTicks:        s.opts.SyncTicks,
 		Clock:            s.opts.Clock,
 		PageFetchTimeout: s.opts.PageFetchTimeout,
+		DrainJitter:      drain,
+		RxJitter:         rx,
 	})
 	s.kernels[int(c)] = k
 	s.mu.Unlock()

@@ -63,6 +63,16 @@ type Options struct {
 	// event log. Nil selects the wall clock; pass types.NewLogicalClock to
 	// make same-seed runs produce identical timelines (§5/§6 determinism).
 	Clock types.Clock
+	// ScheduleSeed, when non-zero, turns on the seeded schedule perturber:
+	// every kernel gets transmit-coalesce and inbox-drain jitter, and the
+	// failure detector gets probe-timing jitter, all split
+	// deterministically from this one seed (a repaired cluster's fresh
+	// kernel re-derives its streams from the same seed, salted by its
+	// repair generation). All perturbations stay inside the partial-order
+	// rules — FIFO prefixes only, debounce extended never shortened — so
+	// any schedule they produce is one the §5/§6 contract must survive.
+	// Zero (the default) keeps every jitter hook off.
+	ScheduleSeed uint64
 }
 
 // System is one running Auragen 4000.
@@ -95,6 +105,22 @@ type System struct {
 	// probeFaults holds injected detector false positives: the next N
 	// probes of a cluster lie "dead" regardless of its actual health.
 	probeFaults map[types.ClusterID]int
+	// repairGen counts completed Repair attempts per cluster, salting the
+	// schedule-jitter streams of each successive kernel incarnation.
+	repairGen map[types.ClusterID]uint64
+}
+
+// scheduleRNGs derives one cluster's schedule-perturbation RNG pair
+// (transmit-coalesce, inbox-drain) from the system ScheduleSeed. gen
+// distinguishes a cluster's successive kernel incarnations (0 at boot,
+// then its repair count), so a repaired kernel replays a distinct but
+// seed-determined jitter stream. A zero seed means jitter is off.
+func scheduleRNGs(seed uint64, c types.ClusterID, gen uint64) (drain, rx *types.RNG) {
+	if seed == 0 {
+		return nil, nil
+	}
+	base := types.NewRNG(seed ^ uint64(c+1)*0x9E3779B97F4A7C15 ^ (gen+1)*0xA0761D6478BD642F)
+	return types.NewRNG(base.Next()), types.NewRNG(base.Next())
 }
 
 // SpawnConfig places one process.
@@ -149,10 +175,12 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 		crashed:     make(map[types.ClusterID]bool),
 		repair:      make(map[types.ClusterID]types.RepairPhase),
 		probeFaults: make(map[types.ClusterID]int),
+		repairGen:   make(map[types.ClusterID]uint64),
 	}
 	s.bus = bus.New(s.metrics, s.log)
 
 	for i := 0; i < opts.Clusters; i++ {
+		drain, rx := scheduleRNGs(opts.ScheduleSeed, types.ClusterID(i), 0)
 		k := kernel.New(kernel.Config{
 			ID:               types.ClusterID(i),
 			Bus:              s.bus,
@@ -165,6 +193,8 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 			SyncTicks:        opts.SyncTicks,
 			Clock:            opts.Clock,
 			PageFetchTimeout: opts.PageFetchTimeout,
+			DrainJitter:      drain,
+			RxJitter:         rx,
 		})
 		s.kernels = append(s.kernels, k)
 	}
@@ -200,10 +230,15 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 		k.Start()
 	}
 
+	var detJitter *types.RNG
+	if opts.ScheduleSeed != 0 {
+		detJitter = types.NewRNG(opts.ScheduleSeed ^ 0xD3746E7E0D5A8F31)
+	}
 	s.detector = fault.New(fault.Config{
 		Interval: opts.DetectInterval,
 		Clock:    opts.Clock,
 		Debounce: opts.DetectDebounce,
+		Jitter:   detJitter,
 		Probe: func(c types.ClusterID) bool {
 			if s.consumeProbeFault(c) {
 				return false

@@ -43,12 +43,24 @@ type Config struct {
 	Probe func(types.ClusterID) bool
 	// OnCrash is invoked exactly once per detected failure.
 	OnCrash func(types.ClusterID)
+	// Jitter, when non-nil, perturbs the probe schedule reproducibly (the
+	// schedule perturber's detector hook): each round's due threshold is
+	// scaled into [0.5,1.5)×Interval, and each miss streak may need one
+	// extra missed probe beyond Debounce before the cluster is declared
+	// dead. Jitter only ever *delays* a declaration, so a tolerated false
+	// positive can never be promoted into spurious crash handling. The
+	// RNG is drawn only under the detector's lock; split a parent RNG per
+	// detector (see core.Options.ScheduleSeed).
+	Jitter *types.RNG
 }
 
 // watchState tracks one cluster's liveness belief.
 type watchState struct {
 	alive  bool
 	missed int // consecutive failed probes
+	// extra is this miss streak's jittered debounce extension (0 or 1),
+	// drawn at the streak's first miss.
+	extra int
 }
 
 // Detector polls cluster liveness.
@@ -58,10 +70,14 @@ type Detector struct {
 	debounce int
 	probe    func(types.ClusterID) bool
 	onCrash  func(types.ClusterID)
+	jitter   *types.RNG
 
 	mu       sync.Mutex
 	known    map[types.ClusterID]*watchState
 	lastPoll int64
+	// due is the jittered clock delta before the next round is due;
+	// refreshed after every round, equal to interval when jitter is off.
+	due int64
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -81,11 +97,23 @@ func New(cfg Config) *Detector {
 		debounce: cfg.Debounce,
 		probe:    cfg.Probe,
 		onCrash:  cfg.OnCrash,
+		jitter:   cfg.Jitter,
 		known:    make(map[types.ClusterID]*watchState),
 		stopCh:   make(chan struct{}),
 	}
 	d.lastPoll = d.clock.Now()
+	d.due = d.nextDueLocked()
 	return d
+}
+
+// nextDueLocked draws the clock delta before the next round is due:
+// Interval, scaled into [0.5,1.5) when jitter is on. Caller holds d.mu
+// (or is still constructing d).
+func (d *Detector) nextDueLocked() int64 {
+	if d.jitter == nil || d.interval <= 0 {
+		return int64(d.interval)
+	}
+	return int64(d.interval) * int64(50+d.jitter.Intn(100)) / 100
 }
 
 // Watch adds a cluster to the polling set.
@@ -144,7 +172,7 @@ func (d *Detector) Start() {
 // in their own loop instead of relying on Start's goroutine.
 func (d *Detector) Tick() {
 	d.mu.Lock()
-	due := d.interval > 0 && d.clock.Now()-d.lastPoll >= int64(d.interval)
+	due := d.interval > 0 && d.clock.Now()-d.lastPoll >= d.due
 	d.mu.Unlock()
 	if due {
 		d.Poll()
@@ -158,6 +186,7 @@ func (d *Detector) Tick() {
 func (d *Detector) Poll() {
 	d.mu.Lock()
 	d.lastPoll = d.clock.Now()
+	d.due = d.nextDueLocked()
 	var dead []types.ClusterID
 	for c, w := range d.known {
 		if !w.alive {
@@ -168,7 +197,10 @@ func (d *Detector) Poll() {
 			continue
 		}
 		w.missed++
-		if w.missed >= d.debounce {
+		if w.missed == 1 && d.jitter != nil {
+			w.extra = d.jitter.Intn(2)
+		}
+		if w.missed >= d.debounce+w.extra {
 			w.alive = false
 			dead = append(dead, c)
 		}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"auragen/internal/chaos"
+	"auragen/internal/core"
+	"auragen/internal/types"
+	"auragen/internal/workload"
+)
+
+// E14WorkThroughputUnderFaults measures useful work throughput as a
+// function of fault rate: `rounds` teller rounds of `txnsPerRound`
+// transfers each run against a backed-up bank server, and every
+// `faultEvery` rounds (0: never — the fault-free baseline) the cluster
+// currently hosting the server primary is crashed, repaired, and the
+// redundancy oracle waited out before traffic resumes. The ratio of a
+// faulted row's txns/sec to the baseline's is the paper's availability
+// claim made quantitative: fault handling costs bounded throughput, it
+// does not stop the system.
+func E14WorkThroughputUnderFaults(rounds, txnsPerRound, faultEvery int) (*Row, error) {
+	const accounts = 8
+	sys, err := NewSystem(3, 8)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	if _, err := sys.Spawn("bank-server",
+		[]byte(fmt.Sprintf("e14 %d %d 0", accounts, 1000)),
+		core.SpawnConfig{Cluster: 2, BackupCluster: 0}); err != nil {
+		return nil, err
+	}
+
+	before := sys.Metrics().Snapshot()
+	start := time.Now()
+	faults := 0
+	// The server starts primary-on-2/backup-on-0 and each crash+repair swaps
+	// which of the pair holds the primary, so alternating the target always
+	// hits the primary's cluster.
+	target := types.ClusterID(2)
+	for r := 0; r < rounds; r++ {
+		plan := workload.TxnPlan{Accounts: accounts, Txns: txnsPerRound, Amount: 7, Seed: 0xE14 + uint64(r)}
+		teller, err := sys.Spawn("teller",
+			[]byte(fmt.Sprintf("e14 -1 %s", plan.Encode())),
+			core.SpawnConfig{Cluster: 1})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.WaitExit(teller, 120*time.Second); err != nil {
+			return nil, fmt.Errorf("E14 round %d: %w", r, err)
+		}
+		if faultEvery > 0 && (r+1)%faultEvery == 0 {
+			if err := sys.Crash(target); err != nil {
+				return nil, err
+			}
+			if err := sys.Repair(target); err != nil {
+				return nil, err
+			}
+			if err := sys.WaitRedundant(60 * time.Second); err != nil {
+				return nil, fmt.Errorf("E14 round %d: %w", r, err)
+			}
+			faults++
+			target = 2 - target // alternate 2 and 0
+		}
+	}
+	elapsed := time.Since(start)
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	txns := rounds * txnsPerRound
+	row := NewRow().
+		Add("fault_every", "%d", faultEvery).
+		Add("rounds", "%d", rounds).
+		Add("txns", "%d", txns).
+		Add("faults", "%d", faults).
+		Add("txns_per_sec", "%.0f", safeDiv(float64(txns), elapsed.Seconds())).
+		Add("us_per_txn", "%.1f", float64(elapsed.Microseconds())/float64(txns)).
+		Add("recoveries", "%d", d["recoveries"]).
+		Add("suppressed_sends", "%d", d["suppressed_sends"])
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(txns)
+	row.Metrics = d
+	return row, nil
+}
+
+// E15SoakThroughput drives the chaos soak as a benchmark: `cycles`
+// fault→repair→fault cycles on one long-lived system (optionally under
+// the seeded schedule perturber) and reports the per-cycle cost alongside
+// the drift oracle's verdict. A row only exists if the soak passed — a
+// drifting run is an error, not a data point.
+func E15SoakThroughput(cycles int, jitterSeed uint64) (*Row, error) {
+	start := time.Now()
+	res := chaos.RunSoak(chaos.SoakConfig{
+		Scenario:   chaos.SeqBankScenario("e15", 8, 24, 2),
+		Cycles:     cycles,
+		Seed:       15,
+		JitterSeed: jitterSeed,
+	})
+	elapsed := time.Since(start)
+	if !res.Verdict.OK {
+		return nil, fmt.Errorf("E15 soak drifted: %s", res.Verdict)
+	}
+
+	last := res.Cycles[len(res.Cycles)-1]
+	row := NewRow().
+		Add("cycles", "%d", cycles).
+		Add("jitter", "%#x", jitterSeed).
+		Add("ms_per_cycle", "%.1f", float64(elapsed.Microseconds())/1000/float64(cycles)).
+		Add("goroutines_final", "%d", last.Goroutines).
+		Add("inbox_peak_final", "%d", last.InboxPeak).
+		Add("drift", "%s", res.Verdict)
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(cycles)
+	row.Metrics = res.Run.Metrics
+	return row, nil
+}

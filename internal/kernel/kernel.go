@@ -92,6 +92,17 @@ type Config struct {
 	// coalesces into one bus transmission. Zero selects DefaultTxBatch;
 	// 1 disables coalescing (the pre-batching behavior).
 	MaxBatch int
+
+	// DrainJitter, when non-nil, randomizes how many queued messages each
+	// transmit-loop pass coalesces (1..n instead of always n), and
+	// RxJitter does the same for inbox draining (see bus.Inbox
+	// SetDrainJitter) — the schedule perturber's hooks for exploring
+	// batching/interleaving schedules without violating FIFO order. Both
+	// RNGs become goroutine-owned by the kernel; split a parent RNG per
+	// kernel (see core.Options.ScheduleSeed). Nil (the default) keeps the
+	// deterministic full-batch behavior.
+	DrainJitter *types.RNG
+	RxJitter    *types.RNG
 }
 
 // Kernel is one cluster's operating system kernel.
@@ -120,6 +131,9 @@ type Kernel struct {
 	txHold bool
 	// maxBatch caps the messages coalesced per bus offer (Config.MaxBatch).
 	maxBatch int
+	// drainJitter perturbs the per-pass coalesce count (Config.DrainJitter).
+	// Drawn only by the txLoop goroutine.
+	drainJitter *types.RNG
 	// held parks outgoing messages whose fullback destination lost its
 	// backup, until a BackupUp notice arrives (§7.10.1 step 4).
 	held map[types.PID][]*types.Message
@@ -224,10 +238,13 @@ func New(cfg Config) *Kernel {
 		dieCh:      make(chan struct{}),
 		maxBatch:   cfg.MaxBatch,
 
+		drainJitter: cfg.DrainJitter,
+
 		pageFetchTimeout: cfg.PageFetchTimeout,
 	}
 	k.txCond = sync.NewCond(&k.mu)
 	k.inbox = cfg.Bus.Attach(cfg.ID)
+	k.inbox.SetDrainJitter(cfg.RxJitter)
 	return k
 }
 
@@ -401,13 +418,17 @@ func (k *Kernel) BackupStatus(pid types.PID) (epoch types.Epoch, viable bool, ok
 }
 
 // InboxBacklog returns the number of bus messages received but not yet
-// dispatched. Repair polls it on the surviving server cluster before
-// cloning the page-server replica: once the backlog is empty, everything
-// broadcast before the repaired kernel reattached has been applied, so a
-// snapshot plus the repaired kernel's own inbox replay covers the stream
-// with no gap.
+// dispatched — including the batch the receive loop has popped and is
+// still working through, which the raw queue length misses. Repair polls
+// it on the surviving server cluster before cloning the page-server
+// replica: once the backlog is empty, everything broadcast before the
+// repaired kernel reattached has been applied, so a snapshot plus the
+// repaired kernel's own inbox replay covers the stream with no gap.
+// Counting the in-flight batch is what makes that true: a snapshot cut
+// while the executive still held popped page-outs would miss them on
+// both sides, permanently diverging the replicas.
 func (k *Kernel) InboxBacklog() int {
-	return k.inbox.Len()
+	return k.inbox.Backlog()
 }
 
 // NumProcs returns the number of live processes.
@@ -471,6 +492,12 @@ func (k *Kernel) txLoop() {
 		n := len(k.outgoing)
 		if n > k.maxBatch {
 			n = k.maxBatch
+		}
+		if k.drainJitter != nil && n > 1 {
+			// Schedule perturbation: coalesce a random FIFO prefix so the
+			// same workload exercises many batch boundaries. Order and
+			// delivery are unchanged — only where batches split.
+			n = 1 + k.drainJitter.Intn(n)
 		}
 		batch = append(batch[:0], k.outgoing[:n]...)
 		k.outgoing = k.outgoing[n:]

@@ -359,7 +359,7 @@ func (k *Kernel) exitProcess(p *PCB) {
 	route := types.Route{
 		Dst:       p.backupCluster,
 		DstBackup: pagerLoc.Primary,
-		SrcBackup: pagerLoc.Backup,
+		SrcBackup: pagerMirror(pagerLoc.Primary),
 	}
 	if p.backupCluster != types.NoCluster || pagerLoc.Primary != types.NoCluster {
 		k.sendLocked(&types.Message{

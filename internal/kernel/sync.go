@@ -69,6 +69,7 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 	}
 
 	pagerLoc, _ := k.dir.Service(directory.PIDPageServer)
+	pagerMirror := pagerMirror(pagerLoc.Primary)
 	epoch := p.epoch + 1
 
 	// An establishment sync reports zero reads: the new backup's save
@@ -98,7 +99,7 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 			Kind:  types.KindPageOut,
 			Src:   p.pid,
 			Dst:   directory.PIDPageServer,
-			Route: types.Route{Dst: pagerLoc.Primary, DstBackup: pagerLoc.Backup, SrcBackup: types.NoCluster},
+			Route: types.Route{Dst: pagerLoc.Primary, DstBackup: pagerMirror, SrcBackup: types.NoCluster},
 			Lazy:  po,
 		})
 		k.metrics.PagesOut.Add(uint64(len(pages)))
@@ -184,7 +185,7 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 		Kind:  types.KindSync,
 		Src:   p.pid,
 		Dst:   p.pid,
-		Route: types.Route{Dst: backup, DstBackup: pagerLoc.Primary, SrcBackup: pagerLoc.Backup},
+		Route: types.Route{Dst: backup, DstBackup: pagerLoc.Primary, SrcBackup: pagerMirror},
 		Lazy:  sm,
 	})
 
@@ -207,6 +208,26 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 		})
 	}
 	return nil
+}
+
+// pagerMirror returns the cluster hosting the page server's replication
+// mirror: the OTHER server cluster, independent of the directory's backup
+// slot. The replica set is structural — the twins live on clusters 0 and
+// 1 (core wires them at boot and re-creates one at repair) — while the
+// directory's Backup slot reflects availability: it is cleared the moment
+// a server cluster crashes and restored only after repair has cloned a
+// fresh replica. Pager STATE (page-outs, sync commits, frees) must keep
+// routing to both server clusters through that window: while the crashed
+// twin is detached the bus drops its copies harmlessly, and once repair
+// re-attaches its inbox the stream queues there and replays into the
+// clone idempotently. Routing off the availability slot instead loses
+// every mutation transmitted between the clone cut and the directory
+// update, and the replicas diverge permanently (found by the chaos soak).
+func pagerMirror(primary types.ClusterID) types.ClusterID {
+	if primary != 0 && primary != 1 {
+		return types.NoCluster
+	}
+	return 1 - primary
 }
 
 // dispatchSync handles a KindSync arrival: the backup's kernel brings the
