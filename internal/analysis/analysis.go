@@ -18,11 +18,27 @@
 //	AURO007  ignored error from a message-system call
 //	AURO008  non-exhaustive switch over a message/event enum
 //	AURO009  fresh wire.Writer allocation in a hot-path package
-//	AURO000  malformed //lint:ignore suppression comment
+//	AURO010  lock-acquisition-order violation (cycle or unsanctioned
+//	         same-class nesting) in the global lock-order graph
+//	AURO011  pooled-buffer lifetime violation (use-after-put, double put,
+//	         missing put on a path, escape of retained bytes past the put)
+//	AURO012  protocol-completeness violation (enum member missing from a
+//	         dispatch switch, never constructed, or unreachable from a
+//	         transmit entry point)
+//	AURO000  malformed or unused //lint:ignore suppression comment
+//
+// AURO004 and the three new rules are flow-aware: they run over an
+// intraprocedural CFG (cfg.go) and a whole-program call graph
+// (callgraph.go) built with nothing but go/ast and go/types, so branch,
+// defer, and cross-function paths are analyzed rather than pattern-matched.
+// RunProgram is their entry point; the per-package checks still run
+// per package within it.
 //
 // A finding on line N is suppressed by `//lint:ignore AURO00X reason` on
 // line N or N-1; the reason is mandatory, so every suppression documents
-// why the flagged site is safe.
+// why the flagged site is safe. On whole-module runs a suppression that
+// matches no finding is itself reported (AURO000): stale suppressions are
+// deleted, not accumulated.
 //
 // The driver is stdlib-only (go/parser + go/types + go/importer); see
 // cmd/aurolint for the command-line front end.
@@ -82,6 +98,21 @@ type Config struct {
 	// funnel carrying a suppression that documents why its product may
 	// not alias a pooled buffer (AURO009).
 	PooledWirePkgs []string
+	// OrderedLockClasses maps a lock class ("pkgpath.Type.field") to the
+	// functions (funcKey form) sanctioned to hold several instances of
+	// that class at once under a canonical acquisition order. Same-class
+	// nesting anywhere else is AURO010.
+	OrderedLockClasses map[string][]string
+	// PoolGetFuncs / PoolPutFuncs / PoolBytesMethods identify the pooled
+	// buffer API for the AURO011 lifetime analysis: the allocator, the
+	// releaser, and the methods returning byte slices that alias the
+	// pooled storage.
+	PoolGetFuncs     []string
+	PoolPutFuncs     []string
+	PoolBytesMethods []string
+	// Protocols lists the message-protocol enums whose members must be
+	// wired end to end (AURO012).
+	Protocols []ProtocolSpec
 }
 
 // DefaultConfig returns the repository configuration for the given module
@@ -108,6 +139,7 @@ func DefaultConfig(module string) *Config {
 		},
 		BlockingCalls: []string{
 			in("bus") + ".Bus.Broadcast",
+			in("bus") + ".Bus.BroadcastBatch",
 			in("bus") + ".Bus.BroadcastAll",
 			in("bus") + ".Bus.Attach",
 			in("bus") + ".Bus.Detach",
@@ -122,12 +154,51 @@ func DefaultConfig(module string) *Config {
 		},
 		EmitCalls: []string{
 			in("bus") + ".Bus.Broadcast",
+			in("bus") + ".Bus.BroadcastBatch",
 			in("bus") + ".Bus.BroadcastAll",
 			in("trace") + ".EventLog.Append",
 			in("trace") + ".EventLog.Add",
 		},
 		EmitLocalFuncs: []string{"sendLocked", "logMsg"},
 		PooledWirePkgs: []string{in("kernel"), in("bus")},
+		OrderedLockClasses: map[string][]string{
+			// BroadcastBatch stages one batch into every port inbox while
+			// holding the bus lock; it acquires the per-inbox mutexes in
+			// ascending cluster order (DESIGN.md §10), which makes the
+			// same-class nesting deadlock-free. No other function may hold
+			// two Inbox locks at once.
+			in("bus") + ".Inbox.mu": {in("bus") + ".Bus.BroadcastBatch"},
+		},
+		PoolGetFuncs:     []string{in("wire") + ".GetWriter"},
+		PoolPutFuncs:     []string{in("wire") + ".PutWriter"},
+		PoolBytesMethods: []string{in("wire") + ".Writer.Bytes"},
+		Protocols: []ProtocolSpec{{
+			Enum: in("types") + ".Kind",
+			Dispatch: []string{
+				// Message intake, replay classification, and trace
+				// rendering each make a per-kind decision; every kind must
+				// appear explicitly in all three.
+				in("kernel") + ".Kernel.dispatch",
+				in("kernel") + ".replayableKind",
+				in("types") + ".Kind.String",
+			},
+			Transmit: []string{
+				in("bus") + ".Bus.Broadcast",
+				in("bus") + ".Bus.BroadcastBatch",
+				in("bus") + ".Bus.BroadcastAll",
+				in("kernel") + ".Kernel.sendLocked",
+			},
+			EmitExempt: []string{
+				// The zero value: constructing an invalid message is a bug
+				// caught elsewhere, not a protocol path.
+				"KindInvalid",
+				// Failure-detection probes are a synchronous callback in
+				// this simulation (fault.Detector's Probe), deliberately
+				// off the bus so they cannot perturb replayed traces; the
+				// kind is reserved for a future asynchronous detector.
+				"KindHeartbeat",
+			},
+		}},
 	}
 }
 
@@ -159,16 +230,53 @@ func (p *pass) reportf(pos token.Pos, id, format string, args ...any) {
 	})
 }
 
-// RunPackage runs every check on pkg and returns the surviving findings
-// (suppressed ones removed, malformed suppressions reported) in file/line
-// order.
+// progPass carries the state of one whole-program analysis.
+type progPass struct {
+	pr       *Program
+	findings []Finding
+}
+
+func (pp *progPass) reportf(pkg *Package, pos token.Pos, id, format string, args ...any) {
+	pp.findings = append(pp.findings, Finding{
+		Pos: pkg.Fset.Position(pos),
+		ID:  id,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// RunProgram analyzes pkgs as one program: the per-package checks run on
+// each package, then the flow-aware passes (AURO004/010/011/012) run over
+// the shared call graph. complete marks that pkgs covers the whole module,
+// enabling whole-program existence checks (protocol emission, unused
+// suppressions). Findings are returned in file/line order with
+// suppressions applied program-wide.
+func RunProgram(cfg *Config, pkgs []*Package, complete bool) []Finding {
+	pr := NewProgram(cfg, pkgs, complete)
+	pp := &progPass{pr: pr}
+	for _, pkg := range pr.pkgs {
+		p := &pass{cfg: cfg, pkg: pkg}
+		p.checkDeterminism()
+		p.checkAPIInvariants()
+		p.checkExhaustiveness()
+		pp.findings = append(pp.findings, p.findings...)
+	}
+	pp.checkLockFlow()
+	pp.checkPoolLifetime()
+	pp.checkProtocol()
+	findings := applyProgramSuppressions(pr, pp.findings)
+	sortFindings(findings)
+	return findings
+}
+
+// RunPackage analyzes a single package in isolation. The flow-aware passes
+// see only this package's call edges, so cross-package reachability (and
+// the whole-program existence checks) are reduced; prefer RunProgram over a
+// full load.
 func RunPackage(cfg *Config, pkg *Package) []Finding {
-	p := &pass{cfg: cfg, pkg: pkg}
-	p.checkDeterminism()
-	p.checkLocking()
-	p.checkAPIInvariants()
-	p.checkExhaustiveness()
-	findings := applySuppressions(pkg, p.findings)
+	return RunProgram(cfg, []*Package{pkg}, false)
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -177,9 +285,11 @@ func RunPackage(cfg *Config, pkg *Package) []Finding {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].ID < findings[j].ID
 	})
-	return findings
 }
 
 // calleeOf resolves the function or method called by call, or nil when the

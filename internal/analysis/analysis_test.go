@@ -19,15 +19,23 @@ func fixtureLoader(t *testing.T) (*Loader, string) {
 }
 
 // fixtureConfig marks the fixture packages that model deterministic-core
-// code; everything else comes from the repository defaults.
+// code and wires the lock-order and protocol fixtures into their rules;
+// everything else comes from the repository defaults.
 func fixtureConfig(module string) *Config {
 	cfg := DefaultConfig(module)
+	fix := func(name string) string { return module + "/internal/analysis/testdata/src/" + name }
 	for _, name := range []string{"det_bad", "api_bad", "clean_ok", "suppress_ok", "suppress_bad"} {
-		cfg.DeterministicPkgs = append(cfg.DeterministicPkgs,
-			module+"/internal/analysis/testdata/src/"+name)
+		cfg.DeterministicPkgs = append(cfg.DeterministicPkgs, fix(name))
 	}
-	cfg.PooledWirePkgs = append(cfg.PooledWirePkgs,
-		module+"/internal/analysis/testdata/src/pool_bad")
+	cfg.PooledWirePkgs = append(cfg.PooledWirePkgs, fix("pool_bad"))
+	// List.Ordered models bus.BroadcastBatch's sanctioned multi-instance
+	// discipline; PushPair in the same fixture is not listed and must flag.
+	cfg.OrderedLockClasses[fix("lockcycle_bad")+".List.mu"] = []string{fix("lockcycle_bad") + ".List.Ordered"}
+	cfg.Protocols = append(cfg.Protocols, ProtocolSpec{
+		Enum:     fix("protocol_bad") + ".Kind",
+		Dispatch: []string{fix("protocol_bad") + ".Dispatch"},
+		Transmit: []string{fix("protocol_bad") + ".Transmit"},
+	})
 	return cfg
 }
 
@@ -86,11 +94,14 @@ func collectWants(t *testing.T, pkg *Package) []*want {
 func TestFixtures(t *testing.T) {
 	l, module := fixtureLoader(t)
 	cfg := fixtureConfig(module)
-	for _, name := range []string{"det_bad", "lock_bad", "api_bad", "switch_bad", "pool_bad", "clean_ok", "suppress_ok"} {
+	for _, name := range []string{"det_bad", "lock_bad", "lockcycle_bad", "api_bad", "switch_bad", "pool_bad", "pool_lifetime_bad", "protocol_bad", "clean_ok", "suppress_ok"} {
 		t.Run(name, func(t *testing.T) {
 			pkg := loadFixture(t, l, module, name)
 			wants := collectWants(t, pkg)
-			findings := RunPackage(cfg, pkg)
+			// The protocol existence checks only run on complete loads;
+			// the fixture package is self-contained, so treating its
+			// single-package load as the whole program is sound.
+			findings := RunProgram(cfg, []*Package{pkg}, name == "protocol_bad")
 
 		findings:
 			for _, f := range findings {
@@ -113,24 +124,25 @@ func TestFixtures(t *testing.T) {
 }
 
 // TestMalformedSuppression checks AURO000 reporting: a reason-less
-// directive and a bogus-ID directive are each flagged, and neither
-// suppresses the underlying AURO001 findings.
+// directive, a bogus-ID directive, and (on a complete run) a well-formed
+// directive matching no finding are each flagged, and none suppresses the
+// underlying AURO001 findings.
 func TestMalformedSuppression(t *testing.T) {
 	l, module := fixtureLoader(t)
 	pkg := loadFixture(t, l, module, "suppress_bad")
-	findings := RunPackage(fixtureConfig(module), pkg)
+	findings := RunProgram(fixtureConfig(module), []*Package{pkg}, true)
 
 	counts := map[string]int{}
 	for _, f := range findings {
 		counts[f.ID]++
 	}
-	if counts["AURO000"] != 2 {
-		t.Errorf("want 2 AURO000 findings, got %d: %v", counts["AURO000"], findings)
+	if counts["AURO000"] != 3 {
+		t.Errorf("want 3 AURO000 findings, got %d: %v", counts["AURO000"], findings)
 	}
 	if counts["AURO001"] != 2 {
 		t.Errorf("want 2 surviving AURO001 findings, got %d: %v", counts["AURO001"], findings)
 	}
-	var sawMissingReason, sawBadID bool
+	var sawMissingReason, sawBadID, sawUnused bool
 	for _, f := range findings {
 		if f.ID != "AURO000" {
 			continue
@@ -141,9 +153,12 @@ func TestMalformedSuppression(t *testing.T) {
 		if strings.Contains(f.Msg, "malformed suppression") {
 			sawBadID = true
 		}
+		if strings.Contains(f.Msg, "matches no finding") {
+			sawUnused = true
+		}
 	}
-	if !sawMissingReason || !sawBadID {
-		t.Errorf("want one missing-reason and one bad-ID AURO000, got %v", findings)
+	if !sawMissingReason || !sawBadID || !sawUnused {
+		t.Errorf("want missing-reason, bad-ID, and unused AURO000s, got %v", findings)
 	}
 }
 
@@ -158,7 +173,7 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ExpandPatterns: %v", err)
 	}
-	cfg := DefaultConfig(module)
+	var pkgs []*Package
 	for _, path := range paths {
 		pkg, err := l.Load(path)
 		if err != nil {
@@ -167,8 +182,9 @@ func TestRepoClean(t *testing.T) {
 		for _, terr := range pkg.TypeErrors {
 			t.Errorf("%s: type error: %v", path, terr)
 		}
-		for _, f := range RunPackage(cfg, pkg) {
-			t.Errorf("repo finding: %s", f)
-		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, f := range RunProgram(DefaultConfig(module), pkgs, true) {
+		t.Errorf("repo finding: %s", f)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -17,183 +18,512 @@ var lockDelta = map[string]int{
 	"sync.RWMutex.RUnlock": -1,
 }
 
-// checkLocking implements AURO004: a call that blocks on cross-component
-// synchronization (bus broadcast, inbox pop, pager read-back RPC) while
-// the caller holds a mutex is the classic deadlock shape in the
-// kernel↔bus↔pager triangle — the callee may need a lock whose holder is
-// waiting on ours.
-//
-// The analysis is a statement-order scan, not full flow analysis: Lock()
-// raises the held count, Unlock() lowers it, `defer Unlock()` leaves it
-// raised for the rest of the function (that is the point of the check),
-// and branch bodies cannot leak lock-state changes past their statement.
-// Functions whose name ends in "Locked" follow the repository convention
-// of running with the owner's mutex already held. Package-local calls made
-// while a lock is held are walked too, so a blocking call buried one level
-// down is still found.
-func (p *pass) checkLocking() {
-	reported := make(map[token.Pos]bool)
-	p.walkFuncBodies(func(decl *ast.FuncDecl) {
-		w := &lockWalker{
-			pass:     p,
-			reported: reported,
-			visited:  map[*ast.FuncDecl]bool{decl: true},
-		}
-		if strings.HasSuffix(decl.Name.Name, "Locked") {
-			w.held = 1
-		}
-		w.walkStmt(decl.Body)
-	})
-}
+// maxHeld saturates per-class held counts so loops that acquire one
+// instance per iteration (the batch path locking every port inbox) reach a
+// fixed point: 2 means "two or more instances".
+const maxHeld = 2
 
-type lockWalker struct {
-	pass     *pass
-	held     int
-	reported map[token.Pos]bool
-	visited  map[*ast.FuncDecl]bool
-}
+// lockset is the dataflow value: a may-held count per lock class. The join
+// is the per-class maximum — "may be held on some path into this point" —
+// which is the sound direction for both deadlock checks: AURO004 must flag
+// a blocking call that any path reaches with a lock held, and AURO010 must
+// record every ordering edge any interleaving can produce.
+type lockset map[string]int
 
-func (w *lockWalker) walkStmts(list []ast.Stmt) {
-	for _, s := range list {
-		w.walkStmt(s)
+func (ls lockset) clone() lockset {
+	out := make(lockset, len(ls))
+	for k, v := range ls {
+		out[k] = v
 	}
+	return out
 }
 
-// walkStmt processes one statement, updating the held count for lock
-// operations at this nesting level and restoring it around branches.
-func (w *lockWalker) walkStmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case nil:
-	case *ast.BlockStmt:
-		w.walkStmts(s.List)
-	case *ast.LabeledStmt:
-		w.walkStmt(s.Stmt)
-	case *ast.DeferStmt:
-		// A deferred Unlock releases only at return: the lock stays held
-		// for the remainder of the scan. Other deferred calls run at an
-		// unknowable lock state; skip them.
-	case *ast.GoStmt:
-		// The new goroutine does not inherit the caller's locks.
-	case *ast.IfStmt:
-		w.walkStmt(s.Init)
-		w.evalExpr(s.Cond)
-		save := w.held
-		w.walkStmt(s.Body)
-		w.held = save
-		w.walkStmt(s.Else)
-		w.held = save
-	case *ast.ForStmt:
-		w.walkStmt(s.Init)
-		w.evalExpr(s.Cond)
-		save := w.held
-		w.walkStmt(s.Body)
-		w.walkStmt(s.Post)
-		w.held = save
-	case *ast.RangeStmt:
-		w.evalExpr(s.X)
-		save := w.held
-		w.walkStmt(s.Body)
-		w.held = save
-	case *ast.SwitchStmt:
-		w.walkStmt(s.Init)
-		w.evalExpr(s.Tag)
-		w.walkClauses(s.Body)
-	case *ast.TypeSwitchStmt:
-		w.walkStmt(s.Init)
-		w.walkClauses(s.Body)
-	case *ast.SelectStmt:
-		w.walkClauses(s.Body)
-	default:
-		// Leaf statements (expressions, assignments, returns, sends):
-		// evaluate every contained expression in source order.
-		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok {
-				w.evalExpr(e)
-				return false
-			}
+func (ls lockset) any() bool {
+	for _, v := range ls {
+		if v > 0 {
 			return true
-		})
-	}
-}
-
-func (w *lockWalker) walkClauses(body *ast.BlockStmt) {
-	save := w.held
-	for _, clause := range body.List {
-		w.held = save
-		switch c := clause.(type) {
-		case *ast.CaseClause:
-			for _, e := range c.List {
-				w.evalExpr(e)
-			}
-			w.walkStmts(c.Body)
-		case *ast.CommClause:
-			w.walkStmt(c.Comm)
-			w.walkStmts(c.Body)
 		}
 	}
-	w.held = save
+	return false
 }
 
-// evalExpr scans an expression for calls, in position order.
-func (w *lockWalker) evalExpr(e ast.Expr) {
-	if e == nil {
+// join merges other into ls (per-class max) and reports whether ls grew.
+func (ls lockset) join(other lockset) bool {
+	changed := false
+	for k, v := range other {
+		if v > ls[k] {
+			ls[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// heldClasses returns the held classes in sorted order (deterministic
+// messages and edge enumeration).
+func (ls lockset) heldClasses() []string {
+	var out []string
+	for k, v := range ls {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// funcSummary is what a call to the function means to its caller's lock
+// state: the classes it may acquire, and whether it may reach a configured
+// blocking call — both counted only at points where the function's entry
+// lockset is still held. That qualifier is what understands the
+// hand-over-hand idiom: a *Locked helper that does
+// `mu.Unlock(); slowWork(); mu.Lock()` re-acquires its own entry lock with
+// nothing nested inside, so neither the re-lock nor slowWork's behavior
+// leaks into the summary the caller sees.
+type funcSummary struct {
+	acq      map[string]bool
+	blocking bool
+}
+
+// lockFlow is the shared state of the AURO004/AURO010 pass.
+type lockFlow struct {
+	pp *progPass
+
+	// states caches, per function, the dataflow in-state of every CFG
+	// block. Lock state transfer depends only on explicit Lock/Unlock
+	// calls, so the states are computed once and shared by the summary
+	// fixpoint and the reporting pass.
+	states map[*funcNode][]lockset
+	sums   map[*funcNode]*funcSummary
+	// order is the global lock-acquisition-order graph.
+	order *lockOrder
+}
+
+// checkLockFlow implements AURO004 and AURO010 together: one CFG dataflow
+// computes the may-held lockset at every call site; blocking calls (and
+// calls that reach one) while the set is non-empty are AURO004; every
+// acquisition made while the set is non-empty contributes an edge to the
+// global lock-order graph, whose cycles are AURO010.
+func (pp *progPass) checkLockFlow() {
+	lf := &lockFlow{
+		pp:     pp,
+		states: make(map[*funcNode][]lockset),
+		sums:   make(map[*funcNode]*funcSummary),
+		order:  newLockOrder(pp.pr.conf),
+	}
+	for _, n := range pp.pr.decls {
+		lf.sums[n] = &funcSummary{acq: make(map[string]bool)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range pp.pr.decls {
+			if lf.summarizeFunc(n) {
+				changed = true
+			}
+		}
+	}
+	for _, n := range pp.pr.decls {
+		lf.reportFunc(n)
+	}
+	lf.order.reportCycles(pp)
+}
+
+// entryLockset seeds the dataflow: functions following the repository's
+// *Locked naming convention run with their owner's mutex already held.
+func (lf *lockFlow) entryLockset(n *funcNode) lockset {
+	ls := make(lockset)
+	if !strings.HasSuffix(n.decl.Name.Name, "Locked") {
+		return ls
+	}
+	if c := receiverLockClass(n.fn); c != "" {
+		ls[c] = 1
+	} else {
+		// A package-level *Locked function: the held mutex cannot be
+		// named, but the convention still means "a lock is held" for
+		// AURO004 — track it as an opaque class.
+		ls[n.pkg.Path+".#callerLock"] = 1
+	}
+	return ls
+}
+
+// statesOf computes (once) the per-block in-states for n's CFG.
+func (lf *lockFlow) statesOf(n *funcNode) []lockset {
+	if st, ok := lf.states[n]; ok {
+		return st
+	}
+	g := lf.pp.pr.cfgOf(n)
+	in := make([]lockset, len(g.blocks))
+	in[g.entry.index] = lf.entryLockset(n)
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.blocks {
+			if !blk.live || in[blk.index] == nil {
+				continue
+			}
+			out := in[blk.index].clone()
+			for _, node := range blk.nodes {
+				lf.applyLockOps(n, node, out)
+			}
+			for _, s := range blk.succs {
+				if in[s.index] == nil {
+					in[s.index] = out.clone()
+					changed = true
+				} else if in[s.index].join(out) {
+					changed = true
+				}
+			}
+		}
+	}
+	lf.states[n] = in
+	return in
+}
+
+// applyLockOps advances the lockset over one CFG node: only explicit
+// Lock/Unlock calls change it. Deferred and spawned calls do not run here.
+func (lf *lockFlow) applyLockOps(n *funcNode, node ast.Node, ls lockset) {
+	switch node.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
 		return
 	}
-	inspectSkippingFuncLits(e, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			w.handleCall(call)
+	inspectSkippingFuncLits(node, func(an ast.Node) bool {
+		call, ok := an.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(n.pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		if delta, ok := lockDelta[funcKey(fn)]; ok {
+			if c := lockClassFromCall(n, call); c != "" {
+				if delta > 0 {
+					if ls[c] < maxHeld {
+						ls[c]++
+					}
+				} else if ls[c] > 0 {
+					ls[c]--
+				}
+			}
 		}
 		return true
 	})
 }
 
-func (w *lockWalker) handleCall(call *ast.CallExpr) {
-	fn := calleeOf(w.pass.pkg.Info, call)
-	if fn == nil {
-		return
-	}
-	key := funcKey(fn)
-	if d, ok := lockDelta[key]; ok {
-		w.held += d
-		if w.held < 0 {
-			w.held = 0
+// entryStillHeld reports whether every class of n's entry lockset is still
+// held in ls (vacuously true for functions entered lock-free).
+func (lf *lockFlow) entryStillHeld(n *funcNode, ls lockset) bool {
+	for c, v := range lf.entryLockset(n) {
+		if v > 0 && ls[c] == 0 {
+			return false
 		}
-		return
 	}
-	if w.held == 0 {
-		return
-	}
-	if containsString(w.pass.cfg.BlockingCalls, key) {
-		if !w.reported[call.Pos()] {
-			w.reported[call.Pos()] = true
-			w.pass.reportf(call.Pos(), "AURO004",
-				"blocking cross-component call %s while a mutex is held; release the lock first",
-				key[strings.LastIndex(key, "/")+1:])
-		}
-		return
-	}
-	// Follow package-local calls made under the lock, one body at a time.
-	if fn.Pkg() == nil || fn.Pkg().Path() != w.pass.pkg.Path {
-		return
-	}
-	decl := w.declOf(fn)
-	if decl == nil || w.visited[decl] {
-		return
-	}
-	w.visited[decl] = true
-	sub := &lockWalker{pass: w.pass, held: w.held, reported: w.reported, visited: w.visited}
-	sub.walkStmt(decl.Body)
+	return true
 }
 
-func (w *lockWalker) declOf(fn *types.Func) *ast.FuncDecl {
-	for _, f := range w.pass.pkg.Files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
-				if obj, ok := w.pass.pkg.Info.Defs[fd.Name].(*types.Func); ok && obj == fn {
-					return fd
+// summarizeFunc folds n's lock acquisitions and callee summaries — at
+// points where the entry lockset is still held — into n's summary.
+// Reports whether the summary grew (the caller iterates to fixpoint).
+func (lf *lockFlow) summarizeFunc(n *funcNode) bool {
+	in := lf.statesOf(n)
+	g := lf.pp.pr.cfgOf(n)
+	sum := lf.sums[n]
+	changed := false
+	addAcq := func(c string) {
+		if !sum.acq[c] {
+			sum.acq[c] = true
+			changed = true
+		}
+	}
+	for _, blk := range g.blocks {
+		if !blk.live || in[blk.index] == nil {
+			continue
+		}
+		ls := in[blk.index].clone()
+		for _, node := range blk.nodes {
+			lf.walkCalls(n, node, ls, func(call *ast.CallExpr, fn *types.Func, key string, ls lockset) {
+				if !lf.entryStillHeld(n, ls) {
+					return
+				}
+				if delta, ok := lockDelta[key]; ok {
+					if delta > 0 {
+						if c := lockClassFromCall(n, call); c != "" {
+							addAcq(c)
+						}
+					}
+					return
+				}
+				if containsString(lf.pp.pr.conf.BlockingCalls, key) && !sum.blocking {
+					sum.blocking = true
+					changed = true
+				}
+				for _, t := range lf.targetsOf(fn) {
+					ts := lf.sums[t]
+					for c := range ts.acq {
+						addAcq(c)
+					}
+					if ts.blocking && !sum.blocking {
+						sum.blocking = true
+						changed = true
+					}
+				}
+			})
+		}
+	}
+	return changed
+}
+
+// walkCalls visits every call in the node in evaluation order, advancing
+// the lockset as it goes, so the visitor sees the lock state at each call
+// site. Deferred and spawned calls are skipped (only their arguments are
+// evaluated here).
+func (lf *lockFlow) walkCalls(n *funcNode, node ast.Node, ls lockset, visit func(*ast.CallExpr, *types.Func, string, lockset)) {
+	switch s := node.(type) {
+	case *ast.DeferStmt:
+		for _, a := range s.Call.Args {
+			lf.walkCalls(n, a, ls, visit)
+		}
+		return
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			lf.walkCalls(n, a, ls, visit)
+		}
+		return
+	}
+	inspectSkippingFuncLits(node, func(an ast.Node) bool {
+		call, ok := an.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(n.pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		key := funcKey(fn)
+		visit(call, fn, key, ls)
+		if delta, ok := lockDelta[key]; ok {
+			if c := lockClassFromCall(n, call); c != "" {
+				if delta > 0 {
+					if ls[c] < maxHeld {
+						ls[c]++
+					}
+				} else if ls[c] > 0 {
+					ls[c]--
 				}
 			}
 		}
+		return true
+	})
+}
+
+// targetsOf resolves a called function to the program functions it may
+// dispatch to.
+func (lf *lockFlow) targetsOf(fn *types.Func) []*funcNode {
+	if isInterfaceMethod(fn) {
+		return lf.pp.pr.implementations(fn)
+	}
+	if t := lf.pp.pr.nodeOf(fn); t != nil {
+		return []*funcNode{t}
 	}
 	return nil
+}
+
+// reportFunc emits AURO004 findings and AURO010 edges for one function.
+func (lf *lockFlow) reportFunc(n *funcNode) {
+	in := lf.statesOf(n)
+	g := lf.pp.pr.cfgOf(n)
+	reported := make(map[token.Pos]bool)
+
+	for _, blk := range g.blocks {
+		if !blk.live || in[blk.index] == nil {
+			continue
+		}
+		ls := in[blk.index].clone()
+		for _, node := range blk.nodes {
+			lf.walkCalls(n, node, ls, func(call *ast.CallExpr, fn *types.Func, key string, ls lockset) {
+				if delta, ok := lockDelta[key]; ok {
+					if delta > 0 {
+						if c := lockClassFromCall(n, call); c != "" {
+							for _, held := range ls.heldClasses() {
+								lf.order.addEdge(lf.pp, n, call.Pos(), held, c)
+							}
+						}
+					}
+					return
+				}
+				lf.checkCall(n, call, fn, key, ls, reported, "")
+			})
+		}
+	}
+
+	// Deferred calls run at return, in LIFO order, at the exit lockset: a
+	// deferred Unlock releases, and a deferred call that blocks (or
+	// reaches a blocking call) with locks still held is the defer blind
+	// spot the statement-order scan missed.
+	exit := in[g.exit.index]
+	if exit == nil {
+		return
+	}
+	ls := exit.clone()
+	for i := len(g.defers) - 1; i >= 0; i-- {
+		d := g.defers[i]
+		fn := calleeOf(n.pkg.Info, d.Call)
+		if fn == nil {
+			continue
+		}
+		key := funcKey(fn)
+		if delta, ok := lockDelta[key]; ok {
+			if c := lockClassFromCall(n, d.Call); c != "" {
+				if delta > 0 {
+					if ls[c] < maxHeld {
+						ls[c]++
+					}
+				} else if ls[c] > 0 {
+					ls[c]--
+				}
+			}
+			continue
+		}
+		lf.checkCall(n, d.Call, fn, key, ls, reported, " (deferred: it runs at return, before the deferred unlock)")
+	}
+}
+
+// checkCall handles a non-mutex call at the given lockset: a configured
+// blocking call (or a call whose summary contains one) under a lock is
+// AURO004; the callee's summarized acquisitions feed the AURO010 graph.
+func (lf *lockFlow) checkCall(n *funcNode, call *ast.CallExpr, fn *types.Func, key string, ls lockset, reported map[token.Pos]bool, suffix string) {
+	if !ls.any() {
+		return
+	}
+	if containsString(lf.pp.pr.conf.BlockingCalls, key) {
+		if !reported[call.Pos()] {
+			reported[call.Pos()] = true
+			lf.pp.reportf(n.pkg, call.Pos(), "AURO004",
+				"blocking cross-component call %s while a mutex is held%s; release the lock first",
+				key[strings.LastIndex(key, "/")+1:], suffix)
+		}
+		return
+	}
+	for _, t := range lf.targetsOf(fn) {
+		sum := lf.sums[t]
+		if sum == nil {
+			continue
+		}
+		if sum.blocking && !reported[call.Pos()] {
+			reported[call.Pos()] = true
+			lf.pp.reportf(n.pkg, call.Pos(), "AURO004",
+				"call to %s while a mutex is held reaches a blocking cross-component call%s; release the lock first",
+				t.fn.Name(), suffix)
+		}
+		var acqs []string
+		for c := range sum.acq {
+			acqs = append(acqs, c)
+		}
+		sort.Strings(acqs)
+		for _, acq := range acqs {
+			for _, held := range ls.heldClasses() {
+				lf.order.addEdge(lf.pp, n, call.Pos(), held, acq)
+			}
+		}
+	}
+}
+
+// lockClassFromCall names the mutex a Lock/Unlock call operates on:
+// "pkgpath.Type.field" for struct-owned mutexes, "pkgpath.var" for
+// package-level ones, and a function-qualified name for locals.
+func lockClassFromCall(n *funcNode, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return lockClassOf(n, ast.Unparen(sel.X))
+}
+
+func lockClassOf(n *funcNode, e ast.Expr) string {
+	info := n.pkg.Info
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s := info.Selections[e]; s != nil {
+			if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+				if named := namedOf(s.Recv()); named != nil {
+					return classOfField(named, v)
+				}
+			}
+		}
+		// Package-qualified package-level mutex: pkg.Mu.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			// Local mutex: scope the class to the declaring function.
+			return funcKey(n.fn) + "." + v.Name()
+		}
+	case *ast.UnaryExpr:
+		return lockClassOf(n, ast.Unparen(e.X))
+	}
+	// Unclassifiable (map/slice element, call result): a stable opaque
+	// name keyed to the expression text keeps the analysis deterministic.
+	return funcKey(n.fn) + ".#" + types.ExprString(e)
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func classOfField(named *types.Named, field *types.Var) string {
+	pkg := ""
+	if named.Obj().Pkg() != nil {
+		pkg = named.Obj().Pkg().Path() + "."
+	}
+	return pkg + named.Obj().Name() + "." + field.Name()
+}
+
+// receiverLockClass returns the lock class of the receiver's mutex field
+// for a method following the *Locked convention (the field named "mu", or
+// the sole mutex-typed field).
+func receiverLockClass(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	var sole *types.Var
+	mutexes := 0
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !isMutexType(f.Type()) {
+			continue
+		}
+		if f.Name() == "mu" {
+			return classOfField(named, f)
+		}
+		mutexes++
+		sole = f
+	}
+	if mutexes == 1 {
+		return classOfField(named, sole)
+	}
+	return ""
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
 }

@@ -1,0 +1,525 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AURO011 — pooled-buffer lifetime analysis.
+//
+// wire.GetWriter hands out a buffer the caller owns until wire.PutWriter
+// returns it; after the put, both the writer and any []byte obtained from
+// Bytes() alias pool memory the next borrower will overwrite. This pass
+// tracks each local bound to a GetWriter result through the CFG with a
+// may-state bitset per variable:
+//
+//	owned      — holds the buffer, a put is still required
+//	deferred   — a `defer wire.PutWriter(w)` covers function exit
+//	released   — PutWriter has run on some path
+//	escaped    — the writer left the function (returned, stored into a
+//	             field/global/container, sent, or captured by a closure);
+//	             responsibility transferred, tracking stops
+//
+// Findings: a put on a released/deferred state is a double put; any use on
+// a state that may be released is a use-after-put (including uses of byte
+// slices from Bytes()); reaching return still plainly owned means a path —
+// typically an early error return — misses its put. Escape of a Bytes()
+// alias past a put (returning or storing the slice while a put is deferred
+// or done) is flagged too: the bytes must be copied, as DESIGN.md §10's
+// ownership rules require. Panic edges have no successor in the CFG, so
+// paths that cannot return do not demand a put.
+//
+// Passing the writer or its bytes as an ordinary call argument is a borrow,
+// not an escape: encoding helpers (`m.Lazy.EncodePayload(w)`) and hash
+// writes (`h.Write(b)`) stay clean, while `append(batch, w)` (retention)
+// and `ch <- w` (transfer) do not. `append(dst, b...)` copies the bytes and
+// is likewise clean.
+
+const (
+	plOwned uint8 = 1 << iota
+	plDeferred
+	plReleased
+	plEscaped
+)
+
+// poolState is the dataflow value: a may-state bitset per tracked writer.
+type poolState map[*types.Var]uint8
+
+func (ps poolState) clone() poolState {
+	out := make(poolState, len(ps))
+	for k, v := range ps {
+		out[k] = v
+	}
+	return out
+}
+
+func (ps poolState) join(other poolState) bool {
+	changed := false
+	for k, v := range other {
+		if ps[k]|v != ps[k] {
+			ps[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// poolFlow analyzes one function.
+type poolFlow struct {
+	pp *progPass
+	n  *funcNode
+
+	// aliases maps a []byte local obtained from w.Bytes() (or a second
+	// writer variable copied from w) to the tracked writer variable. The
+	// relation is flow-insensitive: an alias created on any path taints
+	// uses everywhere after the cell is released.
+	aliases map[*types.Var]*types.Var
+	// cells is the set of tracked writer variables, with the position of
+	// their GetWriter call for reporting.
+	cells map[*types.Var]token.Pos
+
+	reported map[token.Pos]bool
+}
+
+func (pp *progPass) checkPoolLifetime() {
+	for _, n := range pp.pr.decls {
+		pf := &poolFlow{
+			pp:       pp,
+			n:        n,
+			aliases:  make(map[*types.Var]*types.Var),
+			cells:    make(map[*types.Var]token.Pos),
+			reported: make(map[token.Pos]bool),
+		}
+		pf.run()
+	}
+}
+
+func (pf *poolFlow) run() {
+	n := pf.n
+	// Cheap pre-scan: skip functions that never touch the pool.
+	touches := false
+	ast.Inspect(n.decl.Body, func(an ast.Node) bool {
+		if call, ok := an.(*ast.CallExpr); ok {
+			if fn := calleeOf(n.pkg.Info, call); fn != nil {
+				key := funcKey(fn)
+				if containsString(pf.pp.pr.conf.PoolGetFuncs, key) || containsString(pf.pp.pr.conf.PoolPutFuncs, key) {
+					touches = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if !touches {
+		return
+	}
+
+	g := pf.pp.pr.cfgOf(n)
+	in := make([]poolState, len(g.blocks))
+	in[g.entry.index] = make(poolState)
+
+	transfer := func(blk *block, report bool) poolState {
+		ps := in[blk.index].clone()
+		for _, node := range blk.nodes {
+			pf.transferNode(node, ps, report)
+		}
+		return ps
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range g.blocks {
+			if !blk.live || in[blk.index] == nil {
+				continue
+			}
+			out := transfer(blk, false)
+			for _, s := range blk.succs {
+				if in[s.index] == nil {
+					in[s.index] = out.clone()
+					changed = true
+				} else if in[s.index].join(out) {
+					changed = true
+				}
+			}
+		}
+	}
+	for _, blk := range g.blocks {
+		if blk.live && in[blk.index] != nil {
+			transfer(blk, true)
+		}
+	}
+
+	exit := in[g.exit.index]
+	if exit == nil {
+		return
+	}
+	for v, st := range exit {
+		if st&plOwned != 0 && st&(plDeferred|plEscaped) == 0 {
+			pos := pf.cells[v]
+			if !pf.reported[pos] {
+				pf.reported[pos] = true
+				pf.pp.reportf(n.pkg, pos, "AURO011",
+					"pooled writer %s may reach return without wire.PutWriter (missing put on some path); add a put or defer it", v.Name())
+			}
+		}
+	}
+}
+
+// cellOf resolves an identifier to its tracked writer variable, following
+// the alias relation.
+func (pf *poolFlow) cellOf(id *ast.Ident) *types.Var {
+	v, ok := pf.n.pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		if v, ok = pf.n.pkg.Info.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	if c, ok := pf.aliases[v]; ok {
+		return c
+	}
+	if _, ok := pf.cells[v]; ok {
+		return v
+	}
+	return nil
+}
+
+// isByteAlias reports whether v aliases pooled bytes (rather than being the
+// writer itself); byte aliases get the stricter escape rule.
+func (pf *poolFlow) isByteAlias(id *ast.Ident) bool {
+	v, ok := pf.n.pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	_, aliased := pf.aliases[v]
+	_, isCell := pf.cells[v]
+	return aliased && !isCell
+}
+
+func (pf *poolFlow) transferNode(node ast.Node, ps poolState, report bool) {
+	switch s := node.(type) {
+	case *ast.AssignStmt:
+		pf.assign(s, ps, report)
+	case *ast.DeferStmt:
+		pf.deferStmt(s, ps, report)
+	case *ast.GoStmt:
+		// The spawned call runs concurrently: any tracked value among its
+		// arguments (or captured by its closure) escapes this function's
+		// lifetime discipline.
+		pf.scan(s.Call.Fun, ps, report, false)
+		for _, a := range s.Call.Args {
+			pf.scan(a, ps, report, true)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			pf.scan(r, ps, report, true)
+		}
+	case *ast.SendStmt:
+		pf.scan(s.Chan, ps, report, false)
+		pf.scan(s.Value, ps, report, true)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, val := range vs.Values {
+						var lhs ast.Expr
+						if i < len(vs.Names) {
+							lhs = vs.Names[i]
+						}
+						pf.assignOne(lhs, val, ps, report)
+					}
+				}
+			}
+		}
+	default:
+		if e, ok := node.(ast.Expr); ok {
+			pf.scan(e, ps, report, false)
+			return
+		}
+		if st, ok := node.(ast.Stmt); ok {
+			ast.Inspect(st, func(an ast.Node) bool {
+				switch an := an.(type) {
+				case *ast.FuncLit:
+					pf.scanFuncLit(an, ps, report)
+					return false
+				case ast.Expr:
+					pf.scan(an, ps, report, false)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (pf *poolFlow) assign(s *ast.AssignStmt, ps poolState, report bool) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Rhs {
+			pf.assignOne(s.Lhs[i], s.Rhs[i], ps, report)
+		}
+		return
+	}
+	for _, r := range s.Rhs {
+		pf.scan(r, ps, report, false)
+	}
+	for _, l := range s.Lhs {
+		pf.scan(l, ps, report, false)
+	}
+}
+
+// assignOne handles one lhs = rhs pair: GetWriter binding, alias creation,
+// store-escapes, and plain uses.
+func (pf *poolFlow) assignOne(lhs, rhs ast.Expr, ps poolState, report bool) {
+	rhs = ast.Unparen(rhs)
+	lhsID, lhsIsLocal := pf.localIdent(lhs)
+
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if fn := calleeOf(pf.n.pkg.Info, call); fn != nil {
+			key := funcKey(fn)
+			if containsString(pf.pp.pr.conf.PoolGetFuncs, key) && lhsIsLocal {
+				v, _ := pf.n.pkg.Info.Defs[lhsID].(*types.Var)
+				if v == nil {
+					v, _ = pf.n.pkg.Info.Uses[lhsID].(*types.Var)
+				}
+				if v != nil {
+					if _, known := pf.cells[v]; !known {
+						pf.cells[v] = call.Pos()
+					}
+					ps[v] = plOwned
+				}
+				return
+			}
+			// b := w.Bytes(): byte alias of the pooled buffer.
+			if containsString(pf.pp.pr.conf.PoolBytesMethods, key) && lhsIsLocal {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if src, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+						if cell := pf.cellOf(src); cell != nil {
+							pf.useCheck(src, cell, ps, report)
+							if v, ok := pf.n.pkg.Info.Defs[lhsID].(*types.Var); ok {
+								pf.aliases[v] = cell
+							} else if v, ok := pf.n.pkg.Info.Uses[lhsID].(*types.Var); ok {
+								pf.aliases[v] = cell
+							}
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// w2 := w: a second name for the same writer.
+	if id, ok := rhs.(*ast.Ident); ok && lhsIsLocal {
+		if cell := pf.cellOf(id); cell != nil && !pf.isByteAlias(id) {
+			pf.useCheck(id, cell, ps, report)
+			if v, ok := pf.n.pkg.Info.Defs[lhsID].(*types.Var); ok {
+				pf.aliases[v] = cell
+			} else if v, ok := pf.n.pkg.Info.Uses[lhsID].(*types.Var); ok {
+				pf.aliases[v] = cell
+			}
+			return
+		}
+	}
+
+	// Anything else: the RHS is a use; a tracked value flowing into a
+	// non-local destination (field, global, element) escapes.
+	pf.scan(rhs, ps, report, !lhsIsLocal)
+	if !lhsIsLocal {
+		pf.scan(lhs, ps, report, false)
+	}
+}
+
+// localIdent reports whether e is a plain identifier for a function-local
+// variable (including the blank identifier, which absorbs values safely).
+func (pf *poolFlow) localIdent(e ast.Expr) (*ast.Ident, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if id.Name == "_" {
+		return id, true
+	}
+	obj := pf.n.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = pf.n.pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil, false
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil, false // package-level variable: a store there escapes
+	}
+	return id, true
+}
+
+func (pf *poolFlow) deferStmt(s *ast.DeferStmt, ps poolState, report bool) {
+	call := s.Call
+	if fn := calleeOf(pf.n.pkg.Info, call); fn != nil {
+		if containsString(pf.pp.pr.conf.PoolPutFuncs, funcKey(fn)) && len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if cell := pf.cellOf(id); cell != nil {
+					st := ps[cell]
+					if report && st&(plReleased|plDeferred) != 0 && !pf.reported[call.Pos()] {
+						pf.reported[call.Pos()] = true
+						pf.pp.reportf(pf.n.pkg, call.Pos(), "AURO011",
+							"double put: %s is already released (or a put is already deferred) when this defer registers", id.Name)
+					}
+					if st&plEscaped == 0 {
+						ps[cell] = (st &^ plOwned) | plDeferred
+					}
+					return
+				}
+			}
+		}
+	}
+	// Other deferred calls only evaluate their arguments here; a deferred
+	// closure body runs at exit and may outlive a put, so captures escape.
+	pf.scan(call.Fun, ps, report, false)
+	for _, a := range call.Args {
+		pf.scan(a, ps, report, false)
+	}
+}
+
+// scan walks an expression in evaluation order, classifying every
+// occurrence of a tracked identifier. esc marks contexts where a reference
+// outlives the statement (return values, stored/sent values, go-call
+// arguments, composite-literal elements).
+func (pf *poolFlow) scan(e ast.Expr, ps poolState, report, esc bool) {
+	if e == nil {
+		return
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		cell := pf.cellOf(e)
+		if cell == nil {
+			return
+		}
+		pf.useCheck(e, cell, ps, report)
+		if esc {
+			pf.escape(e, cell, ps, report)
+		}
+	case *ast.CallExpr:
+		pf.scanCall(e, ps, report)
+	case *ast.FuncLit:
+		pf.scanFuncLit(e, ps, report)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				pf.scan(kv.Value, ps, report, true)
+				continue
+			}
+			pf.scan(el, ps, report, true)
+		}
+	case *ast.SelectorExpr:
+		pf.scan(e.X, ps, report, false)
+	case *ast.IndexExpr:
+		pf.scan(e.X, ps, report, false)
+		pf.scan(e.Index, ps, report, false)
+	case *ast.SliceExpr:
+		pf.scan(e.X, ps, report, false)
+		pf.scan(e.Low, ps, report, false)
+		pf.scan(e.High, ps, report, false)
+		pf.scan(e.Max, ps, report, false)
+	case *ast.UnaryExpr:
+		pf.scan(e.X, ps, report, esc)
+	case *ast.StarExpr:
+		pf.scan(e.X, ps, report, esc)
+	case *ast.BinaryExpr:
+		pf.scan(e.X, ps, report, false)
+		pf.scan(e.Y, ps, report, false)
+	case *ast.KeyValueExpr:
+		pf.scan(e.Value, ps, report, esc)
+	case *ast.TypeAssertExpr:
+		pf.scan(e.X, ps, report, esc)
+	}
+}
+
+func (pf *poolFlow) scanCall(call *ast.CallExpr, ps poolState, report bool) {
+	fn := calleeOf(pf.n.pkg.Info, call)
+	if fn != nil && containsString(pf.pp.pr.conf.PoolPutFuncs, funcKey(fn)) && len(call.Args) == 1 {
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if cell := pf.cellOf(id); cell != nil {
+				st := ps[cell]
+				if report && st&(plReleased|plDeferred) != 0 && !pf.reported[call.Pos()] {
+					pf.reported[call.Pos()] = true
+					pf.pp.reportf(pf.n.pkg, call.Pos(), "AURO011",
+						"double put: %s may already be released here", id.Name)
+				}
+				if st&plEscaped == 0 {
+					ps[cell] = (st &^ plOwned) | plReleased
+				}
+				return
+			}
+		}
+	}
+
+	// append(s, w) retains the writer in s; append(dst, b...) copies the
+	// bytes and is a borrow.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(pf.n.pkg.Info, id) {
+		for i, a := range call.Args {
+			esc := i > 0 && call.Ellipsis == token.NoPos
+			pf.scan(a, ps, report, esc)
+		}
+		return
+	}
+
+	pf.scan(call.Fun, ps, report, false)
+	for _, a := range call.Args {
+		// A plain argument is a borrow: the callee must not retain it
+		// (that is the callee's own AURO011 obligation).
+		pf.scan(a, ps, report, false)
+	}
+}
+
+// scanFuncLit marks tracked values referenced inside a function literal as
+// escaped: the closure may run after the enclosing frame released them.
+func (pf *poolFlow) scanFuncLit(lit *ast.FuncLit, ps poolState, report bool) {
+	ast.Inspect(lit.Body, func(an ast.Node) bool {
+		if id, ok := an.(*ast.Ident); ok {
+			if cell := pf.cellOf(id); cell != nil {
+				pf.useCheck(id, cell, ps, report)
+				pf.escape(id, cell, ps, report)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltin reports whether id resolves to the predeclared function of the
+// same name (not shadowed by a user definition).
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+func (pf *poolFlow) useCheck(id *ast.Ident, cell *types.Var, ps poolState, report bool) {
+	if !report {
+		return
+	}
+	st := ps[cell]
+	if st&plReleased != 0 && st&plEscaped == 0 && !pf.reported[id.Pos()] {
+		pf.reported[id.Pos()] = true
+		pf.pp.reportf(pf.n.pkg, id.Pos(), "AURO011",
+			"use of %s after wire.PutWriter may have released it; the pool may have handed the buffer to another goroutine", id.Name)
+	}
+}
+
+func (pf *poolFlow) escape(id *ast.Ident, cell *types.Var, ps poolState, report bool) {
+	st := ps[cell]
+	if pf.isByteAlias(id) {
+		// Retained bytes escaping while a put is pending or done leak pool
+		// memory to the caller.
+		if report && st&(plDeferred|plReleased) != 0 && !pf.reported[id.Pos()] {
+			pf.reported[id.Pos()] = true
+			pf.pp.reportf(pf.n.pkg, id.Pos(), "AURO011",
+				"bytes of pooled writer escape past its put; copy them (append to a fresh slice) before releasing")
+		}
+		return
+	}
+	// The writer itself escaping transfers ownership: stop tracking.
+	ps[cell] = plEscaped
+}

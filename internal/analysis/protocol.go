@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AURO012 — protocol completeness.
+//
+// The replay guarantee is only as strong as the least-wired message kind: a
+// kind that can be constructed but never dispatched (or dispatched but
+// never classified for replay) fails exactly when a fault first exercises
+// it. This pass checks, cross-package, that every member of the protocol
+// enum is wired end to end:
+//
+//  1. Dispatch coverage — each function listed in ProtocolSpec.Dispatch
+//     must contain a switch over the enum with an explicit case for every
+//     member. Unlike AURO008, a default clause does NOT excuse a missing
+//     case: dispatch, replay classification, and String all make per-kind
+//     decisions, and "handled by default" is precisely the silent
+//     misclassification the rule exists to prevent.
+//  2. Emission — every member (minus documented exemptions) must have a
+//     construction site (the constant used as a value: a Kind: field, an
+//     assignment, a call argument), and at least one construction site
+//     must sit in a function from which a Transmit entry point is
+//     reachable through the call graph. The bus's transmit path emits the
+//     EvTransmit/EvReceive trace pair per message, so reaching it is what
+//     makes the kind visible to the replay oracles.
+//
+// Construction sites deliberately exclude classification contexts: case
+// labels, comparison operands (==, !=, <...), and map-literal keys are
+// reads of the protocol, not messages entering it.
+//
+// The existence checks only run on whole-module loads (Program.complete):
+// on a partial load, "never constructed" would just mean "constructed in a
+// package you did not ask about".
+
+// ProtocolSpec describes one protocol enum and its required wiring.
+type ProtocolSpec struct {
+	// Enum names the enum type, "pkgpath.TypeName".
+	Enum string
+	// Dispatch lists functions (funcKey form) that must each contain a
+	// switch explicitly covering every enum member.
+	Dispatch []string
+	// Transmit lists the transmission entry points (funcKey form);
+	// construction sites must reach one through the call graph.
+	Transmit []string
+	// EmitExempt lists members excused from the emission requirement, each
+	// with a reason recorded where the spec is configured.
+	EmitExempt []string
+}
+
+func (pp *progPass) checkProtocol() {
+	for _, spec := range pp.pr.conf.Protocols {
+		pp.checkProtocolSpec(spec)
+	}
+}
+
+func (pp *progPass) checkProtocolSpec(spec ProtocolSpec) {
+	pr := pp.pr
+	dot := strings.LastIndex(spec.Enum, ".")
+	if dot < 0 {
+		return
+	}
+	pkgPath, typeName := spec.Enum[:dot], spec.Enum[dot+1:]
+	epkg := pr.byPath[pkgPath]
+	if epkg == nil {
+		return // enum package not in this load
+	}
+	tn, ok := epkg.Types.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return
+	}
+	enum, ok := tn.Type().(*types.Named)
+	if !ok {
+		return
+	}
+
+	// Enumerate members in declaration order.
+	type member struct {
+		obj *types.Const
+	}
+	var members []member
+	scope := epkg.Types.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), enum) {
+			members = append(members, member{obj: c})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].obj.Pos() < members[j].obj.Pos() })
+	if len(members) == 0 {
+		return
+	}
+	memberSet := make(map[*types.Const]bool, len(members))
+	for _, m := range members {
+		memberSet[m.obj] = true
+	}
+
+	// 1. Dispatch coverage.
+	for _, key := range spec.Dispatch {
+		n := pr.nodeByKey(key)
+		if n == nil {
+			if pr.complete {
+				// The spec names a function that does not exist: the wiring
+				// the protocol depends on is missing outright.
+				pp.reportf(epkg, tn.Pos(), "AURO012",
+					"protocol dispatch function %s does not exist; the %s protocol requires it", key, typeName)
+			}
+			continue
+		}
+		covered := make(map[*types.Const]bool)
+		var firstSwitch token.Pos
+		ast.Inspect(n.decl.Body, func(an ast.Node) bool {
+			sw, ok := an.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := n.pkg.Info.Types[sw.Tag]
+			if !ok || !types.Identical(tv.Type, enum) {
+				return true
+			}
+			if firstSwitch == token.NoPos {
+				firstSwitch = sw.Pos()
+			}
+			for _, cl := range sw.Body.List {
+				cc, ok := cl.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if c := constOf(n.pkg.Info, e); c != nil && memberSet[c] {
+						covered[c] = true
+					}
+				}
+			}
+			return true
+		})
+		if firstSwitch == token.NoPos {
+			pp.reportf(n.pkg, n.decl.Pos(), "AURO012",
+				"%s is a protocol dispatch point but contains no switch over %s", key, typeName)
+			continue
+		}
+		var missing []string
+		for _, m := range members {
+			if !covered[m.obj] {
+				missing = append(missing, m.obj.Name())
+			}
+		}
+		if len(missing) > 0 {
+			pp.reportf(n.pkg, firstSwitch, "AURO012",
+				"switch over %s in %s is missing explicit cases for: %s (a default clause does not count as protocol coverage)",
+				typeName, key, strings.Join(missing, ", "))
+		}
+	}
+
+	// 2. Emission: construction sites and transmit reachability.
+	if !pr.complete {
+		return
+	}
+	transmitReach := pr.closureOf(
+		func(n *funcNode) bool { return containsString(spec.Transmit, funcKey(n.fn)) },
+		func(n *funcNode) []*funcNode { return append(append([]*funcNode(nil), n.direct...), n.inLit...) },
+	)
+	// Forward closure: everything a transmit-reaching function can call. A
+	// construction helper qualifies when a transmit-reaching caller uses it.
+	qualified := make(map[*funcNode]bool)
+	var work []*funcNode
+	for n := range transmitReach {
+		if transmitReach[n] {
+			qualified[n] = true
+			work = append(work, n)
+		}
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].fn.Pos() < work[j].fn.Pos() })
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, c := range append(append([]*funcNode(nil), n.direct...), n.inLit...) {
+			if !qualified[c] {
+				qualified[c] = true
+				work = append(work, c)
+			}
+		}
+	}
+
+	sites := pp.constructionSites(enum, memberSet)
+	for _, m := range members {
+		if containsString(spec.EmitExempt, m.obj.Name()) {
+			continue
+		}
+		ss := sites[m.obj]
+		if len(ss) == 0 {
+			pp.reportf(epkg, m.obj.Pos(), "AURO012",
+				"protocol member %s is never constructed anywhere in the program; wire it in or add a documented exemption", m.obj.Name())
+			continue
+		}
+		ok := false
+		for _, s := range ss {
+			if s.fn == nil || qualified[s.fn] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			s := ss[0]
+			pp.reportf(s.pkg, s.pos, "AURO012",
+				"%s is constructed here but no construction site can reach a transmit entry point (%s); the kind never crosses the bus",
+				m.obj.Name(), strings.Join(spec.Transmit, ", "))
+		}
+	}
+}
+
+// constructionSite is one use of an enum constant as a value.
+type constructionSite struct {
+	pkg *Package
+	pos token.Pos
+	fn  *funcNode // nil for package-level uses (tables): treated as wired
+}
+
+// constructionSites finds every value-position use of the member constants,
+// excluding classification contexts (case labels, comparisons, map keys).
+func (pp *progPass) constructionSites(enum *types.Named, members map[*types.Const]bool) map[*types.Const][]constructionSite {
+	out := make(map[*types.Const][]constructionSite)
+	for _, p := range pp.pr.pkgs {
+		for _, f := range p.Files {
+			excluded := make(map[token.Pos]bool)
+			ast.Inspect(f, func(an ast.Node) bool {
+				switch an := an.(type) {
+				case *ast.CaseClause:
+					for _, e := range an.List {
+						markIdents(e, excluded)
+					}
+				case *ast.BinaryExpr:
+					switch an.Op {
+					case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+						markIdents(an.X, excluded)
+						markIdents(an.Y, excluded)
+					}
+				case *ast.KeyValueExpr:
+					// Map-literal keys classify; struct-field keys are not
+					// constants, so excluding all keys is safe.
+					markIdents(an.Key, excluded)
+				}
+				return true
+			})
+			for _, d := range f.Decls {
+				fd, isFunc := d.(*ast.FuncDecl)
+				var owner *funcNode
+				if isFunc {
+					if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+						owner = pp.pr.nodeOf(fn)
+					}
+				}
+				ast.Inspect(d, func(an ast.Node) bool {
+					id, ok := an.(*ast.Ident)
+					if !ok || excluded[id.Pos()] {
+						return true
+					}
+					c, ok := p.Info.Uses[id].(*types.Const)
+					if !ok || !members[c] {
+						return true
+					}
+					out[c] = append(out[c], constructionSite{pkg: p, pos: id.Pos(), fn: owner})
+					return true
+				})
+			}
+		}
+	}
+	for c := range out {
+		ss := out[c]
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].pkg.Path != ss[j].pkg.Path {
+				return ss[i].pkg.Path < ss[j].pkg.Path
+			}
+			return ss[i].pos < ss[j].pos
+		})
+	}
+	return out
+}
+
+func markIdents(e ast.Expr, set map[token.Pos]bool) {
+	ast.Inspect(e, func(an ast.Node) bool {
+		if id, ok := an.(*ast.Ident); ok {
+			set[id.Pos()] = true
+		}
+		return true
+	})
+}
+
+// constOf resolves an expression to the constant object it names.
+func constOf(info *types.Info, e ast.Expr) *types.Const {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[e.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// nodeByKey finds a declared function by its funcKey.
+func (pr *Program) nodeByKey(key string) *funcNode {
+	for _, n := range pr.decls {
+		if funcKey(n.fn) == key {
+			return n
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/token"
 	"regexp"
 	"strings"
 )
@@ -64,25 +65,54 @@ func collectSuppressions(pkg *Package) ([]suppression, []Finding) {
 	return sups, bad
 }
 
-// applySuppressions filters findings covered by a well-formed suppression
-// and appends AURO000 findings for malformed ones.
-func applySuppressions(pkg *Package, findings []Finding) []Finding {
-	sups, bad := collectSuppressions(pkg)
+// applyProgramSuppressions filters findings covered by a well-formed
+// suppression anywhere in the program, appends AURO000 findings for
+// malformed directives, and — on whole-module runs — reports suppressions
+// that no longer suppress anything. That last rule keeps the suppression
+// inventory honest: when a flow-aware pass stops flagging a site, the
+// lint:ignore above it must be deleted, not left to mask a future finding
+// on the same line.
+func applyProgramSuppressions(pr *Program, findings []Finding) []Finding {
+	var sups []suppression
+	var bad []Finding
+	for _, pkg := range pr.pkgs {
+		s, b := collectSuppressions(pkg)
+		sups = append(sups, s...)
+		bad = append(bad, b...)
+	}
+	used := make([]bool, len(sups))
 	var out []Finding
 	for _, f := range findings {
-		if !suppressed(sups, f) {
+		covered := false
+		for i, s := range sups {
+			if s.id == f.ID && s.file == f.Pos.Filename &&
+				(s.line == f.Pos.Line || s.line == f.Pos.Line-1) {
+				used[i] = true
+				covered = true
+			}
+		}
+		if !covered {
 			out = append(out, f)
 		}
 	}
-	return append(out, bad...)
-}
-
-func suppressed(sups []suppression, f Finding) bool {
-	for _, s := range sups {
-		if s.id == f.ID && s.file == f.Pos.Filename &&
-			(s.line == f.Pos.Line || s.line == f.Pos.Line-1) {
-			return true
+	out = append(out, bad...)
+	if pr.complete {
+		for i, s := range sups {
+			if !used[i] {
+				out = append(out, Finding{
+					Pos: positionOf(s),
+					ID:  "AURO000",
+					Msg: "suppression of " + s.id + " matches no finding; delete it",
+				})
+			}
 		}
 	}
-	return false
+	return out
+}
+
+func positionOf(s suppression) (pos token.Position) {
+	pos.Filename = s.file
+	pos.Line = s.line
+	pos.Column = 1
+	return pos
 }

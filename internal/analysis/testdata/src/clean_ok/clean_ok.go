@@ -4,10 +4,12 @@ package clean_ok
 
 import (
 	"sort"
+	"sync"
 
 	"auragen/internal/bus"
 	"auragen/internal/trace"
 	"auragen/internal/types"
+	"auragen/internal/wire"
 )
 
 // Flush emits in sorted key order: the map feeds a sorted slice, not the
@@ -26,4 +28,49 @@ func Flush(log *trace.EventLog, pending map[int]string) {
 // Publish handles the broadcast error and holds no lock across the call.
 func Publish(b *bus.Bus, m *types.Message) error {
 	return b.Broadcast(m)
+}
+
+// PooledRoundTrip follows the sanctioned pooled-writer lifecycle: deferred
+// put, bytes copied into a fresh slice before release, writer only ever
+// borrowed by encoding helpers.
+func PooledRoundTrip() []byte {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.U32(9)
+	return append([]byte(nil), w.Bytes()...)
+}
+
+// PooledAllPaths puts the writer back on both the early return and the
+// fall-through path.
+func PooledAllPaths(n int) int {
+	w := wire.GetWriter()
+	w.U32(uint32(n))
+	if n == 0 {
+		wire.PutWriter(w)
+		return 0
+	}
+	sz := w.Len()
+	wire.PutWriter(w)
+	return sz
+}
+
+// ordered owns two lock classes acquired in one global order everywhere:
+// the acquisition-order graph stays acyclic.
+type ordered struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+}
+
+// Both nests bmu inside amu — the only nesting order in the program.
+func (o *ordered) Both() {
+	o.amu.Lock()
+	defer o.amu.Unlock()
+	o.bmu.Lock()
+	defer o.bmu.Unlock()
+}
+
+// BOnly takes bmu alone: using a class without nesting adds no edge.
+func (o *ordered) BOnly() {
+	o.bmu.Lock()
+	defer o.bmu.Unlock()
 }

@@ -1,5 +1,7 @@
 // Package lock_bad seeds AURO004 violations: blocking cross-component
-// calls made while a mutex is held.
+// calls made while a mutex is held — including the branch and defer blind
+// spots the old statement-order scan missed, and calls that reach the
+// blocking call interprocedurally.
 package lock_bad
 
 import (
@@ -28,15 +30,40 @@ func (n *Node) publishLocked(m *types.Message) error {
 	return n.b.Broadcast(m) // want "AURO004"
 }
 
-// Indirect reaches the broadcast through a package-local helper.
+// Indirect reaches the broadcast through a package-local helper. The
+// finding lands on the call made under the lock: send itself is lock-free
+// and fine to call elsewhere.
 func (n *Node) Indirect(m *types.Message) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.send(m)
+	return n.send(m) // want "AURO004"
 }
 
 func (n *Node) send(m *types.Message) error {
-	return n.b.Broadcast(m) // want "AURO004"
+	return n.b.Broadcast(m)
+}
+
+// Branch locks on one path only; the mutex may still be held at the join,
+// so the broadcast after it is flagged (the branch blind spot a
+// statement-order scan misses).
+func (n *Node) Branch(m *types.Message, lock bool) error {
+	if lock {
+		n.mu.Lock()
+	}
+	err := n.b.Broadcast(m) // want "AURO004"
+	if lock {
+		n.mu.Unlock()
+	}
+	return err
+}
+
+// DeferredBroadcast queues the broadcast behind the deferred unlock:
+// defers run last-in-first-out, so it executes with the mutex still held
+// (the defer blind spot).
+func (n *Node) DeferredBroadcast(m *types.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	defer n.b.Broadcast(m) // want "AURO004"
 }
 
 // Safe releases the lock before broadcasting.
@@ -44,4 +71,24 @@ func (n *Node) Safe(m *types.Message) error {
 	n.mu.Lock()
 	n.mu.Unlock()
 	return n.b.Broadcast(m)
+}
+
+// relockLocked releases the caller's lock around the broadcast and takes
+// it back before returning: the hand-over-hand idiom. Nothing blocking
+// runs with the lock held, so neither this function nor its callers are
+// flagged.
+func (n *Node) relockLocked(m *types.Message) error {
+	n.mu.Unlock()
+	err := n.b.Broadcast(m)
+	n.mu.Lock()
+	return err
+}
+
+// Gate calls the hand-over-hand helper under its lock: the helper's
+// summary shows no acquisition or blocking while its entry lock is held,
+// so the call stays clean.
+func (n *Node) Gate(m *types.Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.relockLocked(m)
 }

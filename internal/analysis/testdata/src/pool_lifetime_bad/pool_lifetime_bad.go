@@ -1,0 +1,62 @@
+// Package pool_lifetime_bad seeds AURO011 violations: use-after-put,
+// double put, a missing put on an early error return, and pooled bytes
+// escaping past their put.
+package pool_lifetime_bad
+
+import (
+	"errors"
+
+	"auragen/internal/wire"
+)
+
+var errEmpty = errors.New("empty")
+
+// UseAfterPut touches the writer after handing it back to the pool: the
+// buffer may already belong to another goroutine.
+func UseAfterPut() int {
+	w := wire.GetWriter()
+	w.U32(1)
+	wire.PutWriter(w)
+	return w.Len() // want "AURO011"
+}
+
+// DoublePut releases the writer twice: once inline while a deferred put
+// already covers function exit.
+func DoublePut() {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.U32(2)
+	wire.PutWriter(w) // want "AURO011"
+}
+
+// MissingPut leaks the buffer on the early error return.
+func MissingPut(data []byte) ([]byte, error) { // wants below anchor at the GetWriter call
+	w := wire.GetWriter() // want "AURO011"
+	w.U32(uint32(len(data)))
+	if len(data) == 0 {
+		return nil, errEmpty
+	}
+	out := append([]byte(nil), w.Bytes()...)
+	wire.PutWriter(w)
+	return out, nil
+}
+
+// LeakBytes returns a Bytes alias of a buffer already returned to the
+// pool: the caller's slice will be overwritten by the next borrower.
+func LeakBytes() []byte {
+	w := wire.GetWriter()
+	w.U32(3)
+	b := w.Bytes()
+	wire.PutWriter(w)
+	return b // want "AURO011"
+}
+
+// LeakBytesDeferred returns the alias while a deferred put is pending: the
+// put runs as the frame unwinds, before the caller ever sees the slice.
+func LeakBytesDeferred() []byte {
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	w.U32(4)
+	b := w.Bytes()
+	return b // want "AURO011"
+}

@@ -1,0 +1,57 @@
+// Package protocol_bad seeds AURO012 violations: a protocol enum whose
+// members are not wired end to end. The fixture config names Dispatch as
+// the dispatch point and Transmit as the transmit entry.
+package protocol_bad
+
+// Kind is the fixture protocol enum (mirrors types.Kind).
+type Kind uint8
+
+const (
+	// KOk is fully wired: dispatched, constructed, and transmitted.
+	KOk Kind = iota
+	// KNoCase is constructed and transmitted but missing from the
+	// dispatch switch.
+	KNoCase
+	// KNoUse is dispatched but never constructed anywhere.
+	KNoUse // want "AURO012"
+	// KNoTx is constructed, but no construction site reaches Transmit.
+	KNoTx
+)
+
+// msg is the fixture message.
+type msg struct {
+	kind Kind
+}
+
+// Dispatch is the fixture dispatch point: its switch is missing explicit
+// cases for KNoCase and KNoUse (the default clause does not count).
+func Dispatch(m msg) int {
+	switch m.kind { // want "AURO012"
+	case KOk:
+		return 1
+	case KNoTx:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Transmit is the fixture transmit entry point.
+func Transmit(m msg) {}
+
+// SendOk constructs KOk where Transmit is reachable.
+func SendOk() {
+	Transmit(msg{kind: KOk})
+}
+
+// SendNoCase constructs and transmits KNoCase: its only defect is the
+// missing dispatch case.
+func SendNoCase() {
+	Transmit(msg{kind: KNoCase})
+}
+
+// BuildNoTx constructs KNoTx but cannot reach Transmit: the kind never
+// crosses the bus.
+func BuildNoTx() msg {
+	return msg{kind: KNoTx} // want "AURO012"
+}

@@ -1,6 +1,7 @@
-// Package suppress_bad exercises malformed //lint:ignore directives: a
-// missing justification and a non-AURO ID. Both are reported as AURO000 and
-// suppress nothing, so the underlying AURO001 findings survive.
+// Package suppress_bad exercises bad //lint:ignore directives: a missing
+// justification, a non-AURO ID, and a directive that matches no finding.
+// All three are reported as AURO000 and suppress nothing, so the
+// underlying AURO001 findings survive.
 package suppress_bad
 
 import "time"
@@ -16,4 +17,11 @@ func Stamp() int64 {
 func Pause() {
 	//lint:ignore NOTACHECK this id does not exist
 	time.Sleep(time.Microsecond)
+}
+
+// Stale carries a well-formed suppression on a line with nothing to
+// suppress: on whole-module runs it is flagged as unused.
+func Stale() int {
+	//lint:ignore AURO004 obsolete: the blocking call below was removed long ago
+	return 7
 }

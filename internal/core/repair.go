@@ -80,8 +80,16 @@ func (s *System) Repair(c types.ClusterID) error {
 	delete(s.crashed, c)
 	s.repair[c] = types.RepairBooting
 	s.repairGen[c]++
-	drain, rx := scheduleRNGs(s.opts.ScheduleSeed, c, s.repairGen[c])
+	gen := s.repairGen[c]
+	s.mu.Unlock()
 
+	// Construct the replacement kernel outside the critical section:
+	// kernel.New attaches to the bus, a blocking cross-component call that
+	// must not run under s.mu (aurolint AURO004). The RepairBooting
+	// transition above already excludes a concurrent Repair of the same
+	// cluster, so publishing the kernel in a second critical section is
+	// race-free.
+	drain, rx := scheduleRNGs(s.opts.ScheduleSeed, c, gen)
 	k := kernel.New(kernel.Config{
 		ID:               c,
 		Bus:              s.bus,
@@ -96,7 +104,9 @@ func (s *System) Repair(c types.ClusterID) error {
 		PageFetchTimeout: s.opts.PageFetchTimeout,
 		DrainJitter:      drain,
 		RxJitter:         rx,
+		ReportEvery:      s.opts.KernelReportEvery,
 	})
+	s.mu.Lock()
 	s.kernels[int(c)] = k
 	s.mu.Unlock()
 	s.logRepair(c, types.RepairBooting)

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"auragen/internal/guest"
+	"auragen/internal/types"
+)
+
+// TestKernelLoadReports exercises the opt-in KindKernelReport path: with
+// KernelReportEvery set, every kernel periodically files a load summary
+// with the process server (§7.6's system-status information), which the
+// server records per cluster. The default (0) sends none, so the other
+// tests' traces are unaffected.
+func TestKernelLoadReports(t *testing.T) {
+	reg := guest.NewRegistry()
+	reg.Register("counter", guest.ReactorFactory(func() guest.Handler { return counterHandler{} }))
+	reg.Register("client", guest.ReactorFactory(func() guest.Handler { return clientHandler{} }))
+	sys, err := New(Options{Clusters: 3, SyncReads: 4, SyncTicks: 1 << 20, KernelReportEvery: 8}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Stop)
+
+	if _, err := sys.Spawn("counter", []byte("rep"), SpawnConfig{Cluster: 1}); err != nil {
+		t.Fatal(err)
+	}
+	spawnClient(t, sys, "rep", 200, SpawnConfig{Cluster: 2})
+	waitForTTY(t, sys, 1, "final=200", 10*time.Second)
+
+	// 400+ messages crossed clusters 1 and 2, so with a report every 8th
+	// arrival both kernels must have filed summaries with the primary
+	// process-server instance (hosted on cluster 0) by the time the
+	// workload's last reply drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, ok1 := sys.procSrv[0].ClusterReport(types.ClusterID(1))
+		kr, ok2 := sys.procSrv[0].ClusterReport(types.ClusterID(2))
+		if ok1 && ok2 {
+			if kr.Cluster != 2 {
+				t.Fatalf("report for cluster 2 carries Cluster=%v", kr.Cluster)
+			}
+			if kr.Arrival%8 != 0 {
+				t.Fatalf("report arrival %d is not a multiple of the reporting interval", kr.Arrival)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("kernel load reports never reached the process server (cluster1=%v cluster2=%v)", ok1, ok2)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

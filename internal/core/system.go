@@ -73,6 +73,11 @@ type Options struct {
 	// any schedule they produce is one the §5/§6 contract must survive.
 	// Zero (the default) keeps every jitter hook off.
 	ScheduleSeed uint64
+	// KernelReportEvery, when non-zero, makes every kernel send a
+	// KindKernelReport load summary to the process server after each N
+	// message arrivals (§7.6 system-status information). Zero — the
+	// default — disables reporting so recorded traces are unchanged.
+	KernelReportEvery uint64
 }
 
 // System is one running Auragen 4000.
@@ -195,6 +200,7 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 			PageFetchTimeout: opts.PageFetchTimeout,
 			DrainJitter:      drain,
 			RxJitter:         rx,
+			ReportEvery:      opts.KernelReportEvery,
 		})
 		s.kernels = append(s.kernels, k)
 	}

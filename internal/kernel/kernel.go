@@ -93,6 +93,12 @@ type Config struct {
 	// 1 disables coalescing (the pre-batching behavior).
 	MaxBatch int
 
+	// ReportEvery, when non-zero, makes the kernel send a KindKernelReport
+	// load summary to the process server every N message arrivals (§7.6's
+	// system-status information service). Zero — the default — sends
+	// none, so existing deterministic traces are byte-identical.
+	ReportEvery uint64
+
 	// DrainJitter, when non-nil, randomizes how many queued messages each
 	// transmit-loop pass coalesces (1..n instead of always n), and
 	// RxJitter does the same for inbox draining (see bus.Inbox
@@ -131,6 +137,8 @@ type Kernel struct {
 	txHold bool
 	// maxBatch caps the messages coalesced per bus offer (Config.MaxBatch).
 	maxBatch int
+	// reportEvery is the KindKernelReport cadence (Config.ReportEvery).
+	reportEvery uint64
 	// drainJitter perturbs the per-pass coalesce count (Config.DrainJitter).
 	// Drawn only by the txLoop goroutine.
 	drainJitter *types.RNG
@@ -237,6 +245,8 @@ func New(cfg Config) *Kernel {
 		servers:    make(map[types.PID]*ServerHost),
 		dieCh:      make(chan struct{}),
 		maxBatch:   cfg.MaxBatch,
+
+		reportEvery: cfg.ReportEvery,
 
 		drainJitter: cfg.DrainJitter,
 
@@ -449,6 +459,29 @@ func (k *Kernel) sendLocked(m *types.Message) {
 	k.txCond.Signal()
 }
 
+// sendKernelReportLocked enqueues a load summary for the process server's
+// primary instance. The caller holds k.mu; the report rides the normal
+// outgoing queue and bus path, so it carries the same EvTransmit/EvReceive
+// trace pair as any protocol message.
+func (k *Kernel) sendKernelReportLocked() {
+	loc, ok := k.dir.Service(directory.PIDProcServer)
+	if !ok || loc.Primary == types.NoCluster {
+		return
+	}
+	kr := &KernelReport{
+		Cluster: k.id,
+		Procs:   uint32(len(k.procs)),
+		Backups: uint32(len(k.backups)),
+		Arrival: uint64(k.arrival),
+	}
+	k.sendLocked(&types.Message{
+		Kind:    types.KindKernelReport,
+		Dst:     directory.PIDProcServer,
+		Route:   types.Route{Dst: loc.Primary, DstBackup: types.NoCluster, SrcBackup: types.NoCluster},
+		Payload: kr.Encode(),
+	})
+}
+
 // HoldTransmit pauses (hold=true) or resumes (hold=false) the transmit
 // loop. Enqueues continue, so a held kernel accumulates an outgoing
 // backlog; tests use the hold to open the batch-enqueue → batch-transmit
@@ -638,6 +671,9 @@ func (k *Kernel) dispatch(m *types.Message) {
 	}
 	k.arrival++
 	m.Seq = k.arrival
+	if k.reportEvery > 0 && uint64(k.arrival)%k.reportEvery == 0 {
+		k.sendKernelReportLocked()
+	}
 
 	switch m.Kind {
 	case types.KindData, types.KindOpenRequest, types.KindOpenReply, types.KindSignal:

@@ -133,6 +133,30 @@ func (k *Kernel) handleCrashLocked(crashed types.ClusterID) {
 	}
 }
 
+// replayableKind classifies every protocol kind for backup replay (§5.2):
+// true means the kind is channel-carried program input that a saved queue
+// may legitimately contain and a promoted backup must re-execute; false
+// means it is control-plane traffic whose state travels through sync
+// messages and backup images instead, never through replayed queues. The
+// switch is deliberately exhaustive with no default clause: aurolint's
+// AURO012 lists this function as a protocol dispatch point, so adding a
+// message kind without deciding its replay class is a lint failure, not a
+// silent misclassification. applyBackupImageLocked uses it as a fail-closed
+// filter when installing saved queues from a backup image.
+func replayableKind(kind types.Kind) bool {
+	switch kind {
+	case types.KindData, types.KindOpenRequest, types.KindOpenReply, types.KindSignal:
+		return true
+	case types.KindInvalid, types.KindSync, types.KindBirthNotice,
+		types.KindPageOut, types.KindPageRequest, types.KindPageReply,
+		types.KindCrashNotice, types.KindBackupUp, types.KindServerSync,
+		types.KindKernelReport, types.KindHeartbeat, types.KindExitNotice,
+		types.KindBackupCreate, types.KindBackupAck:
+		return false
+	}
+	return false
+}
+
 // promoteLocked turns a backup record into a runnable primary (§6, §7.10.2):
 // it has exactly the right messages available (the saved queues), is assured
 // of reading them in the correct order (arrival sequence numbers), and has
@@ -368,7 +392,7 @@ func (k *Kernel) applyBackupImageLocked(m *types.Message) {
 	// stamps sort after them.
 	var maxSeq types.Seq
 	for _, smsg := range img.Queues {
-		if e, ok := k.table.Lookup(smsg.Channel, sm.PID, routing.Backup); ok {
+		if e, ok := k.table.Lookup(smsg.Channel, sm.PID, routing.Backup); ok && replayableKind(smsg.Kind) {
 			e.Enqueue(&types.Message{
 				Kind:    smsg.Kind,
 				Channel: smsg.Channel,

@@ -350,26 +350,34 @@ func Equal(a, b *AddressSpace) bool {
 	if a.pageSize != b.pageSize {
 		return false
 	}
+	// Deep-copy a's pages under its lock, then compare under b's. Holding
+	// both AddressSpace mutexes at once would need a global acquisition
+	// order no caller can provide: Equal(x, y) racing Equal(y, x) could
+	// deadlock (aurolint AURO010).
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	apages := make(map[PageNo][]byte, len(a.pages))
+	for n, p := range a.pages {
+		apages[n] = append([]byte(nil), p...)
+	}
+	a.mu.Unlock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	seen := make(map[PageNo]struct{})
-	for n := range a.pages {
+	for n := range apages {
 		seen[n] = struct{}{}
 	}
 	for n := range b.pages {
 		seen[n] = struct{}{}
 	}
 	zero := make([]byte, a.pageSize)
-	get := func(s *AddressSpace, n PageNo) []byte {
-		if p, ok := s.pages[n]; ok {
+	get := func(pages map[PageNo][]byte, n PageNo) []byte {
+		if p, ok := pages[n]; ok {
 			return p
 		}
 		return zero
 	}
 	for n := range seen {
-		pa, pb := get(a, n), get(b, n)
+		pa, pb := get(apages, n), get(b.pages, n)
 		for i := range pa {
 			if pa[i] != pb[i] {
 				return false
