@@ -1,5 +1,5 @@
 // aurobench regenerates the experiment tables of EXPERIMENTS.md: one table
-// per experiment id (E1–E15), each row produced by the same harness
+// per experiment id (E1–E16), each row produced by the same harness
 // functions the Go benchmarks drive.
 //
 // Usage:
@@ -13,6 +13,10 @@
 // soak stability) lives in its own file:
 //
 //	aurobench -e E14,E15 -json -o BENCH_stress.json
+//
+// and the replication-strategy comparison likewise:
+//
+//	aurobench -e E16 -json -o BENCH_replication.json
 //
 // With -json, the run is additionally recorded as machine-readable data:
 // one entry per experiment, each row carrying the rendered fields, the
@@ -30,6 +34,7 @@ import (
 	"strings"
 
 	"auragen/internal/harness"
+	"auragen/internal/replication"
 	"auragen/internal/types"
 )
 
@@ -250,6 +255,18 @@ func main() {
 		table("E15", "long-soak stability: fault→repair→fault cycles under the schedule perturber")
 		for _, jitter := range []uint64{0, 0xD1CE} {
 			row, err := harness.E15SoakThroughput(scale(25, 6), jitter)
+			failed = emit(row, err) || failed
+		}
+	}
+
+	if sel("E16") {
+		table("E16", "replication strategies head-to-head: steady-state overhead and recovery, threeway vs llft vs msglog")
+		for _, kind := range replication.All() {
+			row, err := harness.E16StrategyOverhead(kind, scale(600, 150))
+			failed = emit(row, err) || failed
+		}
+		for _, kind := range replication.All() {
+			row, err := harness.E16StrategyRecovery(kind)
 			failed = emit(row, err) || failed
 		}
 	}

@@ -24,6 +24,7 @@ import (
 	"auragen/internal/core"
 	"auragen/internal/guest"
 	"auragen/internal/harness"
+	"auragen/internal/replication"
 	"auragen/internal/trace"
 	"auragen/internal/types"
 	"auragen/internal/workload"
@@ -45,24 +46,29 @@ var (
 	flagSoak     = flag.Bool("soak", false, "with -chaos: run one long-lived system through fault→repair→fault cycles and judge the fingerprint series with the drift oracle; exits non-zero on drift")
 	flagSoakN    = flag.Int("soak-cycles", chaos.DefaultSoakCycles, "fault→repair cycles for -chaos -soak")
 	flagJitter   = flag.Uint64("jitter", 0, "with -chaos -soak: seed the schedule perturber for the whole soak (0: off)")
+	flagRepl     = flag.String("replication", "threeway", "with -chaos: backup-protocol strategy the campaigns run: threeway | llft | msglog")
 )
 
 func main() {
 	flag.Parse()
 	if *flagChaos {
+		repl, err := replication.ParseKind(*flagRepl)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if *flagSoak {
-			if err := runChaosSoak(*flagSeed, *flagSoakN, *flagJitter); err != nil {
+			if err := runChaosSoak(*flagSeed, *flagSoakN, *flagJitter, repl); err != nil {
 				log.Fatal(err)
 			}
 			return
 		}
 		if *flagRepair {
-			if err := runChaosSequential(*flagSeed, *flagChaosPts); err != nil {
+			if err := runChaosSequential(*flagSeed, *flagChaosPts, repl); err != nil {
 				log.Fatal(err)
 			}
 			return
 		}
-		if err := runChaos(*flagSeed, *flagChaosPts); err != nil {
+		if err := runChaos(*flagSeed, *flagChaosPts, repl); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -235,7 +241,7 @@ func runScenario(name string, clusters, crash int, mode types.BackupMode, syncRe
 // scenario: one tolerated fault per run, injected at strided event-stream
 // coordinates, each run judged by the survival oracle. Any violation makes
 // the command exit non-zero, so CI can gate on it.
-func runChaos(seed int64, points int) error {
+func runChaos(seed int64, points int, repl replication.Kind) error {
 	if seed == 0 {
 		seed = 1
 	}
@@ -243,15 +249,15 @@ func runChaos(seed int64, points int) error {
 		points = 1
 	}
 	c := &chaos.Campaign{
-		Scenario: chaos.BankScenario("aurosim", 4, 6, 2),
+		Scenario: chaos.BankScenario("aurosim", 4, 6, 2).WithReplication(repl),
 		Timeout:  90 * time.Second,
 	}
 	ref := c.Reference(seed)
 	if ref.Err != nil {
 		return fmt.Errorf("chaos: reference run failed: %w", ref.Err)
 	}
-	fmt.Printf("chaos campaign: scenario %q, seed %d, reference outcome %q (%d events)\n",
-		c.Scenario.Name, seed, ref.Outcome, len(ref.Events))
+	fmt.Printf("chaos campaign: scenario %q, strategy %s, seed %d, reference outcome %q (%d events)\n",
+		c.Scenario.Name, repl, seed, ref.Outcome, len(ref.Events))
 	families := []struct {
 		name string
 		tmpl chaos.Injection
@@ -291,7 +297,7 @@ func runChaos(seed int64, points int) error {
 // under repair mid-re-integration), a full repair plus redundancy-restored
 // oracle between each, and the first fault's coordinate strided across the
 // event stream. Any contract violation exits non-zero.
-func runChaosSequential(seed int64, points int) error {
+func runChaosSequential(seed int64, points int, repl replication.Kind) error {
 	if seed == 0 {
 		seed = 1
 	}
@@ -299,7 +305,7 @@ func runChaosSequential(seed int64, points int) error {
 		points = 1
 	}
 	c := &chaos.SeqCampaign{
-		Scenario: chaos.SeqBankScenario("aurosim-seq", 4, 6, 2),
+		Scenario: chaos.SeqBankScenario("aurosim-seq", 4, 6, 2).WithReplication(repl),
 		Timeout:  4 * time.Minute,
 	}
 	basePlan := func(k int) chaos.SeqPlan {
@@ -324,8 +330,8 @@ func runChaosSequential(seed int64, points int) error {
 	if stride < 1 {
 		stride = 1
 	}
-	fmt.Printf("sequential chaos campaign: scenario %q, seed %d, reference outcome %q (%d events)\n",
-		c.Scenario.Name, seed, ref.Outcome, len(ref.Events))
+	fmt.Printf("sequential chaos campaign: scenario %q, strategy %s, seed %d, reference outcome %q (%d events)\n",
+		c.Scenario.Name, repl, seed, ref.Outcome, len(ref.Events))
 	violations, runs := 0, 0
 	for k := 1; k <= kMax; k += stride {
 		plan := basePlan(k)
@@ -358,12 +364,12 @@ func runChaosSequential(seed int64, points int) error {
 // system that survives every single fault but leaks per cycle still
 // fails here. Prints the canonical verdict stream — a pure function of
 // (seed, jitter, cycles), so two same-seed runs are byte-diffable.
-func runChaosSoak(seed int64, cycles int, jitter uint64) error {
+func runChaosSoak(seed int64, cycles int, jitter uint64, repl replication.Kind) error {
 	if seed == 0 {
 		seed = 1
 	}
 	res := chaos.RunSoak(chaos.SoakConfig{
-		Scenario:   chaos.SeqBankScenario("aurosim-soak", 8, 24, 2),
+		Scenario:   chaos.SeqBankScenario("aurosim-soak", 8, 24, 2).WithReplication(repl),
 		Cycles:     cycles,
 		Seed:       seed,
 		JitterSeed: jitter,

@@ -11,6 +11,7 @@ import (
 
 	"auragen/internal/core"
 	"auragen/internal/guest"
+	"auragen/internal/replication"
 	"auragen/internal/trace"
 	"auragen/internal/types"
 )
@@ -59,6 +60,9 @@ type RunResult struct {
 	// Degraded reports whether any kernel ended the run cut off from the
 	// bus (multiple-failure mode).
 	Degraded bool
+	// Replication is the strategy the run's system ran; the oracle picks
+	// the strategy-specific trace invariant from it.
+	Replication replication.Kind
 }
 
 // MatchCount returns how many retained events match pred — the sweep range
@@ -86,9 +90,10 @@ func (c *Campaign) Reference(seed int64) *RunResult {
 // operator would.
 func (c *Campaign) Run(plan Plan) *RunResult {
 	res := &RunResult{
-		Plan:      plan,
-		Fired:     make([]bool, len(plan.Injections)),
-		FaultErrs: make([]error, len(plan.Injections)),
+		Plan:        plan,
+		Fired:       make([]bool, len(plan.Injections)),
+		FaultErrs:   make([]error, len(plan.Injections)),
+		Replication: c.Scenario.Replication,
 	}
 	limit := c.Scenario.EventLogLimit
 	if limit <= 0 {
@@ -106,6 +111,7 @@ func (c *Campaign) Run(plan Plan) *RunResult {
 		PageFetchTimeout: 5 * time.Second,
 		Clock:            types.NewLogicalClock(plan.Seed, 0),
 		ScheduleSeed:     plan.JitterSeed,
+		Replication:      c.Scenario.Replication,
 	}, reg)
 	if err != nil {
 		res.Err = err

@@ -18,8 +18,7 @@ import (
 // crashable without touching the server pair (clusters 0 and 1), so a
 // double crash destroys the teller outright and the facade must report
 // types.ErrTooManyFailures rather than hang.
-func doubleFailScenario() Scenario {
-	const accounts, txns = 4, 6
+func doubleFailScenario(accounts, txns int) Scenario {
 	const initBalance = 100
 	plan := workload.TxnPlan{Accounts: accounts, Txns: txns, Amount: 7, Seed: 0xA4A4}
 	return Scenario{
@@ -56,7 +55,7 @@ func doubleFailScenario() Scenario {
 }
 
 func newDoubleFailCampaign() *Campaign {
-	return &Campaign{Scenario: doubleFailScenario(), Timeout: 90 * time.Second}
+	return &Campaign{Scenario: doubleFailScenario(4, 6), Timeout: 90 * time.Second}
 }
 
 // TestDoubleClusterCrash crashes the teller's primary cluster and then its

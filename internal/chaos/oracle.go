@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"auragen/internal/replication"
 	"auragen/internal/trace"
 	"auragen/internal/types"
 )
@@ -59,9 +60,146 @@ func CheckSurvival(ref, run *RunResult) Verdict {
 		v = append(v, "system degraded under a single tolerated fault")
 	}
 	if run.LogDropped == 0 {
-		v = append(v, checkSuppressionPairing(run.Events)...)
+		v = append(v, checkStrategyInvariants(run.Replication, run.Events)...)
 	}
 	return Verdict{OK: len(v) == 0, Violations: v}
+}
+
+// checkStrategyInvariants applies the replication-strategy-specific trace
+// invariant — each strategy promises something different about how a
+// promotion reconstructs the dead primary's run, so each gets its own
+// oracle (the applicability matrix is DESIGN.md §13):
+//
+//   - threeway: §5.4 suppression pairing — every suppressed regeneration
+//     pairs with an original transmission;
+//   - llft: decision-prefix equivalence — the pinned signal positions a
+//     promoted follower replays are exactly the decision log its leader
+//     streamed, in order;
+//   - msglog: logged-replay completeness — every message a promotion
+//     replays is a suffix of the pessimistic log, per channel, in log
+//     order.
+func checkStrategyInvariants(kind replication.Kind, events []trace.Event) []string {
+	switch kind {
+	case replication.LLFT:
+		return checkDecisionPrefix(events)
+	case replication.MsgLog:
+		return checkReplayCompleteness(events)
+	default:
+		return checkSuppressionPairing(events)
+	}
+}
+
+// checkDecisionPrefix verifies the llft decision-log contract: every
+// pinned delivery a promoted follower replays (EvReplay with
+// MsgKind=KindDecision, Arg = input position) must consume the recorded
+// decision log (EvSave with MsgKind=KindDecision) for that cluster and
+// process in exactly recorded order. An establishment capture
+// (EvSyncApply) subsumes the log recorded so far — the follower restarts
+// from the captured image, so earlier decisions are never replayed. A
+// tail of unreplayed decisions is legal (the promoted follower may exit
+// before reaching the last pinned position); position divergence is not.
+func checkDecisionPrefix(events []trace.Event) []string {
+	type key struct {
+		cluster types.ClusterID
+		pid     types.PID
+	}
+	recorded := make(map[key][]uint64)
+	expect := make(map[key][]uint64)
+	var v []string
+	for _, e := range events {
+		k := key{e.Cluster, e.PID}
+		switch {
+		case e.Kind == trace.EvSave && e.MsgKind == types.KindDecision:
+			recorded[k] = append(recorded[k], e.Arg)
+		case e.Kind == trace.EvSyncApply:
+			recorded[k] = nil
+		case e.Kind == trace.EvRecover:
+			expect[k] = recorded[k]
+			recorded[k] = nil
+		case e.Kind == trace.EvReplay && e.MsgKind == types.KindDecision:
+			q := expect[k]
+			if len(q) == 0 {
+				v = append(v, fmt.Sprintf(
+					"decision replayed at %d for %s (position %d) with no recorded decision outstanding",
+					e.Cluster, e.PID, e.Arg))
+				continue
+			}
+			if q[0] != e.Arg {
+				v = append(v, fmt.Sprintf(
+					"decision replay diverged at %d for %s: replayed position %d, recorded log head %d",
+					e.Cluster, e.PID, e.Arg, q[0]))
+			}
+			expect[k] = q[1:]
+		}
+	}
+	return v
+}
+
+// checkReplayCompleteness verifies the msglog logging contract: the
+// messages a promotion replays (EvReplay) for a process at a cluster must
+// form a suffix of the messages logged for it there (EvSave), per channel,
+// in log order — everything replayed was logged, nothing was reordered or
+// invented, and the replay window runs from wherever the last checkpoint's
+// queue trimming left off through the last logged message.
+func checkReplayCompleteness(events []trace.Event) []string {
+	type key struct {
+		cluster types.ClusterID
+		pid     types.PID
+		ch      types.ChannelID
+	}
+	type pkey struct {
+		cluster types.ClusterID
+		pid     types.PID
+	}
+	logged := make(map[key][]uint64)
+	replayed := make(map[key][]uint64)
+	chans := make(map[pkey][]types.ChannelID)
+	var v []string
+	for _, e := range events {
+		switch e.Kind {
+		case trace.EvSave:
+			logged[key{e.Cluster, e.PID, e.Channel}] = append(
+				logged[key{e.Cluster, e.PID, e.Channel}], e.MsgID)
+		case trace.EvReplay:
+			k := key{e.Cluster, e.PID, e.Channel}
+			if len(replayed[k]) == 0 {
+				p := pkey{e.Cluster, e.PID}
+				chans[p] = append(chans[p], e.Channel)
+			}
+			replayed[k] = append(replayed[k], e.MsgID)
+		case trace.EvRecover:
+			// Promotion: judge each channel's replay run against the log.
+			p := pkey{e.Cluster, e.PID}
+			for _, ch := range chans[p] {
+				k := key{e.Cluster, e.PID, ch}
+				if !isIDSuffix(replayed[k], logged[k]) {
+					v = append(v, fmt.Sprintf(
+						"replay at %d for %s on %s is not a suffix of the message log (%d replayed, %d logged)",
+						e.Cluster, e.PID, ch, len(replayed[k]), len(logged[k])))
+				}
+				replayed[k] = nil
+			}
+			chans[p] = nil
+		default:
+			// Only the save/replay/recover triple participates in the
+			// replay-completeness ledger; every other event is neutral.
+		}
+	}
+	return v
+}
+
+// isIDSuffix reports whether run is a contiguous suffix of log.
+func isIDSuffix(run, log []uint64) bool {
+	if len(run) > len(log) {
+		return false
+	}
+	tail := log[len(log)-len(run):]
+	for i := range run {
+		if run[i] != tail[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // checkSuppressionPairing verifies every EvSuppress pairs with an original

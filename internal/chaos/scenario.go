@@ -12,6 +12,7 @@ import (
 
 	"auragen/internal/core"
 	"auragen/internal/guest"
+	"auragen/internal/replication"
 	"auragen/internal/ttyserver"
 	"auragen/internal/types"
 	"auragen/internal/workload"
@@ -23,6 +24,10 @@ type Scenario struct {
 	// Clusters and SyncReads configure the booted system.
 	Clusters  int
 	SyncReads uint32
+	// Replication selects the backup-protocol strategy the booted system
+	// runs (zero value: the paper's three-way scheme). The oracle applies
+	// the matching strategy invariant to the run's trace.
+	Replication replication.Kind
 	// EventLogLimit bounds the run's event ring (0 selects a campaign
 	// default large enough that sweeps never overflow).
 	EventLogLimit int
@@ -33,6 +38,13 @@ type Scenario struct {
 	// failure the facade returns types.ErrTooManyFailures, and Run must
 	// surface that error rather than retry forever.
 	Run func(sys *core.System) (string, error)
+}
+
+// WithReplication returns a copy of the scenario running under the given
+// backup-protocol strategy.
+func (s Scenario) WithReplication(k replication.Kind) Scenario {
+	s.Replication = k
+	return s
 }
 
 // proberTerm is the terminal the balance prober reports on.

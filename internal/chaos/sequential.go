@@ -21,6 +21,7 @@ import (
 
 	"auragen/internal/core"
 	"auragen/internal/guest"
+	"auragen/internal/replication"
 	"auragen/internal/trace"
 	"auragen/internal/types"
 	"auragen/internal/workload"
@@ -111,10 +112,21 @@ type SeqScenario struct {
 	Clusters      int
 	SyncReads     uint32
 	EventLogLimit int
-	Register      func(*guest.Registry)
-	Setup         func(sys *core.System) error
-	Round         func(sys *core.System, i int) error
-	Finish        func(sys *core.System) (string, error)
+	// Replication selects the backup-protocol strategy (zero value: the
+	// paper's three-way scheme); the sequential oracle applies the
+	// matching strategy invariant.
+	Replication replication.Kind
+	Register    func(*guest.Registry)
+	Setup       func(sys *core.System) error
+	Round       func(sys *core.System, i int) error
+	Finish      func(sys *core.System) (string, error)
+}
+
+// WithReplication returns a copy of the scenario running under the given
+// backup-protocol strategy.
+func (s SeqScenario) WithReplication(k replication.Kind) SeqScenario {
+	s.Replication = k
+	return s
 }
 
 // SeqStepResult records what one step observably did.
@@ -154,6 +166,8 @@ type SeqResult struct {
 	LogDropped uint64
 	Metrics    trace.Snapshot
 	Degraded   bool
+	// Replication is the strategy the run's system ran.
+	Replication replication.Kind
 }
 
 // SeqCampaign replays a sequential scenario under fault plans.
@@ -246,7 +260,7 @@ func (c *SeqCampaign) Reference(plan SeqPlan) *SeqResult {
 }
 
 func (c *SeqCampaign) run(plan SeqPlan, inject bool) *SeqResult {
-	res := &SeqResult{Plan: plan}
+	res := &SeqResult{Plan: plan, Replication: c.Scenario.Replication}
 	limit := c.Scenario.EventLogLimit
 	if limit <= 0 {
 		limit = DefaultEventLogLimit
@@ -263,6 +277,7 @@ func (c *SeqCampaign) run(plan SeqPlan, inject bool) *SeqResult {
 		PageFetchTimeout: 5 * time.Second,
 		Clock:            types.NewLogicalClock(plan.Seed, 0),
 		ScheduleSeed:     plan.JitterSeed,
+		Replication:      c.Scenario.Replication,
 	}, reg)
 	if err != nil {
 		res.Err = err
@@ -494,7 +509,7 @@ func CheckSequential(ref, run *SeqResult) Verdict {
 		}
 	}
 	if run.LogDropped == 0 {
-		v = append(v, checkSuppressionPairing(run.Events)...)
+		v = append(v, checkStrategyInvariants(run.Replication, run.Events)...)
 	}
 	return Verdict{OK: len(v) == 0, Violations: v}
 }

@@ -105,6 +105,7 @@ func (s *System) Repair(c types.ClusterID) error {
 		DrainJitter:      drain,
 		RxJitter:         rx,
 		ReportEvery:      s.opts.KernelReportEvery,
+		Strategy:         replicationStrategy(s.opts.Replication),
 	})
 	s.mu.Lock()
 	s.kernels[int(c)] = k

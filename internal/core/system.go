@@ -23,6 +23,10 @@ import (
 	"auragen/internal/memory"
 	"auragen/internal/pager"
 	"auragen/internal/procserver"
+	"auragen/internal/replication"
+	"auragen/internal/replication/llft"
+	"auragen/internal/replication/msglog"
+	"auragen/internal/replication/threeway"
 	"auragen/internal/trace"
 	"auragen/internal/ttyserver"
 	"auragen/internal/types"
@@ -78,6 +82,26 @@ type Options struct {
 	// message arrivals (§7.6 system-status information). Zero — the
 	// default — disables reporting so recorded traces are unchanged.
 	KernelReportEvery uint64
+	// Replication selects the backup-protocol strategy every kernel runs:
+	// replication.ThreeWay (the paper's scheme, the zero value),
+	// replication.LLFT (leader-follower decision streaming), or
+	// replication.MsgLog (pessimistic message logging + checkpoints).
+	Replication replication.Kind
+}
+
+// replicationStrategy maps the Options enum to a concrete strategy value.
+// The mapping lives here — not in package replication — so the strategy
+// subpackages can import the interface package without a cycle.
+func replicationStrategy(k replication.Kind) replication.Strategy {
+	switch k {
+	case replication.LLFT:
+		return llft.New()
+	case replication.MsgLog:
+		return msglog.New()
+	case replication.ThreeWay:
+		return threeway.New()
+	}
+	return threeway.New()
 }
 
 // System is one running Auragen 4000.
@@ -201,6 +225,7 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 			DrainJitter:      drain,
 			RxJitter:         rx,
 			ReportEvery:      opts.KernelReportEvery,
+			Strategy:         replicationStrategy(opts.Replication),
 		})
 		s.kernels = append(s.kernels, k)
 	}

@@ -1,0 +1,137 @@
+// E16: the replication strategies head-to-head. The same workloads the
+// baseline experiments use, run once per backup-protocol strategy, so the
+// recorded table answers the tentpole's cost question directly: what does
+// each recovery mechanism pay in steady state, and what does it buy back
+// at the crash.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"auragen/internal/core"
+	"auragen/internal/guest"
+	"auragen/internal/replication"
+	"auragen/internal/workload"
+)
+
+// NewReplicatedSystem builds a system running the given backup-protocol
+// strategy, with every workload and harness guest registered. The event
+// ring is sized for window-of-vulnerability measurements.
+func NewReplicatedSystem(clusters int, syncReads uint32, kind replication.Kind) (*core.System, error) {
+	reg := guest.NewRegistry()
+	workload.Register(reg)
+	RegisterGuests(reg)
+	return core.New(core.Options{
+		Clusters:      clusters,
+		SyncReads:     syncReads,
+		SyncTicks:     1 << 40,
+		EventLogLimit: 1 << 18,
+		Replication:   kind,
+	}, reg)
+}
+
+// E16StrategyOverhead measures each strategy's steady-state price: a
+// fault-free teller run against a backed-up bank server, reporting
+// per-transaction latency alongside the capture and save traffic the
+// strategy generated. Three-way pays periodic syncs; llft trades them for
+// decision records (none here — the bank never signals); msglog logs
+// every message and checkpoints at a coarser cadence.
+func E16StrategyOverhead(kind replication.Kind, txns int) (*Row, error) {
+	sys, err := NewReplicatedSystem(4, 8, kind)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	const accounts = 8
+	if _, err := sys.Spawn("bank-server", []byte(fmt.Sprintf("e16 %d 100 0", accounts)),
+		core.SpawnConfig{Cluster: 2, BackupCluster: 3}); err != nil {
+		return nil, err
+	}
+	plan := workload.TxnPlan{Accounts: accounts, Txns: txns, Amount: 7, Seed: 0xE16}
+	before := sys.Metrics().Snapshot()
+	start := time.Now()
+	teller, err := sys.Spawn("teller", []byte(fmt.Sprintf("e16 -1 %s", plan.Encode())),
+		core.SpawnConfig{Cluster: 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.WaitExit(teller, 120*time.Second); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	row := NewRow().
+		Add("strategy", "%s", kind).
+		Add("txns", "%d", txns).
+		Add("us_per_txn", "%.2f", float64(elapsed.Microseconds())/float64(txns)).
+		Add("syncs", "%d", d["syncs"]).
+		Add("saves", "%d", d["backup_saves"]).
+		Add("transmissions_per_txn", "%.2f", float64(d["bus_transmissions"])/float64(txns)).
+		Add("bus_bytes_per_txn", "%d", d["bus_bytes"]/uint64(txns))
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(txns)
+	row.Metrics = d
+	return row, nil
+}
+
+// E16StrategyRecovery crashes a backed-up echo server's cluster mid-stream
+// under each strategy and reports the recovery bill: the kernel-measured
+// promotion latency, how long the client stalled, how many saved messages
+// rolled forward, and the E11-style window of vulnerability through repair
+// and re-established redundancy.
+func E16StrategyRecovery(kind replication.Kind) (*Row, error) {
+	sys, err := NewReplicatedSystem(4, 8, kind)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	if _, err := sys.Spawn("echo-server", []byte("e16r"), core.SpawnConfig{
+		Cluster: 2, BackupCluster: 3,
+	}); err != nil {
+		return nil, err
+	}
+	pid, err := sys.Spawn("echo-client", []byte("e16r 2000 64"), core.SpawnConfig{Cluster: 1})
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for sys.Metrics().PrimaryDeliveries.Load() < 500 && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	evAt := func() uint64 { return uint64(sys.EventLog().Len()) + sys.EventLog().Dropped() }
+	before := sys.Metrics().Snapshot()
+	atCrash := evAt()
+	start := time.Now()
+	if err := sys.Crash(2); err != nil {
+		return nil, err
+	}
+	if err := sys.WaitExit(pid, 120*time.Second); err != nil {
+		return nil, err
+	}
+	clientDone := time.Since(start)
+	if err := sys.Repair(2); err != nil {
+		return nil, err
+	}
+	if err := sys.WaitRedundant(60 * time.Second); err != nil {
+		return nil, fmt.Errorf("E16 %s: %w", kind, err)
+	}
+	window := time.Since(start)
+	atRedundant := evAt()
+	d := sys.Metrics().Snapshot().Delta(before)
+
+	row := NewRow().
+		Add("strategy", "%s", kind).
+		Add("promotion_us", "%.1f", float64(d["recovery_nanos"])/1000).
+		Add("client_stall_ms", "%.1f", float64(clientDone.Microseconds())/1000).
+		Add("replayed", "%d", d["replayed_messages"]).
+		Add("window_events", "%d", atRedundant-atCrash).
+		Add("window_ms", "%.1f", float64(window.Microseconds())/1000).
+		Add("backups_created", "%d", d["backups_created"])
+	row.NsPerOp = float64(d["recovery_nanos"])
+	row.Metrics = d
+	return row, nil
+}

@@ -15,8 +15,8 @@ func (k *Kernel) DumpState() string {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s crashed=%v stopped=%v outgoing=%d held=%d arrival=%d\n",
-		k.id, k.crashed, k.stopped, len(k.outgoing), len(k.held), k.arrival)
+	fmt.Fprintf(&b, "%s strategy=%s crashed=%v stopped=%v outgoing=%d held=%d arrival=%d\n",
+		k.id, k.strategy.Name(), k.crashed, k.stopped, len(k.outgoing), len(k.held), k.arrival)
 
 	var pids []int
 	for pid := range k.procs {
@@ -25,8 +25,12 @@ func (k *Kernel) DumpState() string {
 	sort.Ints(pids)
 	for _, pi := range pids {
 		p := k.procs[types.PID(pi)]
-		fmt.Fprintf(&b, "  proc %s prog=%s epoch=%d reads=%d ticks=%d recovered=%v suppressTotal=%d signalNext=%v exited=%v\n",
-			p.pid, p.program, p.epoch, p.readsSinceSync, p.ticksSinceSync, p.recovered, p.suppressTotal, p.signalNext, p.exited)
+		// The counter tail is strategy-specific: readsSinceSync/suppressTotal
+		// are sync-window concepts that mislead under llft (no sync window),
+		// so the strategy labels what its counters actually mean.
+		fmt.Fprintf(&b, "  proc %s prog=%s epoch=%d recovered=%v signalNext=%v exited=%v %s\n",
+			p.pid, p.program, p.epoch, p.recovered, p.signalNext, p.exited,
+			k.strategy.ProcDebug(uint64(p.readsSinceSync), p.ticksSinceSync, uint64(p.suppressTotal), p.totalReads, p.decisionSeq, len(p.signalPlan)))
 		for _, e := range k.table.OwnedBy(p.pid, routing.Primary) {
 			fmt.Fprintf(&b, "    P %s\n", e)
 		}
@@ -38,8 +42,12 @@ func (k *Kernel) DumpState() string {
 	sort.Ints(bpids)
 	for _, pi := range bpids {
 		bp := k.backups[types.PID(pi)]
-		fmt.Fprintf(&b, "  backup %s prog=%s epoch=%d synced=%v exitedPending=%v primaryCluster=%v\n",
+		fmt.Fprintf(&b, "  backup %s prog=%s epoch=%d synced=%v exitedPending=%v primaryCluster=%v",
 			bp.pid, bp.program, bp.epoch, bp.synced, bp.exitedPending, bp.primaryCluster)
+		if k.strategy.PlansSignals() {
+			fmt.Fprintf(&b, " decisions=%d readsBase=%d", len(bp.decisions), bp.readsBase)
+		}
+		b.WriteByte('\n')
 		for _, e := range k.table.OwnedBy(bp.pid, routing.Backup) {
 			fmt.Fprintf(&b, "    B %s\n", e)
 		}

@@ -26,6 +26,8 @@ import (
 	"auragen/internal/directory"
 	"auragen/internal/guest"
 	"auragen/internal/memory"
+	"auragen/internal/replication"
+	"auragen/internal/replication/threeway"
 	"auragen/internal/routing"
 	"auragen/internal/trace"
 	"auragen/internal/types"
@@ -83,6 +85,11 @@ type Config struct {
 	SyncReads uint32
 	SyncTicks uint64
 
+	// Strategy selects the replication policy (capture cadence and shape,
+	// signal pinning, promotion plan). Nil selects the paper's three-way
+	// scheme. Every kernel in a system must run the same strategy.
+	Strategy replication.Strategy
+
 	// PageFetchTimeout bounds the roll-forward page-account fetch; zero
 	// selects DefaultPageFetchTimeout. Fault-injection campaigns shorten
 	// it so abandoned recoveries surface quickly.
@@ -124,6 +131,7 @@ type Kernel struct {
 	pageSize  int
 	syncReads uint32
 	syncTicks uint64
+	strategy  replication.Strategy
 
 	inbox *bus.Inbox
 
@@ -225,6 +233,9 @@ func New(cfg Config) *Kernel {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultTxBatch
 	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = threeway.New()
+	}
 	k := &Kernel{
 		id:         cfg.ID,
 		bus:        cfg.Bus,
@@ -236,6 +247,7 @@ func New(cfg Config) *Kernel {
 		pageSize:   cfg.PageSize,
 		syncReads:  cfg.SyncReads,
 		syncTicks:  cfg.SyncTicks,
+		strategy:   cfg.Strategy,
 		held:       make(map[types.PID][]*types.Message),
 		table:      routing.NewTable(),
 		procs:      make(map[types.PID]*PCB),
@@ -680,6 +692,12 @@ func (k *Kernel) dispatch(m *types.Message) {
 		k.dispatchChannelMessage(m)
 	case types.KindSync:
 		k.dispatchSync(m)
+	case types.KindCheckpoint:
+		k.dispatchCheckpoint(m)
+	case types.KindDecision:
+		if m.Route.Dst == k.id {
+			k.dispatchDecision(m)
+		}
 	case types.KindBirthNotice:
 		if m.Route.Dst == k.id {
 			k.applyBirthNoticeLocked(m)

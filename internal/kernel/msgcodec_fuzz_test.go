@@ -36,6 +36,22 @@ func FuzzDecodeMessageBatch(f *testing.F) {
 		EncodeMessageBatch(w, msgs)
 		f.Add(append([]byte(nil), w.Bytes()...))
 	}
+	// Strategy-protocol frames: a decision-log entry and a checkpoint
+	// manifest travel as ordinary messages, so the batch codec's atomicity
+	// and every-byte-flip rejection must hold over their payloads too.
+	strategic := []*types.Message{
+		{ID: 90, Kind: types.KindDecision, Src: 21, Dst: 21,
+			Route:   types.Route{Dst: 3, DstBackup: types.NoCluster, SrcBackup: types.NoCluster},
+			Payload: (&DecisionMsg{PID: 21, Seq: 4, Reads: 37}).Encode()},
+		{ID: 91, Kind: types.KindCheckpoint, Src: 21, Dst: 21,
+			Route: types.Route{Dst: 3, DstBackup: types.NoCluster, SrcBackup: types.NoCluster},
+			Payload: (&CheckpointMsg{Pages: 2, Bytes: 8192,
+				Sync: &SyncMsg{PID: 21, Epoch: 5, Program: "sig-server"}}).Encode()},
+	}
+	sw := wire.NewWriter(0)
+	EncodeMessageBatch(sw, strategic)
+	f.Add(append([]byte(nil), sw.Bytes()...))
+
 	w := wire.NewWriter(0)
 	EncodeMessageBatch(w, nil)
 	f.Add(append([]byte(nil), w.Bytes()...)) // empty batch

@@ -14,7 +14,7 @@ import (
 func randomMessage(rng *rand.Rand) *types.Message {
 	m := &types.Message{
 		ID:      rng.Uint64(),
-		Kind:    types.Kind(rng.Intn(18)),
+		Kind:    types.Kind(rng.Intn(20)),
 		Channel: types.ChannelID(rng.Uint64()),
 		Src:     types.PID(rng.Uint64()),
 		Dst:     types.PID(rng.Uint64()),

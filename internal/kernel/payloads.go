@@ -108,6 +108,10 @@ type SyncMsg struct {
 	// that many of its earliest direct copies and orders forwards first.
 	Establish      bool
 	EstablishDupes map[types.ChannelID]uint32
+	// TotalReads is the primary's absolute input-event count as of this
+	// capture — the base the llft decision log's positions are measured
+	// from (see PCB.totalReads).
+	TotalReads uint64
 }
 
 // Encode serializes the sync message.
@@ -166,6 +170,7 @@ func (s *SyncMsg) EncodePayload(w *wire.Writer) {
 		w.U64(uint64(ch))
 		w.U32(s.EstablishDupes[ch])
 	}
+	w.U64(s.TotalReads)
 }
 
 // DecodeSyncMsg parses a sync message payload.
@@ -222,10 +227,97 @@ func DecodeSyncMsg(b []byte) (*SyncMsg, error) {
 		ch := types.ChannelID(r.U64())
 		s.EstablishDupes[ch] = r.U32()
 	}
+	s.TotalReads = r.U64()
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("kernel: sync message: %w", err)
 	}
 	return s, nil
+}
+
+// DecisionMsg is the payload of a KindDecision message (llft strategy):
+// one decision-log entry. The leader streams it to its follower's cluster
+// just before consuming a queued asynchronous signal, pinning the delivery
+// at an absolute input position so promotion replays the same
+// interleaving. Seq numbers the leader's decisions; Reads is the leader's
+// totalReads at the decision point (the position the delivery replays at).
+type DecisionMsg struct {
+	PID   types.PID
+	Seq   uint64
+	Reads uint64
+}
+
+// Encode serializes the decision entry.
+func (d *DecisionMsg) Encode() []byte {
+	w := newPayloadWriter(32)
+	d.EncodePayload(w)
+	return w.Bytes()
+}
+
+// EncodePayload appends the decision entry to w (types.PayloadEncoder: the
+// entry is immutable once enqueued, so the transmit loop may serialize it
+// into a pooled buffer).
+func (d *DecisionMsg) EncodePayload(w *wire.Writer) {
+	w.U64(uint64(d.PID))
+	w.U64(d.Seq)
+	w.U64(d.Reads)
+}
+
+// DecodeDecisionMsg parses a decision-log entry payload.
+func DecodeDecisionMsg(b []byte) (*DecisionMsg, error) {
+	r := wire.NewReader(b)
+	d := &DecisionMsg{
+		PID:   types.PID(r.U64()),
+		Seq:   r.U64(),
+		Reads: r.U64(),
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("kernel: decision message: %w", err)
+	}
+	return d, nil
+}
+
+// CheckpointMsg is the payload of a KindCheckpoint message (msglog
+// strategy): a manifest wrapping a full-image sync. Pages/Bytes describe
+// the page-out that traveled ahead of it on the same FIFO stream, so
+// traces and the E16 harness can attribute checkpoint weight without
+// joining against page-out events.
+type CheckpointMsg struct {
+	Sync  *SyncMsg
+	Pages uint32
+	Bytes uint64
+}
+
+// Encode serializes the checkpoint manifest.
+func (c *CheckpointMsg) Encode() []byte {
+	w := newPayloadWriter(256)
+	c.EncodePayload(w)
+	return w.Bytes()
+}
+
+// EncodePayload appends the manifest to w (types.PayloadEncoder, same
+// exclusive-ownership argument as SyncMsg).
+func (c *CheckpointMsg) EncodePayload(w *wire.Writer) {
+	w.U32(c.Pages)
+	w.U64(c.Bytes)
+	c.Sync.EncodePayload(w)
+}
+
+// DecodeCheckpointMsg parses a checkpoint manifest payload.
+func DecodeCheckpointMsg(b []byte) (*CheckpointMsg, error) {
+	r := wire.NewReader(b)
+	c := &CheckpointMsg{
+		Pages: r.U32(),
+		Bytes: r.U64(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("kernel: checkpoint message: %w", err)
+	}
+	sm, err := DecodeSyncMsg(r.Rest())
+	if err != nil {
+		return nil, fmt.Errorf("kernel: checkpoint message: %w", err)
+	}
+	c.Sync = sm
+	return c, nil
 }
 
 // BirthNotice is the payload of a KindBirthNotice message (§7.7): enough
@@ -687,6 +779,9 @@ type BackupImage struct {
 	BornChildren [][]byte
 	// NondetLog carries the logged nondeterministic-event results (§10).
 	NondetLog []uint64
+	// Decisions carries the recorded decision log (llft): absolute input
+	// positions of announced signal deliveries since Sync.TotalReads.
+	Decisions []uint64
 }
 
 // Encode serializes the backup image.
@@ -712,6 +807,10 @@ func (bi *BackupImage) Encode() []byte {
 	}
 	w.U32(uint32(len(bi.NondetLog)))
 	for _, v := range bi.NondetLog {
+		w.U64(v)
+	}
+	w.U32(uint32(len(bi.Decisions)))
+	for _, v := range bi.Decisions {
 		w.U64(v)
 	}
 	return w.Bytes()
@@ -744,6 +843,10 @@ func DecodeBackupImage(b []byte) (*BackupImage, error) {
 	nND := r.U32()
 	for i := uint32(0); i < nND && r.Err() == nil; i++ {
 		bi.NondetLog = append(bi.NondetLog, r.U64())
+	}
+	nDec := r.U32()
+	for i := uint32(0); i < nDec && r.Err() == nil; i++ {
+		bi.Decisions = append(bi.Decisions, r.U64())
 	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("kernel: backup image: %w", err)

@@ -221,6 +221,56 @@ func TestQuickSyncMsgRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDecisionMsgRoundTrip(t *testing.T) {
+	in := &DecisionMsg{PID: 21, Seq: 9, Reads: 144}
+	out, err := DecodeDecisionMsg(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	if _, err := DecodeDecisionMsg([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeDecisionMsg(append(in.Encode(), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestCheckpointMsgRoundTrip(t *testing.T) {
+	in := &CheckpointMsg{
+		Pages: 3,
+		Bytes: 12288,
+		Sync: &SyncMsg{
+			PID:            101,
+			Epoch:          7,
+			Program:        "sig-server",
+			PrimaryCluster: 2,
+			Regs:           []byte{1, 2, 3},
+			Suppress:       map[types.ChannelID]uint32{12: 3},
+		},
+	}
+	out, err := DecodeCheckpointMsg(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pages != in.Pages || out.Bytes != in.Bytes {
+		t.Fatalf("manifest mismatch: got pages=%d bytes=%d", out.Pages, out.Bytes)
+	}
+	// The wrapped sync must round-trip canonically (byte-identical
+	// re-encode), the same contract the batch codec fuzzer holds.
+	if !bytes.Equal(out.Sync.Encode(), in.Sync.Encode()) {
+		t.Fatalf("wrapped sync not canonical:\n in=%+v\nout=%+v", in.Sync, out.Sync)
+	}
+	if _, err := DecodeCheckpointMsg([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeCheckpointMsg(append(in.Encode(), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
 func TestDecodersNeverPanicOnArbitraryBytes(t *testing.T) {
 	f := func(b []byte) bool {
 		// Every decoder must fail gracefully on corrupt payloads; the
@@ -239,6 +289,8 @@ func TestDecodersNeverPanicOnArbitraryBytes(t *testing.T) {
 		DecodeServerSyncMsg(b)
 		DecodeProcRequest(b)
 		DecodeProcReply(b)
+		DecodeDecisionMsg(b)
+		DecodeCheckpointMsg(b)
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {

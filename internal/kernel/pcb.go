@@ -52,6 +52,21 @@ type PCB struct {
 	readsSinceSync uint32
 	ticksSinceSync uint64
 
+	// totalReads counts guest-visible input events (message reads and
+	// delivered signals) since the process was born — the absolute input
+	// position decision-log entries pin signal deliveries to under the
+	// llft strategy. Rule-1 consumption of ignored signals is NOT counted:
+	// its timing is scheduler-dependent and invisible to the guest, so
+	// counting it would make replayed positions unmatchable.
+	totalReads uint64
+	// decisionSeq numbers the decision-log entries this leader has
+	// streamed (llft).
+	decisionSeq uint64
+	// signalPlan holds the decision log installed at promotion (llft):
+	// absolute totalReads positions at which signal deliveries must be
+	// replayed, in recorded order. Consumed from the front.
+	signalPlan []uint64
+
 	// recovered marks a promoted backup rolling forward.
 	recovered bool
 	// readSafe reports that every Read by this guest happens at a
@@ -147,6 +162,16 @@ type BackupPCB struct {
 	// until its first sync arrives (its save queues do not reach back to
 	// the process's birth).
 	requiresSync bool
+
+	// decisions is the recorded decision log (llft): the absolute
+	// totalReads position of each signal delivery the leader announced,
+	// in arrival order. Promotion installs it as the new primary's
+	// signalPlan.
+	decisions []uint64
+	// readsBase is the leader's totalReads as of the state this record
+	// holds (the establishment sync, or the last checkpoint); promotion
+	// restarts the input-position counter here so plan entries match.
+	readsBase uint64
 }
 
 // PID returns the backed-up process id.

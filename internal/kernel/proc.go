@@ -6,6 +6,7 @@ import (
 
 	"auragen/internal/guest"
 	"auragen/internal/memory"
+	"auragen/internal/replication"
 	"auragen/internal/routing"
 	"auragen/internal/trace"
 	"auragen/internal/types"
@@ -170,6 +171,7 @@ func (pr *Proc) read(fd types.FD, gated bool) ([]byte, error) {
 			}
 			e.ReadsSinceSync++
 			p.readsSinceSync++
+			p.totalReads++
 			msg = m
 			return true
 		})
@@ -200,6 +202,7 @@ func (pr *Proc) ReadAny(fds []types.FD) (types.FD, []byte, error) {
 		m, _ := e.Dequeue()
 		e.ReadsSinceSync++
 		p.readsSinceSync++
+		p.totalReads++
 		gotFD, msg = fd, m
 		return true
 	})
@@ -339,14 +342,30 @@ func (pr *Proc) Close(fd types.FD) error {
 //
 // Rules (in order):
 //  1. Ignored signals are consumed immediately and counted as reads
-//     (§7.5.2).
-//  2. If the last sync recorded "a signal is next" (signalNext), deliver
-//     it first — this reproduces the primary's handling point exactly.
-//  3. Otherwise, a pending unignored signal forces a sync just prior to
-//     handling (§7.5.2) — but not while roll-forward suppression counts
-//     remain, because the escaped send prefix must be regenerated from the
-//     same read sequence the primary executed before signals may
-//     reorder it.
+//     (§7.5.2). They are NOT counted as guest-visible input events
+//     (totalReads): their consumption timing is scheduler-dependent and
+//     invisible to the guest, so a decision-log position that counted
+//     them would be unmatchable on replay.
+//  2. If the last capture or decision recorded "a signal is next"
+//     (signalNext), deliver it first — this reproduces the primary's
+//     handling point exactly.
+//     2a. (llft roll-forward) If a signal plan is installed and the input
+//     position has reached its head, replay the pinned delivery — even
+//     while suppression counts remain: sends the dead leader's decision
+//     let escape may sit BEHIND this delivery in the regeneration order,
+//     so holding the signal back would deadlock the replay. If the pinned
+//     signal has not arrived yet (an in-flight straggler), wait rather
+//     than let a later input overtake the pinned position.
+//  3. Otherwise a pending unignored signal is pinned just prior to
+//     handling, per the strategy: a forced sync (threeway, §7.5.2), a
+//     forced checkpoint (msglog), or a streamed decision-log entry
+//     pinning the position with no state capture (llft). Not while
+//     roll-forward suppression counts remain, because the escaped send
+//     prefix must be regenerated from the same read sequence the primary
+//     executed before signals may reorder it. If a recorded decision is
+//     lost with its leader, outgoing FIFO order guarantees nothing sent
+//     after the delivery escaped either, so the promoted follower
+//     re-deciding at a different position is externally unobservable.
 //  4. Otherwise deliver the lowest-arrival-sequence message across all
 //     open channels (bunch/which semantics, §7.5.1).
 func (pr *Proc) NextEvent() (guest.Event, error) {
@@ -397,12 +416,13 @@ func (pr *Proc) NextEvent() (guest.Event, error) {
 			}
 		}
 
-		// Rule 2: a sync recorded the signal-handling point.
+		// Rule 2: a capture or decision recorded the signal-handling point.
 		if p.signalNext {
 			if sigEntry != nil {
 				if m, ok := sigEntry.Dequeue(); ok {
 					sigEntry.ReadsSinceSync++
 					p.readsSinceSync++
+					p.totalReads++
 					p.signalNext = false
 					return guest.Event{Signal: decodeSignal(m), IsSignal: true}, nil
 				}
@@ -410,8 +430,59 @@ func (pr *Proc) NextEvent() (guest.Event, error) {
 			p.signalNext = false
 		}
 
-		// Rule 3: sync just prior to handling a pending signal.
-		if p.suppressTotal == 0 && sigEntry != nil && sigEntry.QueueLen() > 0 {
+		// Rule 2a: replay a planned delivery at its pinned position (llft).
+		if len(p.signalPlan) > 0 {
+			if p.totalReads >= p.signalPlan[0] {
+				pos := p.signalPlan[0]
+				if sigEntry != nil {
+					if m, ok := sigEntry.Dequeue(); ok {
+						sigEntry.ReadsSinceSync++
+						p.readsSinceSync++
+						p.totalReads++
+						p.signalPlan = p.signalPlan[1:]
+						if k.log != nil {
+							k.log.Append(trace.Event{
+								Kind:    trace.EvReplay,
+								Cluster: k.id,
+								MsgID:   m.ID,
+								MsgKind: types.KindDecision,
+								PID:     p.pid,
+								Channel: p.signalCh,
+								Arg:     pos,
+							})
+						}
+						return guest.Event{Signal: decodeSignal(m), IsSignal: true}, nil
+					}
+				}
+				// Position reached but the pinned signal is still in flight:
+				// block so no later input overtakes the recorded order.
+				p.cond.Wait()
+				continue
+			}
+		} else if p.suppressTotal == 0 && sigEntry != nil && sigEntry.QueueLen() > 0 {
+			// Rule 3: pin the pending signal just prior to handling.
+			if k.strategy.OnPendingSignal() == replication.ActionDecisionRecord {
+				// llft: stream the decision to the follower and deliver via
+				// rule 2 on the next iteration. The entry rides the same
+				// FIFO outgoing queue as the process's sends, which is the
+				// output-commit argument above.
+				dm := &DecisionMsg{PID: p.pid, Seq: p.decisionSeq, Reads: p.totalReads}
+				p.decisionSeq++
+				if p.backupCluster != types.NoCluster {
+					k.sendLocked(&types.Message{
+						Kind:  types.KindDecision,
+						Src:   p.pid,
+						Dst:   p.pid,
+						Route: types.Route{Dst: p.backupCluster, DstBackup: types.NoCluster, SrcBackup: types.NoCluster},
+						Lazy:  dm,
+					})
+				}
+				p.signalNext = true
+				continue
+			}
+			// threeway/msglog: force a capture; the signal is the first
+			// event of the new interval. (Whether the capture travels as a
+			// delta sync or a full checkpoint is syncProcess's business.)
 			k.mu.Unlock()
 			err := k.syncProcess(p, true)
 			k.mu.Lock()
@@ -426,6 +497,7 @@ func (pr *Proc) NextEvent() (guest.Event, error) {
 			m, _ := e.Dequeue()
 			e.ReadsSinceSync++
 			p.readsSinceSync++
+			p.totalReads++
 			return guest.Event{FD: fd, Data: m.Payload}, nil
 		}
 
@@ -433,9 +505,11 @@ func (pr *Proc) NextEvent() (guest.Event, error) {
 	}
 }
 
-// SyncPoint implements guest.API: synchronize if a trigger has fired
-// (§7.8). It is also the universal establishment pause point — the guest
-// has declared its state capturable here.
+// SyncPoint implements guest.API: take a periodic capture if the strategy
+// says one is due (§7.8 for threeway's read/tick triggers; msglog scales
+// the same cadence for its full-image checkpoints; llft never captures
+// after establishment). It is also the universal establishment pause
+// point — the guest has declared its state capturable here.
 func (pr *Proc) SyncPoint() error {
 	k, p := pr.k, pr.p
 	k.mu.Lock()
@@ -445,7 +519,7 @@ func (pr *Proc) SyncPoint() error {
 			return err
 		}
 	}
-	due := p.readsSinceSync >= p.syncReads || p.ticksSinceSync >= p.syncTicks
+	due := k.strategy.CaptureDue(uint64(p.readsSinceSync), p.ticksSinceSync, uint64(p.syncReads), p.syncTicks)
 	k.mu.Unlock()
 	if !due {
 		return nil

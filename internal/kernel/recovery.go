@@ -151,7 +151,11 @@ func replayableKind(kind types.Kind) bool {
 		types.KindPageOut, types.KindPageRequest, types.KindPageReply,
 		types.KindCrashNotice, types.KindBackupUp, types.KindServerSync,
 		types.KindKernelReport, types.KindHeartbeat, types.KindExitNotice,
-		types.KindBackupCreate, types.KindBackupAck:
+		types.KindBackupCreate, types.KindBackupAck,
+		types.KindDecision, types.KindCheckpoint:
+		// Decisions and checkpoints are control plane: a decision installs
+		// into BackupPCB.decisions (replayed as the signal plan, not as a
+		// queued message), and checkpoints travel the sync path.
 		return false
 	}
 	return false
@@ -218,8 +222,17 @@ func (k *Kernel) promoteLocked(b *BackupPCB, noticeNanos int64) {
 		children:      make(map[types.PID]struct{}),
 		done:          make(chan struct{}),
 		promoteNanos:  noticeNanos,
+		totalReads:    b.readsBase,
+		decisionSeq:   uint64(len(b.decisions)),
 	}
 	p.cond = sync.NewCond(&k.mu)
+	if k.strategy.PlansSignals() && len(b.decisions) > 0 {
+		// Install the recorded decision log as the roll-forward signal plan
+		// (llft): each entry is the absolute input position at which the
+		// dead leader consumed a queued signal, and the new primary must
+		// take them at exactly the same positions.
+		p.signalPlan = append([]uint64(nil), b.decisions...)
+	}
 
 	// Convert the backup routing entries into primary entries: the saved
 	// queues become the input queues; the writes-since-sync counts become
@@ -293,6 +306,7 @@ func (k *Kernel) sendBackupImageLocked(b *BackupPCB, entries []*routing.Entry, t
 		SignalNext:     b.signalNext,
 		SigIgnore:      sigSetToSlice(b.sigIgnore),
 		SignalChannel:  b.signalCh,
+		TotalReads:     b.readsBase,
 	}
 	fdByChannel := make(map[types.ChannelID]types.FD, len(b.fds))
 	for fd, ch := range b.fds {
@@ -335,6 +349,10 @@ func (k *Kernel) sendBackupImageLocked(b *BackupPCB, entries []*routing.Entry, t
 		img.BornChildren = append(img.BornChildren, bn.Encode())
 	}
 	img.NondetLog = append([]uint64(nil), k.nondetLogs[b.pid]...)
+	// Carry the decision log so a second failure before the next capture
+	// still replays the same signal plan (llft): the new backup's saved
+	// queues are the forwarded full set, and these are their decisions.
+	img.Decisions = append([]uint64(nil), b.decisions...)
 
 	k.sendLocked(&types.Message{
 		Kind:    types.KindBackupCreate,
@@ -368,6 +386,8 @@ func (k *Kernel) applyBackupImageLocked(m *types.Message) {
 		sigIgnore:      sigSliceToSet(sm.SigIgnore),
 		fds:            make(map[types.FD]types.ChannelID),
 		synced:         sm.Epoch > 0,
+		readsBase:      sm.TotalReads,
+		decisions:      append([]uint64(nil), img.Decisions...),
 	}
 	for _, ci := range sm.Channels {
 		if ci.FD != types.NoFD {

@@ -87,12 +87,13 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 	// resident data space goes instead, copied eagerly, reproducing the §2
 	// strawman's cost profile.
 	var pages []memory.Page
-	if p.fullCheckpoint {
+	if p.fullCheckpoint || k.strategy.FullImage() {
 		pages = p.space.SnapshotAll()
 		p.space.ClearDirty()
 	} else {
 		pages = p.space.CaptureDirty()
 	}
+	var pageBytes uint64
 	if len(pages) > 0 {
 		po := &PageOut{PID: p.pid, Epoch: epoch, From: k.id, Pages: pages}
 		k.sendLocked(&types.Message{
@@ -104,8 +105,9 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 		})
 		k.metrics.PagesOut.Add(uint64(len(pages)))
 		for _, pg := range pages {
-			k.metrics.PageBytes.Add(uint64(len(pg.Data)))
+			pageBytes += uint64(len(pg.Data))
 		}
+		k.metrics.PageBytes.Add(pageBytes)
 	}
 
 	// Part 2: construct and send the sync message.
@@ -125,6 +127,7 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 		SignalChannel:  p.signalCh,
 		ClosedChannels: p.closedSinceSync,
 		FreePIDs:       p.exitedChildren,
+		TotalReads:     p.totalReads,
 	}
 	for _, fd := range sortedFDs(p) {
 		ch := p.fds[fd]
@@ -180,14 +183,29 @@ func (k *Kernel) syncProcess(p *PCB, signalNext bool) error {
 	// The sync message is also encoded lazily: every SyncMsg field is
 	// exclusively owned by the message (the delta slices were detached from
 	// the PCB below; Args/Regs are immutable once marshaled), so the
-	// transmit loop can serialize it into a pooled buffer.
-	k.sendLocked(&types.Message{
-		Kind:  types.KindSync,
-		Src:   p.pid,
-		Dst:   p.pid,
-		Route: types.Route{Dst: backup, DstBackup: pagerLoc.Primary, SrcBackup: pagerMirror},
-		Lazy:  sm,
-	})
+	// transmit loop can serialize it into a pooled buffer. Under a
+	// full-image strategy (msglog) the state travels as a KindCheckpoint
+	// manifest wrapping the same image, so checkpoints are distinguishable
+	// on the wire and in traces from threeway's delta syncs.
+	syncRoute := types.Route{Dst: backup, DstBackup: pagerLoc.Primary, SrcBackup: pagerMirror}
+	if k.strategy.FullImage() {
+		cm := &CheckpointMsg{Sync: sm, Pages: uint32(len(pages)), Bytes: pageBytes}
+		k.sendLocked(&types.Message{
+			Kind:  types.KindCheckpoint,
+			Src:   p.pid,
+			Dst:   p.pid,
+			Route: syncRoute,
+			Lazy:  cm,
+		})
+	} else {
+		k.sendLocked(&types.Message{
+			Kind:  types.KindSync,
+			Src:   p.pid,
+			Dst:   p.pid,
+			Route: syncRoute,
+			Lazy:  sm,
+		})
+	}
 
 	p.epoch = epoch
 	p.readsSinceSync = 0
@@ -248,6 +266,52 @@ func (k *Kernel) dispatchSync(m *types.Message) {
 			k.pager.HandleFree(sm.FreePIDs)
 		}
 	}
+}
+
+// dispatchCheckpoint handles a KindCheckpoint arrival (msglog strategy):
+// the manifest wraps an ordinary sync image, so the backup's kernel applies
+// it exactly like a sync, and the page-server pair commits the full backup
+// page account at the checkpoint epoch — the same atomic-multicast
+// guarantee as §7.8, at checkpoint cadence.
+func (k *Kernel) dispatchCheckpoint(m *types.Message) {
+	cm, err := DecodeCheckpointMsg(m.Payload)
+	if err != nil {
+		return
+	}
+	if m.Route.Dst == k.id {
+		k.applySyncLocked(cm.Sync)
+	}
+	if k.pager != nil && (m.Route.DstBackup == k.id || m.Route.SrcBackup == k.id) {
+		k.pager.HandleSyncCommit(cm.Sync.PID, cm.Sync.Epoch)
+		if len(cm.Sync.FreePIDs) > 0 {
+			k.pager.HandleFree(cm.Sync.FreePIDs)
+		}
+	}
+}
+
+// dispatchDecision appends a leader's decision-log entry (llft) to its
+// follower's record: the absolute input position at which the leader chose
+// to consume a queued signal. The EvSave event carries the position in Arg;
+// the decision-prefix oracle matches it against the EvReplay events a later
+// promotion emits. A decision for an already-promoted pid is a straggler
+// from the dead leader — by the FIFO argument in NextEvent, nothing the
+// dead leader sent after this delivery escaped either, so the promoted
+// primary is free to re-decide and the straggler is dropped.
+func (k *Kernel) dispatchDecision(m *types.Message) {
+	dm, err := DecodeDecisionMsg(m.Payload)
+	if err != nil {
+		return
+	}
+	if _, promoted := k.procs[dm.PID]; promoted {
+		return
+	}
+	b, ok := k.backups[dm.PID]
+	if !ok {
+		return
+	}
+	b.decisions = append(b.decisions, dm.Reads)
+	k.metrics.BackupSaves.Add(1)
+	k.logMsg(trace.EvSave, m, dm.PID, dm.Reads)
 }
 
 // applySyncLocked updates the backup record and its routing entries from a
@@ -333,6 +397,13 @@ func (k *Kernel) applySyncLocked(sm *SyncMsg) {
 	if sm.Establish {
 		k.rebuildEstablishQueuesLocked(sm)
 	}
+	// The capture subsumes the decision log: signal deliveries pinned
+	// before it are part of the captured state, and plan positions restart
+	// from the capture's absolute input count. (llft followers only ever
+	// receive establishment syncs — the strategy takes no periodic
+	// captures — so this resets the record to its base.)
+	b.readsBase = sm.TotalReads
+	b.decisions = nil
 	// Likewise the nondet log (§10): events before the sync are part of
 	// the captured state.
 	if len(sm.NondetRemaining) > 0 {

@@ -1,0 +1,39 @@
+// Package llft is leader-follower replication after "The Low Latency
+// Fault Tolerance System": the leader never takes periodic state
+// captures — its backup's saved-message queues, writes-since-sync counts,
+// and piggybacked nondeterminism records accumulate from establishment
+// onward and ARE the replay log. The one input the saved queues cannot
+// order, asynchronous signal consumption, is pinned by a streamed
+// decision-log entry (KindDecision) recording the absolute input position
+// at which the leader took the signal; crash promotion installs those
+// decisions as a signal-delivery plan and replays them at the same
+// positions. Write suppression exists only as replay dedup, not as a
+// sync-window concept: the counts never reset because there is no sync.
+package llft
+
+import (
+	"fmt"
+
+	"auragen/internal/replication"
+)
+
+// Strategy implements replication.Strategy with leader-follower policy.
+type Strategy struct{}
+
+// New returns the leader-follower strategy value.
+func New() Strategy { return Strategy{} }
+
+func (Strategy) Name() string           { return "llft" }
+func (Strategy) Kind() replication.Kind { return replication.LLFT }
+func (Strategy) FullImage() bool        { return false }
+func (Strategy) PlansSignals() bool     { return true }
+
+func (Strategy) OnPendingSignal() replication.Action { return replication.ActionDecisionRecord }
+
+// CaptureDue never fires: after the establishment base image, no state
+// moves — only decisions.
+func (Strategy) CaptureDue(_, _, _, _ uint64) bool { return false }
+
+func (Strategy) ProcDebug(_, _, suppressTotal, totalReads, decisionSeq uint64, planLen int) string {
+	return fmt.Sprintf("totalReads=%d decisions=%d plan=%d replayDedup=%d", totalReads, decisionSeq, planLen, suppressTotal)
+}

@@ -1,0 +1,44 @@
+// Package msglog is pessimistic message logging with periodic
+// checkpoints, after the CORBA bank-server disaster-recovery report: the
+// atomic three-address bus delivery already makes every inbound message
+// stable at the backup before the primary can act on it, so the backup's
+// saved queues are the pessimistic log. State captures are full-image
+// checkpoints (KindCheckpoint manifests carrying the whole address
+// space) taken at a coarser cadence than threeway's delta syncs;
+// recovery restores the latest checkpoint and replays the logged inbound
+// messages behind it. A pending asynchronous signal is pinned by forcing
+// a checkpoint, making the signal the first logged event after it.
+package msglog
+
+import (
+	"fmt"
+
+	"auragen/internal/replication"
+)
+
+// CheckpointScale multiplies the configured sync cadence: checkpoints
+// carry full images, so they run this many times less often than
+// threeway's delta syncs at the same Options.SyncReads/SyncTicks.
+const CheckpointScale = 4
+
+// Strategy implements replication.Strategy with message-logging policy.
+type Strategy struct{}
+
+// New returns the message-logging strategy value.
+func New() Strategy { return Strategy{} }
+
+func (Strategy) Name() string           { return "msglog" }
+func (Strategy) Kind() replication.Kind { return replication.MsgLog }
+func (Strategy) FullImage() bool        { return true }
+func (Strategy) PlansSignals() bool     { return false }
+
+func (Strategy) OnPendingSignal() replication.Action { return replication.ActionForcedCheckpoint }
+
+// CaptureDue fires at CheckpointScale times the configured cadence.
+func (Strategy) CaptureDue(reads, ticks, everyReads, everyTicks uint64) bool {
+	return reads >= CheckpointScale*everyReads || ticks >= CheckpointScale*everyTicks
+}
+
+func (Strategy) ProcDebug(readsSinceSync, ticksSinceSync, suppressTotal, _, _ uint64, _ int) string {
+	return fmt.Sprintf("logReads=%d ticks=%d replayDedup=%d ckptScale=%d", readsSinceSync, ticksSinceSync, suppressTotal, CheckpointScale)
+}

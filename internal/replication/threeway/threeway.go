@@ -1,0 +1,36 @@
+// Package threeway is the reference replication strategy: the paper's
+// three-way-delivery scheme (§5). State moves as periodic dirty-delta
+// sync messages, sends are suppressed during roll-forward by the
+// writes-since-sync counts the sender's backup accumulated over the sync
+// window, and a pending asynchronous signal is pinned by forcing a sync
+// so the signal becomes the first event of the new interval (§7.5.2).
+package threeway
+
+import (
+	"fmt"
+
+	"auragen/internal/replication"
+)
+
+// Strategy implements replication.Strategy with the paper's policy.
+type Strategy struct{}
+
+// New returns the three-way strategy value.
+func New() Strategy { return Strategy{} }
+
+func (Strategy) Name() string           { return "threeway" }
+func (Strategy) Kind() replication.Kind { return replication.ThreeWay }
+func (Strategy) FullImage() bool        { return false }
+func (Strategy) PlansSignals() bool     { return false }
+
+func (Strategy) OnPendingSignal() replication.Action { return replication.ActionForcedSync }
+
+// CaptureDue fires at the configured cadence: every everyReads reads or
+// everyTicks sync-point visits, whichever comes first (§5.2).
+func (Strategy) CaptureDue(reads, ticks, everyReads, everyTicks uint64) bool {
+	return reads >= everyReads || ticks >= everyTicks
+}
+
+func (Strategy) ProcDebug(readsSinceSync, ticksSinceSync, suppressTotal, _, _ uint64, _ int) string {
+	return fmt.Sprintf("reads=%d ticks=%d suppressTotal=%d", readsSinceSync, ticksSinceSync, suppressTotal)
+}

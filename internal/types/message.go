@@ -93,6 +93,17 @@ const (
 	// (§7.3: halfbacks get new backups when the original cluster returns
 	// to service).
 	KindBackupAck
+
+	// KindDecision is a leader-follower (llft strategy) decision-log entry:
+	// the leader pins the input position at which it chose to take a queued
+	// asynchronous signal, so the follower replays the same interleaving
+	// during crash promotion instead of relying on write suppression.
+	KindDecision
+
+	// KindCheckpoint carries a full-image checkpoint (msglog strategy) to
+	// the backup cluster and the page-server pair; recovery restores the
+	// checkpoint and replays the pessimistically logged inbound messages.
+	KindCheckpoint
 )
 
 func (k Kind) String() string {
@@ -133,6 +144,10 @@ func (k Kind) String() string {
 		return "backup-create"
 	case KindBackupAck:
 		return "backup-ack"
+	case KindDecision:
+		return "decision"
+	case KindCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
