@@ -1,5 +1,5 @@
 // aurobench regenerates the experiment tables of EXPERIMENTS.md: one table
-// per experiment id (E1–E16), each row produced by the same harness
+// per experiment id (E1–E17), each row produced by the same harness
 // functions the Go benchmarks drive.
 //
 // Usage:
@@ -269,6 +269,16 @@ func main() {
 			row, err := harness.E16StrategyRecovery(kind)
 			failed = emit(row, err) || failed
 		}
+	}
+
+	if sel("E17") {
+		table("E17", "partition robustness: split-brain sweep cost and the incarnation protocol's counters (step-downs, fenced rejects, partition drops)")
+		ks := []int{6, 18, 30}
+		if *flagQuick {
+			ks = []int{12}
+		}
+		row, err := harness.E17PartitionRobustness(ks)
+		failed = emit(row, err) || failed
 	}
 
 	results.Schema = "auragen-bench/v1"

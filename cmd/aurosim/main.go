@@ -11,6 +11,7 @@
 //	aurosim -chaos -seed 1             # bounded fault-injection campaign
 //	aurosim -chaos -repair             # sequential fault→repair→fault campaign
 //	aurosim -chaos -soak               # long-soak: K fault→repair cycles, drift oracle
+//	aurosim -chaos -partition          # partition→wrongful-promotion→heal, split-brain oracle
 package main
 
 import (
@@ -47,6 +48,7 @@ var (
 	flagSoakN    = flag.Int("soak-cycles", chaos.DefaultSoakCycles, "fault→repair cycles for -chaos -soak")
 	flagJitter   = flag.Uint64("jitter", 0, "with -chaos -soak: seed the schedule perturber for the whole soak (0: off)")
 	flagRepl     = flag.String("replication", "threeway", "with -chaos: backup-protocol strategy the campaigns run: threeway | llft | msglog")
+	flagPart     = flag.Bool("partition", false, "with -chaos: run the partition→wrongful-promotion→heal sweep (every shape × every strategy) against the split-brain oracle; exits non-zero on any violation (DESIGN.md §14)")
 )
 
 func main() {
@@ -55,6 +57,12 @@ func main() {
 		repl, err := replication.ParseKind(*flagRepl)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *flagPart {
+			if err := runChaosPartition(*flagSeed); err != nil {
+				log.Fatal(err)
+			}
+			return
 		}
 		if *flagSoak {
 			if err := runChaosSoak(*flagSeed, *flagSoakN, *flagJitter, repl); err != nil {
@@ -289,6 +297,35 @@ func runChaos(seed int64, points int, repl replication.Kind) error {
 		return fmt.Errorf("chaos: %d swept coordinates violated the survival contract", violations)
 	}
 	fmt.Println("chaos: every swept coordinate honored the survival contract")
+	return nil
+}
+
+// runChaosPartition drives the partition→wrongful-promotion→heal schedule
+// across every partition shape and every replication strategy, judged by
+// the split-brain oracle (DESIGN.md §14): fencing happened, no delivery
+// after a stale primary learned of its supersession, redundancy restored.
+func runChaosPartition(seed int64) error {
+	if seed == 0 {
+		seed = 1
+	}
+	ks := []int{6, 18, 30}
+	rep := chaos.RunPartitionSweep(seed, ks)
+	fmt.Printf("chaos partition sweep: seed %d, coordinates %v, %d runs (3 shapes × 3 strategies)\n",
+		seed, ks, rep.Runs)
+	fmt.Printf("  tripwires fired: %d/%d\n", rep.Fired, rep.Runs)
+	fmt.Printf("  step-downs: %d, fenced rejects: %d, partition drops: %d\n",
+		rep.StepDowns, rep.FencedRejects, rep.PartitionDrops)
+	for _, f := range rep.Failures {
+		fmt.Printf("    %s\n", f)
+	}
+	if len(rep.Failures) > 0 {
+		return fmt.Errorf("chaos -partition: %d/%d runs violated the split-brain contract",
+			len(rep.Failures), rep.Runs)
+	}
+	if rep.StepDowns == 0 {
+		return fmt.Errorf("chaos -partition: no stale primary ever stepped down; the sweep created no split brains")
+	}
+	fmt.Println("chaos: every partition run honored the split-brain contract")
 	return nil
 }
 

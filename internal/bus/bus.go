@@ -49,6 +49,34 @@ const MaxTransmitAttempts = 3
 // call back into the Bus (FailBus, Broadcast, ...) or it will deadlock.
 type FaultHook func(busIdx int, m *types.Message, attempt int) bool
 
+// Link names one directed cluster-to-cluster edge of one physical bus, the
+// unit of partition state. NoCluster in either field is a wildcard: From ==
+// NoCluster cuts every sender's path to To (an inbound cut), To == NoCluster
+// cuts From's path to every receiver (an outbound cut).
+type Link struct {
+	From, To types.ClusterID
+}
+
+// Corrupter models wire corruption: it takes the message about to be
+// delivered and returns what survives the receiver's fail-closed frame
+// decoding — nil when the corrupted frame was rejected (the overwhelmingly
+// common case, since frames are checksummed), so the transmission becomes
+// an omission rather than a delivered lie. Installed by the system facade,
+// which owns the frame codec; it runs inside the bus critical section and
+// must not call back into the Bus.
+type Corrupter func(*types.Message) *types.Message
+
+// delayedTx is one transmission held back by an armed delay fault: the
+// message was transmitted (ID minted, in order) but its deliveries are
+// withheld until `due` further transmissions have been accepted — the bus's
+// reordering primitive.
+type delayedTx struct {
+	m       *types.Message
+	targets []types.ClusterID // nil: every cluster live at release time
+	idx     int               // physical bus chosen at transmit time
+	due     uint64            // release when nextID reaches this
+}
+
 // Bus connects 2..32 clusters. All methods are safe for concurrent use.
 type Bus struct {
 	metrics *trace.Metrics
@@ -65,6 +93,19 @@ type Bus struct {
 	// hot path: a linear scan over a handful of clusters beats a map
 	// lookup per message per target.
 	ports []*busPort
+
+	// Lossy-wire fault state (see Cut, ArmDuplicates, ArmCorrupt,
+	// ArmDelay). cut holds the per-bus directed link masks of the active
+	// partition; the remaining fields are one-shot armed counts consumed by
+	// subsequent transmissions.
+	cut          [NumBuses]map[Link]bool
+	dupArmed     int
+	corruptArmed int
+	corrupter    Corrupter
+	delayArmed   int
+	delayGap     uint64
+	delayed      []delayedTx
+	holdWatchdog func()
 }
 
 // busPort is one attached cluster as seen by the batch fast path. dirty is
@@ -177,6 +218,199 @@ func (b *Bus) SetFaultHook(h FaultHook) {
 	b.fault = h
 }
 
+// Cut severs one directed link of one physical bus: deliveries from `from`
+// to `to` over bus i are silently discarded — the sender is never told,
+// because a partitioned network lies (unlike FailBus, which every sender
+// observes as a failover). NoCluster wildcards match any sender or any
+// receiver; see Link. A delivery is only lost when its link is cut on
+// every healthy bus — with one bus cut and the other clear, traffic fails
+// over per-target and the dual-bus redundancy absorbs the partition.
+func (b *Bus) Cut(i int, from, to types.ClusterID) error {
+	if i < 0 || i >= NumBuses {
+		return fmt.Errorf("bus: no bus %d", i)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cut[i] == nil {
+		b.cut[i] = make(map[Link]bool)
+	}
+	b.cut[i][Link{From: from, To: to}] = true
+	return nil
+}
+
+// HealCut restores one directed link previously severed by Cut.
+func (b *Bus) HealCut(i int, from, to types.ClusterID) error {
+	if i < 0 || i >= NumBuses {
+		return fmt.Errorf("bus: no bus %d", i)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.cut[i], Link{From: from, To: to})
+	return nil
+}
+
+// HealAllCuts restores every severed link and releases every transmission
+// still held by an armed delay — the "network comes back" coordinate of a
+// partition schedule.
+func (b *Bus) HealAllCuts() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.cut {
+		b.cut[i] = nil
+	}
+	for i := range b.delayed {
+		b.delayed[i].due = 0
+	}
+	b.releaseDueLocked()
+}
+
+// ArmDuplicates makes the next n transmissions deliver two copies (same
+// bus-minted ID) to each target — the wire's at-least-once lie, which
+// receiver-side dedup must suppress.
+func (b *Bus) ArmDuplicates(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.dupArmed += n
+}
+
+// ArmCorrupt makes the next n transmissions pass through the installed
+// Corrupter. With no corrupter installed the transmission is simply
+// dropped, the degenerate model of a corrupted frame dying in validation.
+func (b *Bus) ArmCorrupt(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.corruptArmed += n
+}
+
+// SetCorrupter installs (or, with nil, removes) the corruption model
+// applied to transmissions armed by ArmCorrupt.
+func (b *Bus) SetCorrupter(fn Corrupter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.corrupter = fn
+}
+
+// ArmDelay holds back the next n transmissions, releasing each after gap
+// further transmissions have been accepted: deliveries arrive late and out
+// of ID order while the §5.1 mint order is preserved. The facade that arms
+// the fault should also install a hold watchdog (SetHoldWatchdog) so a
+// held critical-path frame cannot deadlock a quiesced system.
+func (b *Bus) ArmDelay(n, gap int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.delayArmed += n
+	if gap < 1 {
+		gap = 1
+	}
+	b.delayGap = uint64(gap)
+}
+
+// SetHoldWatchdog installs the hook invoked each time a transmission is
+// held by a delay fault. The bus itself is deterministic and keeps no
+// timers; the policy layer uses the hook to schedule a real-time
+// FlushDelayed so a held frame that starves (the reply its only active
+// sender is blocked on) is eventually released. The hook runs under the
+// bus mutex and must only schedule — never call back into the Bus
+// synchronously.
+func (b *Bus) SetHoldWatchdog(fn func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.holdWatchdog = fn
+}
+
+// FlushDelayed delivers every transmission still held by a delay fault.
+func (b *Bus) FlushDelayed() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.delayed {
+		b.delayed[i].due = 0
+	}
+	b.releaseDueLocked()
+}
+
+// Reachable reports whether any healthy physical bus still carries
+// traffic toward c. The failure detector's probes ride the same wire as
+// everything else, so a cluster with every inbound path cut or failed
+// stops answering probes — indistinguishable, from outside, from a crash.
+// That is precisely the partition dilemma §7.10's polling cannot solve,
+// and why declarations bump incarnations instead of assuming the silent
+// cluster is really dead.
+func (b *Bus) Reachable(c types.ClusterID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := 0; i < NumBuses; i++ {
+		if !b.failed[i] && !b.cutLocked(i, types.NoCluster, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// cutLocked reports whether the directed link from→to is severed on bus i,
+// honoring the wildcard entries.
+func (b *Bus) cutLocked(i int, from, to types.ClusterID) bool {
+	m := b.cut[i]
+	if len(m) == 0 {
+		return false
+	}
+	return m[Link{From: from, To: to}] ||
+		m[Link{From: types.NoCluster, To: to}] ||
+		m[Link{From: from, To: types.NoCluster}]
+}
+
+// linkMaskedLocked decides one target's fate under the active partition:
+// false means deliver (possibly after a per-target failover to the other
+// healthy bus), true means the delivery is silently lost and counted.
+func (b *Bus) linkMaskedLocked(idx int, from, to types.ClusterID) bool {
+	if !b.cutLocked(idx, from, to) {
+		return false
+	}
+	for i := 0; i < NumBuses; i++ {
+		if i == idx || b.failed[i] {
+			continue
+		}
+		if !b.cutLocked(i, from, to) {
+			b.metrics.BusFailovers.Add(1)
+			return false
+		}
+	}
+	b.metrics.PartitionDrops.Add(1)
+	return true
+}
+
+// releaseDueLocked delivers every held transmission whose release point has
+// passed. Caller holds b.mu and no inbox locks (push acquires them).
+func (b *Bus) releaseDueLocked() {
+	if len(b.delayed) == 0 {
+		return
+	}
+	kept := b.delayed[:0]
+	for _, d := range b.delayed {
+		if d.due > b.nextID {
+			kept = append(kept, d)
+			continue
+		}
+		targets := d.targets
+		if targets == nil {
+			targets = b.liveSortedLocked()
+		}
+		for _, c := range targets {
+			in, ok := b.inboxes[c]
+			if !ok {
+				continue
+			}
+			if b.linkMaskedLocked(d.idx, d.m.Origin, c) {
+				continue
+			}
+			depth := in.push(d.m.Clone())
+			b.metrics.BusDeliveries.Add(1)
+			b.metrics.MaxInboxPeak(uint64(depth))
+			b.logReceive(d.m, c)
+		}
+	}
+	b.delayed = kept
+}
+
 // Live returns the attached clusters in ascending order.
 func (b *Bus) Live() []types.ClusterID {
 	b.mu.Lock()
@@ -231,14 +465,15 @@ func (b *Bus) selectBusLocked(attempt int) int {
 
 // transmitLocked is offerLocked plus the per-message transmit metrics; the
 // single-message paths use it, while BroadcastBatch aggregates the counter
-// updates across the whole batch.
-func (b *Bus) transmitLocked(m *types.Message) error {
-	if err := b.offerLocked(m); err != nil {
-		return err
+// updates across the whole batch. Returns the physical bus chosen.
+func (b *Bus) transmitLocked(m *types.Message) (int, error) {
+	idx, err := b.offerLocked(m)
+	if err != nil {
+		return idx, err
 	}
 	b.metrics.BusTransmissions.Add(1)
 	b.metrics.BusBytes.Add(uint64(len(m.Payload)))
-	return nil
+	return idx, nil
 }
 
 // offerLocked runs the physical-transmission half of one message: pick
@@ -247,17 +482,17 @@ func (b *Bus) transmitLocked(m *types.Message) error {
 // message ID, and record the transmit event. The loss of one
 // bus is a tolerated single failure: traffic fails over to the survivor
 // and the caller never notices. Losing both is a multiple failure.
-func (b *Bus) offerLocked(m *types.Message) error {
+func (b *Bus) offerLocked(m *types.Message) (int, error) {
 	if m.Lazy != nil {
 		// The executive resolves deferred payloads before the bus accepts
 		// the message; the transmit event below hashes the bytes.
 		panic("bus: message reached the bus with an unresolved lazy payload")
 	}
-	sent := false
+	sent := -1
 	for attempt := 0; attempt < MaxTransmitAttempts; attempt++ {
 		idx := b.selectBusLocked(attempt)
 		if idx < 0 {
-			return fmt.Errorf("bus: both physical buses down: %w", types.ErrTooManyFailures)
+			return -1, fmt.Errorf("bus: both physical buses down: %w", types.ErrTooManyFailures)
 		}
 		if b.fault != nil && b.fault(idx, m, attempt) {
 			b.metrics.BusFaultDrops.Add(1)
@@ -275,11 +510,42 @@ func (b *Bus) offerLocked(m *types.Message) error {
 			}
 			continue
 		}
-		sent = true
+		// An armed corrupt fault damages this attempt's frame in flight.
+		// The fail-closed wire decode (checksummed batches, no partial
+		// prefixes) almost surely rejects the damage; the link layer sees
+		// the rejection as a failed attempt and retries, exactly like a
+		// transient drop. Only a flip the checksum cannot see — the
+		// corrupter returning a decodable frame — goes through, and then
+		// the decoded bytes are what every target receives.
+		if b.corruptArmed > 0 {
+			b.corruptArmed--
+			var survived *types.Message
+			if b.corrupter != nil {
+				survived = b.corrupter(m)
+			}
+			if survived == nil {
+				b.metrics.CorruptFrameDrops.Add(1)
+				if attempt+1 < MaxTransmitAttempts {
+					b.metrics.BusRetries.Add(1)
+				}
+				if b.log != nil {
+					b.log.Append(trace.Event{
+						Kind:    trace.EvNote,
+						Cluster: types.NoCluster,
+						MsgKind: m.Kind,
+						PID:     m.Src,
+						Note:    fmt.Sprintf("bus%d: corrupted frame rejected by fail-closed decode, attempt %d dropped", idx, attempt),
+					})
+				}
+				continue
+			}
+			*m = *survived
+		}
+		sent = idx
 		break
 	}
-	if !sent {
-		return fmt.Errorf("bus: transmission dropped %d times: %w",
+	if sent < 0 {
+		return -1, fmt.Errorf("bus: transmission dropped %d times: %w",
 			MaxTransmitAttempts, types.ErrTooManyFailures)
 	}
 	b.nextID++
@@ -295,7 +561,7 @@ func (b *Bus) offerLocked(m *types.Message) error {
 			Arg:     trace.HashPayload(m.Payload),
 		})
 	}
-	return nil
+	return sent, nil
 }
 
 // liveSortedLocked returns the attached clusters in ascending order.
@@ -324,23 +590,68 @@ func (b *Bus) logReceive(m *types.Message, c types.ClusterID) {
 func (b *Bus) deliver(m *types.Message, targets []types.ClusterID) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if err := b.transmitLocked(m); err != nil {
+	idx, err := b.transmitLocked(m)
+	if err != nil {
 		return err
 	}
 	if targets == nil {
 		targets = b.liveSortedLocked()
 	}
-	for _, c := range targets {
-		in, ok := b.inboxes[c]
-		if !ok {
-			continue
+	m, delivered := b.applyWireFaultsLocked(m, targets, idx)
+	if delivered {
+		copies := 1
+		if b.dupArmed > 0 {
+			b.dupArmed--
+			copies = 2
 		}
-		depth := in.push(m.Clone())
-		b.metrics.BusDeliveries.Add(1)
-		b.metrics.MaxInboxPeak(uint64(depth))
-		b.logReceive(m, c)
+		for _, c := range targets {
+			in, ok := b.inboxes[c]
+			if !ok {
+				continue
+			}
+			if b.linkMaskedLocked(idx, m.Origin, c) {
+				continue
+			}
+			for i := 0; i < copies; i++ {
+				depth := in.push(m.Clone())
+				b.metrics.BusDeliveries.Add(1)
+				b.metrics.MaxInboxPeak(uint64(depth))
+				b.logReceive(m, c)
+			}
+		}
 	}
+	b.releaseDueLocked()
 	return nil
+}
+
+// applyWireFaultsLocked consumes any armed delay fault for one
+// transmission. It returns the message and whether delivery should
+// proceed now: false means the transmission is being held by a delay and
+// will release into the total order later. The sender never learns —
+// wire delays are silent by construction. (Corruption is consumed
+// upstream in offerLocked's attempt loop, where the link layer's retry
+// can recover a frame the fail-closed decoder rejected.)
+func (b *Bus) applyWireFaultsLocked(m *types.Message, targets []types.ClusterID, idx int) (*types.Message, bool) {
+	if b.delayArmed > 0 {
+		b.delayArmed--
+		var tgts []types.ClusterID
+		if targets != nil {
+			tgts = append([]types.ClusterID(nil), targets...)
+		}
+		b.delayed = append(b.delayed, delayedTx{
+			m: m.Clone(), targets: tgts, idx: idx, due: b.nextID + b.delayGap,
+		})
+		// Per-frame watchdog: the hold may happen long after ArmDelay (the
+		// armed count is consumed by later transmissions), and the held
+		// frame may be the very reply the system's only active sender is
+		// blocked on — in which case no further traffic will ever reach
+		// the release point. The hook only schedules; safe under b.mu.
+		if b.holdWatchdog != nil {
+			b.holdWatchdog()
+		}
+		return m, false
+	}
+	return m, true
 }
 
 // globalKind reports whether a message kind is a membership-level event
@@ -414,7 +725,8 @@ func (b *Bus) BroadcastBatch(msgs []*types.Message) (int, error) {
 	var cachedPorts [3]*busPort
 	cachedN := -1
 	for _, m := range msgs {
-		if err := b.offerLocked(m); err != nil {
+		idx, err := b.offerLocked(m)
+		if err != nil {
 			failure = err
 			break
 		}
@@ -430,12 +742,35 @@ func (b *Bus) BroadcastBatch(msgs []*types.Message) (int, error) {
 		if len(m.Nondet) > 0 {
 			nondet = append([]uint64(nil), m.Nondet...)
 		}
+		if b.delayArmed > 0 {
+			// Held transmissions fall off the batch fast path: a delayed
+			// entry stages nothing now and releases through push after
+			// the receive buffers are unlocked (see the flush below).
+			var tgts []types.ClusterID
+			if !globalKind(m.Kind) {
+				var tbuf [3]types.ClusterID
+				tgts = append([]types.ClusterID(nil), m.Route.AppendTargets(tbuf[:0])...)
+			}
+			if _, deliverNow := b.applyWireFaultsLocked(m, tgts, idx); !deliverNow {
+				continue
+			}
+		}
+		copies := 1
+		if b.dupArmed > 0 {
+			b.dupArmed--
+			copies = 2
+		}
 		if globalKind(m.Kind) {
 			for _, p := range b.ports {
-				if p.in.stageLocked(m, payload, nondet) {
-					p.dirty = true
-					deliveries++
-					b.logReceive(m, p.c)
+				if b.linkMaskedLocked(idx, m.Origin, p.c) {
+					continue
+				}
+				for i := 0; i < copies; i++ {
+					if p.in.stageLocked(m, payload, nondet) {
+						p.dirty = true
+						deliveries++
+						b.logReceive(m, p.c)
+					}
 				}
 			}
 			continue
@@ -452,10 +787,15 @@ func (b *Bus) BroadcastBatch(msgs []*types.Message) (int, error) {
 			}
 		}
 		for _, p := range cachedPorts[:cachedN] {
-			if p.in.stageLocked(m, payload, nondet) {
-				p.dirty = true
-				deliveries++
-				b.logReceive(m, p.c)
+			if b.linkMaskedLocked(idx, m.Origin, p.c) {
+				continue
+			}
+			for i := 0; i < copies; i++ {
+				if p.in.stageLocked(m, payload, nondet) {
+					p.dirty = true
+					deliveries++
+					b.logReceive(m, p.c)
+				}
 			}
 		}
 	}
@@ -474,6 +814,9 @@ func (b *Bus) BroadcastBatch(msgs []*types.Message) (int, error) {
 		}
 		p.in.mu.Unlock()
 	}
+	// Flush delay-released transmissions now that no receive buffers are
+	// held (release pushes take each inbox lock individually).
+	b.releaseDueLocked()
 	return sent, failure
 }
 

@@ -241,6 +241,48 @@ func applyFault(sys *core.System, inj Injection, fireEv trace.Event, armed *atom
 			sys.PollDetector()
 		}
 		return nil
+	case FaultPartition:
+		var err error
+		switch inj.Shape {
+		case PartitionAsymmetric:
+			err = sys.PartitionCluster(inj.Target, true, false)
+		case PartitionSingleBus:
+			err = sys.PartitionCluster(inj.Target, true, true, 0)
+		case PartitionSymmetric:
+			err = sys.PartitionCluster(inj.Target, true, true)
+		default:
+			err = fmt.Errorf("chaos: unknown partition shape %v", inj.Shape)
+		}
+		if err != nil {
+			return err
+		}
+		// A partition starves the event stream (callers block on their
+		// unanswerable Calls), so detection cannot be scheduled on a later
+		// event coordinate — drive the detector's periodic polling here
+		// instead. Probes ride the bus: a fully inbound-cut cluster misses
+		// every probe and is wrongly declared dead past the debounce; a
+		// single-bus cut stays reachable on the other bus and the polls
+		// change nothing.
+		for i := 0; i < partitionPollRounds; i++ {
+			sys.PollDetector()
+		}
+		return nil
+	case FaultPartitionHeal:
+		sys.HealPartitions()
+		return nil
+	case FaultBusDuplicate:
+		sys.ArmBusDuplicates(max(inj.Drops, 1))
+		return nil
+	case FaultBusCorrupt:
+		sys.ArmBusCorrupt(max(inj.Drops, 1))
+		return nil
+	case FaultBusDelay:
+		gap := inj.Gap
+		if gap <= 0 {
+			gap = 4
+		}
+		sys.ArmBusDelay(max(inj.Drops, 1), gap)
+		return nil
 	default:
 		return fmt.Errorf("chaos: unknown fault %v", inj.Fault)
 	}
@@ -307,6 +349,11 @@ func (c *Campaign) Sweep(seed int64, tmpl Injection, stride int) (*SweepReport, 
 // (one bus of two, one crashable cluster). The §6 contract has no
 // "unless recovering" escape hatch, so the survival oracle applies to a
 // burst run unchanged.
+
+// partitionPollRounds is how many detector polls a partition injection
+// drives: past the default debounce (2) plus its jitter extension (≤1),
+// with one round of slack.
+const partitionPollRounds = 4
 
 // DefaultBurstSpacing is the event gap between a burst's injections:
 // small enough to land inside crash handling (failover alone emits

@@ -48,8 +48,28 @@ const (
 	FaultBusTransient
 	// FaultDetectorFalsePositive makes the failure detector's next probes
 	// of a healthy cluster lie "dead"; below the debounce threshold this
-	// must cause no crash handling at all.
+	// must cause no crash handling at all. At or above the threshold the
+	// detector wrongly declares the cluster crashed while it lives — the
+	// stale-primary case the incarnation protocol must fence.
 	FaultDetectorFalsePositive
+	// FaultPartition cuts the links between the target cluster and the
+	// rest of the system (shape selects direction and bus coverage); the
+	// cluster keeps running but some or all of its traffic disappears
+	// silently, with no bus-level error for retries to see.
+	FaultPartition
+	// FaultPartitionHeal removes every link cut and delivers the fencing
+	// notice to any stale primary the partition protected.
+	FaultPartitionHeal
+	// FaultBusDuplicate makes bus transmissions arrive twice at every
+	// target; receivers must suppress the extra copy.
+	FaultBusDuplicate
+	// FaultBusCorrupt damages bus transmissions in flight (one flipped
+	// byte through the real wire codec); the fail-closed decoder must
+	// reject the frame, which then counts as a silent drop.
+	FaultBusCorrupt
+	// FaultBusDelay holds bus transmissions back and delivers them out of
+	// order behind newer traffic.
+	FaultBusDelay
 )
 
 func (f Fault) String() string {
@@ -66,8 +86,48 @@ func (f Fault) String() string {
 		return "bus-transient"
 	case FaultDetectorFalsePositive:
 		return "detector-false-positive"
+	case FaultPartition:
+		return "partition"
+	case FaultPartitionHeal:
+		return "partition-heal"
+	case FaultBusDuplicate:
+		return "bus-duplicate"
+	case FaultBusCorrupt:
+		return "bus-corrupt"
+	case FaultBusDelay:
+		return "bus-delay"
 	default:
 		return fmt.Sprintf("Fault(%d)", uint8(f))
+	}
+}
+
+// PartitionShape selects which links FaultPartition cuts.
+type PartitionShape uint8
+
+const (
+	// PartitionSymmetric cuts both directions on both physical buses: the
+	// cluster is fully isolated — it can neither send nor receive.
+	PartitionSymmetric PartitionShape = iota
+	// PartitionAsymmetric cuts only traffic toward the cluster, on both
+	// buses: the cluster still transmits but hears nothing back — the
+	// shape that keeps a stale primary talking, so every receiver's
+	// incarnation fence is exercised.
+	PartitionAsymmetric
+	// PartitionSingleBus cuts both directions on physical bus 0 only;
+	// dual-bus failover must absorb it with no observable loss.
+	PartitionSingleBus
+)
+
+func (p PartitionShape) String() string {
+	switch p {
+	case PartitionSymmetric:
+		return "symmetric"
+	case PartitionAsymmetric:
+		return "asymmetric"
+	case PartitionSingleBus:
+		return "single-bus"
+	default:
+		return fmt.Sprintf("PartitionShape(%d)", uint8(p))
 	}
 }
 
@@ -165,9 +225,11 @@ type Injection struct {
 	// fires the tripwire. K <= 0 is normalized to 1.
 	When Predicate
 	K    int
-	// Target is the cluster for FaultClusterCrash and
-	// FaultDetectorFalsePositive.
+	// Target is the cluster for FaultClusterCrash,
+	// FaultDetectorFalsePositive, and FaultPartition.
 	Target types.ClusterID
+	// Shape selects the links FaultPartition cuts.
+	Shape PartitionShape
 	// TargetPID is the victim for FaultProcessCrash.
 	TargetPID types.PID
 	// TargetFromEvent, for FaultProcessCrash, crashes the process named by
@@ -177,9 +239,14 @@ type Injection struct {
 	TargetFromEvent bool
 	// Bus is the physical bus index (0 or 1) for FaultBusFailure.
 	Bus int
-	// Drops is how many transmission attempts FaultBusTransient drops
+	// Drops is how many transmissions the wire faults touch: attempts
+	// dropped for FaultBusTransient, transmissions duplicated, corrupted,
+	// or delayed for FaultBusDuplicate/FaultBusCorrupt/FaultBusDelay
 	// (default 1).
 	Drops int
+	// Gap is how many subsequent transmissions FaultBusDelay holds each
+	// delayed frame behind (default 4).
+	Gap int
 	// Probes is how many consecutive probes FaultDetectorFalsePositive
 	// falsifies (default 1; below the detector debounce this must be
 	// absorbed silently).

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"auragen/internal/chaos/leakcheck"
+	"auragen/internal/trace"
+)
+
+// TestFaultAndShapeStrings pins the diagnostic names of every fault and
+// partition shape: sweep reports key on them, so a new enum value without
+// a name would render as an opaque number in every failure message.
+func TestFaultAndShapeStrings(t *testing.T) {
+	faults := []Fault{
+		FaultNone, FaultClusterCrash, FaultProcessCrash, FaultBusFailure,
+		FaultBusTransient, FaultDetectorFalsePositive, FaultPartition,
+		FaultPartitionHeal, FaultBusDuplicate, FaultBusCorrupt, FaultBusDelay,
+	}
+	seen := make(map[string]bool)
+	for _, f := range faults {
+		s := f.String()
+		if strings.HasPrefix(s, "Fault(") {
+			t.Errorf("fault %d has no name", f)
+		}
+		if seen[s] {
+			t.Errorf("duplicate fault name %q", s)
+		}
+		seen[s] = true
+	}
+	if Fault(99).String() != "Fault(99)" {
+		t.Error("unknown fault renders wrong")
+	}
+	shapes := map[PartitionShape]string{
+		PartitionSymmetric:  "symmetric",
+		PartitionAsymmetric: "asymmetric",
+		PartitionSingleBus:  "single-bus",
+	}
+	for shape, want := range shapes {
+		if got := shape.String(); got != want {
+			t.Errorf("shape %d renders %q, want %q", shape, got, want)
+		}
+	}
+	if PartitionShape(9).String() != "PartitionShape(9)" {
+		t.Error("unknown shape renders wrong")
+	}
+}
+
+// TestPartitionSweepSplitBrainFree is the partition tentpole: across
+// every partition shape and every replication strategy, partition the
+// bank server's cluster, lie to the failure detector until it wrongly
+// promotes the backups, heal, repair — and require the split-brain
+// oracle to pass at every point, with goroutine accounting settling back
+// to baseline.
+func TestPartitionSweepSplitBrainFree(t *testing.T) {
+	ks := []int{6, 30}
+	if testing.Short() {
+		ks = []int{12}
+	}
+	base := leakcheck.Baseline()
+	rep := RunPartitionSweep(11, ks)
+	for _, f := range rep.Failures {
+		t.Errorf("%s", f)
+	}
+	if len(rep.Failures) > 0 {
+		t.Fatalf("%d/%d partition points violated the split-brain contract", len(rep.Failures), rep.Runs)
+	}
+	if rep.Fired == 0 {
+		t.Fatal("no partition tripwire ever fired")
+	}
+	if rep.StepDowns == 0 {
+		t.Fatal("no stale primary ever stepped down; the sweep created no split brains to survive")
+	}
+	if rep.PartitionDrops == 0 {
+		t.Fatal("no partitioned traffic was ever dropped; the cuts did not bite")
+	}
+	leakcheck.Check(t, base, 0, 0)
+}
+
+// TestDetectorFalsePositiveAboveDebounce drives the failure detector past
+// its debounce threshold against a connected, healthy cluster: the system
+// wrongly declares the cluster crashed and promotes its backups, and the
+// fencing notice — deliverable immediately, since there is no partition —
+// must make the live cluster step down instead of fighting its
+// replacement.
+func TestDetectorFalsePositiveAboveDebounce(t *testing.T) {
+	c := &Campaign{Scenario: PartitionBankScenario("fp-above"), Timeout: 90 * time.Second}
+	ref := c.Reference(9)
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	run := c.Run(Plan{Seed: 9, Injections: []Injection{
+		{Fault: FaultDetectorFalsePositive, When: OnKind(trace.EvDeliver), K: 10,
+			Target: PartitionTarget, Probes: 4},
+	}})
+	if !run.Fired[0] {
+		t.Fatal("tripwire never fired")
+	}
+	if v := CheckSplitBrain(ref, run); !v.OK {
+		t.Fatalf("above-debounce false positive not survived: %s", v)
+	}
+	if run.Metrics["crashes"] == 0 {
+		t.Fatal("an above-debounce probe lie triggered no crash handling")
+	}
+	if run.Metrics["step_downs"] == 0 {
+		t.Fatal("the wrongly accused live cluster never stepped down")
+	}
+}
+
+// TestBusDuplicateSuppressed arms the duplicate wire fault mid-workload:
+// every duplicated transmission arrives twice at every target, the
+// receiver-side dedup window must swallow the extra copies, and the
+// balance vector must not move.
+func TestBusDuplicateSuppressed(t *testing.T) {
+	c := newCampaign()
+	ref := c.Reference(13)
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	run := c.Run(Plan{Seed: 13, Injections: []Injection{
+		{Fault: FaultBusDuplicate, When: OnKind(trace.EvDeliver), K: 8, Drops: 6},
+	}})
+	if !run.Fired[0] {
+		t.Fatal("tripwire never fired")
+	}
+	if v := CheckSurvival(ref, run); !v.OK {
+		t.Fatalf("duplicated frames not survived: %s", v)
+	}
+	if run.Metrics["dup_deliveries_suppressed"] == 0 {
+		t.Fatal("no duplicate delivery was ever suppressed")
+	}
+}
+
+// TestBusCorruptFailClosed arms the corrupt wire fault: each armed
+// transmission is serialized through the real codec, one byte is flipped,
+// and the fail-closed decode must reject the frame — the link layer then
+// retries the attempt, so the workload never notices.
+func TestBusCorruptFailClosed(t *testing.T) {
+	c := newCampaign()
+	ref := c.Reference(17)
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	run := c.Run(Plan{Seed: 17, Injections: []Injection{
+		{Fault: FaultBusCorrupt, When: OnKind(trace.EvDeliver), K: 8, Drops: 5},
+	}})
+	if !run.Fired[0] {
+		t.Fatal("tripwire never fired")
+	}
+	if v := CheckSurvival(ref, run); !v.OK {
+		t.Fatalf("corrupted frames not survived: %s", v)
+	}
+	if run.Metrics["corrupt_frame_drops"] == 0 {
+		t.Fatal("no corrupted frame was ever rejected by the fail-closed decode")
+	}
+	if run.Metrics["bus_retries"] == 0 {
+		t.Fatal("corrupted attempts were never retried")
+	}
+}
+
+// TestBusDelayReordered arms the delay wire fault: held transmissions
+// release behind newer traffic, so receivers see old frames after new
+// ones — the reordering the dedup window, epoch monotonicity, and
+// incarnation fences must absorb without moving the outcome.
+func TestBusDelayReordered(t *testing.T) {
+	c := newCampaign()
+	ref := c.Reference(19)
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	run := c.Run(Plan{Seed: 19, Injections: []Injection{
+		{Fault: FaultBusDelay, When: OnKind(trace.EvDeliver), K: 8, Drops: 3, Gap: 5},
+	}})
+	if !run.Fired[0] {
+		t.Fatal("tripwire never fired")
+	}
+	if v := CheckSurvival(ref, run); !v.OK {
+		t.Fatalf("delayed frames not survived: %s", v)
+	}
+}

@@ -130,9 +130,13 @@ func (s *ScheduleSearch) Run() (*ScheduleReport, error) {
 		case FaultDetectorFalsePositive:
 			// One lying probe: below every debounce, must be absorbed.
 			plan.Injections = []Injection{{Fault: fault, When: Any(), K: k, Target: crash, Probes: 1}}
-		case FaultNone, FaultProcessCrash:
+		case FaultNone, FaultProcessCrash, FaultPartition, FaultPartitionHeal,
+			FaultBusDuplicate, FaultBusCorrupt, FaultBusDelay:
 			// Perturbation only (k is drawn regardless, keeping the RNG
-			// stream aligned across rotations).
+			// stream aligned across rotations). The partition and lossy-wire
+			// faults have their own sweep (RunPartitionSweep) with the
+			// split-brain oracle; the schedule search rotates only the
+			// single-fault contract's injections.
 		}
 
 		run := s.Campaign.Run(plan)

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"auragen/internal/bus"
+	"auragen/internal/kernel"
+	"auragen/internal/types"
+	"auragen/internal/wire"
+)
+
+// Partition and lossy-wire facades. The bus already models total loss of a
+// physical bus (FailBus); these entry points model the meaner failures a
+// real interconnect produces — links that drop traffic in one direction,
+// frames that arrive twice, frames that arrive damaged, frames that arrive
+// late — and the network partitions that create stale primaries. See
+// bus.Cut and friends for the mechanism; this file is the policy layer the
+// chaos campaigns drive.
+
+// PartitionCluster cuts the links between cluster c and every other
+// cluster. inbound cuts traffic toward c, outbound cuts traffic from c;
+// buses selects which physical buses are cut (empty = both). Cutting only
+// one physical bus is absorbed by dual-bus failover; cutting both isolates
+// the cluster in the selected directions. An asymmetric cut (inbound only)
+// leaves the cluster able to transmit — the shape that exercises
+// incarnation fencing at every receiver, because the isolated cluster
+// keeps talking with a stale incarnation after the system declares it
+// dead.
+func (s *System) PartitionCluster(c types.ClusterID, inbound, outbound bool, buses ...int) error {
+	if len(buses) == 0 {
+		for i := 0; i < NumBuses(); i++ {
+			buses = append(buses, i)
+		}
+	}
+	for _, i := range buses {
+		if inbound {
+			if err := s.bus.Cut(i, types.NoCluster, c); err != nil {
+				return err
+			}
+		}
+		if outbound {
+			if err := s.bus.Cut(i, c, types.NoCluster); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NumBuses returns the number of physical intercluster buses.
+func NumBuses() int { return bus.NumBuses }
+
+// HealPartitions removes every link cut and releases any transmissions
+// still held by an armed delay fault. Healing is also when split-brain
+// resolution happens: any cluster the system declared dead whose hardware
+// is in fact still running is a stale primary that never received its
+// fencing notice (the partition ate it), so the notice is re-broadcast
+// with the current incarnation — on receipt the stale primary steps down
+// (kernel.stepDownLocked) and every other kernel's incarnation view
+// catches up. Re-delivery is idempotent for kernels that already handled
+// the original notice.
+func (s *System) HealPartitions() {
+	s.bus.HealAllCuts()
+
+	s.mu.Lock()
+	var stale []types.ClusterID
+	for c := range s.crashed {
+		if int(c) >= 0 && int(c) < len(s.kernels) && !s.kernels[int(c)].Crashed() {
+			stale = append(stale, c)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+
+	for _, c := range stale {
+		cn := &kernel.CrashNotice{Crashed: c, Inc: s.dir.Incarnation(c)}
+		_ = s.bus.BroadcastAll(&types.Message{
+			Kind:    types.KindCrashNotice,
+			Payload: cn.Encode(),
+		})
+	}
+}
+
+// Incarnation returns cluster c's current incarnation number from the
+// directory's authoritative ledger.
+func (s *System) Incarnation(c types.ClusterID) types.Incarnation {
+	return s.dir.Incarnation(c)
+}
+
+// ArmBusDuplicates makes the next n bus transmissions deliver twice to
+// every target (same bus-minted message ID both times). Receivers must
+// suppress the second copy — the §5.1 exactly-once contract is theirs to
+// keep, not the wire's.
+func (s *System) ArmBusDuplicates(n int) { s.bus.ArmDuplicates(n) }
+
+// delayFlushGrace bounds how long a delay-held transmission can starve: if
+// the bus goes quiet before enough traffic passes to release a held frame —
+// it may be the very reply its only active sender is blocked on — a
+// watchdog flushes everything still held. The fault models late delivery,
+// never loss, so liveness wins over the exact gap. The timer lives here
+// rather than in the bus because the bus is deterministic; wall-clock
+// policy belongs to the facade.
+const delayFlushGrace = 50 * time.Millisecond
+
+// ArmBusDelay holds each of the next n transmissions back by gap
+// subsequent transmissions before delivering it out of order (partition
+// heal releases held frames immediately). Receivers see old traffic after
+// newer traffic — the reordering that incarnation fencing and duplicate
+// suppression must both survive.
+func (s *System) ArmBusDelay(n, gap int) {
+	s.bus.SetHoldWatchdog(func() {
+		time.AfterFunc(delayFlushGrace, s.bus.FlushDelayed)
+	})
+	s.bus.ArmDelay(n, gap)
+}
+
+// corruptSalt seeds the byte-flip stream for ArmBusCorrupt: mixed with
+// ScheduleSeed when set, used alone otherwise, so corrupt sweeps are
+// replayable.
+const corruptSalt = uint64(0xC0E5D1A77E57F00D)
+
+// ArmBusCorrupt makes the next n bus transmissions arrive damaged: the
+// frame is serialized through the real wire codec, one byte is flipped,
+// and the result is re-decoded. The decoder fails closed (checksummed
+// batches, no partial prefixes), so a flipped frame almost surely dies in
+// decode and counts as a drop (Metrics.CorruptFrameDrops); in the
+// measure-zero case the flip survives decode, the decoded bytes are
+// delivered — never the original pointer.
+func (s *System) ArmBusCorrupt(n int) {
+	s.corruptOnce.Do(func() {
+		seed := s.opts.ScheduleSeed
+		if seed == 0 {
+			seed = corruptSalt
+		}
+		rng := types.NewRNG(seed ^ corruptSalt)
+		// Called under the bus mutex only, so the RNG needs no lock.
+		s.bus.SetCorrupter(func(m *types.Message) *types.Message {
+			w := wire.GetWriter()
+			kernel.EncodeMessageBatch(w, []*types.Message{m})
+			frame := append([]byte(nil), w.Bytes()...)
+			wire.PutWriter(w)
+			if len(frame) == 0 {
+				return nil
+			}
+			frame[int(rng.Next()%uint64(len(frame)))] ^= byte(1 + rng.Next()%255)
+			ms, err := kernel.DecodeMessageBatch(frame)
+			if err != nil || len(ms) != 1 {
+				return nil // fail-closed decode caught the damage: drop
+			}
+			return ms[0]
+		})
+	})
+	s.bus.ArmCorrupt(n)
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"auragen/internal/kernel"
+	"auragen/internal/types"
+)
+
+// TestStaleIncarnationMessageFenced exercises the dispatch fence directly:
+// once a crash notice announces cluster 2's next incarnation, every kernel
+// must reject traffic still stamped with the superseded one, and cluster 2
+// itself — alive behind the wrongful declaration — must step down.
+func TestStaleIncarnationMessageFenced(t *testing.T) {
+	sys := newTestSystem(t, 3)
+
+	cn := &kernel.CrashNotice{Crashed: 2, Inc: 5}
+	if err := sys.bus.BroadcastAll(&types.Message{
+		Kind:    types.KindCrashNotice,
+		Payload: cn.Encode(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !sys.kern(2).Crashed() {
+		if time.Now().After(deadline) {
+			t.Fatal("cluster 2 never self-fenced on a superseding crash notice")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A frame from cluster 2's superseded life: stamped Inc 1, below the
+	// announced view of 5. Dispatch must fence it before any kind handling.
+	stale := &types.Message{
+		Kind:   types.KindData,
+		Src:    501,
+		Dst:    502,
+		Route:  types.Route{Dst: 1, DstBackup: types.NoCluster, SrcBackup: types.NoCluster},
+		Origin: 2,
+		Inc:    1,
+	}
+	if err := sys.bus.Broadcast(stale); err != nil {
+		t.Fatal(err)
+	}
+	for sys.Metrics().FencedRejects.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stale-incarnation message was never fenced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPartitionReachability pins the probe path's view of a partition: a
+// single-bus cut leaves the cluster reachable (dual-bus failover), a
+// full cut does not, and healing restores it.
+func TestPartitionReachability(t *testing.T) {
+	sys := newTestSystem(t, 3)
+
+	if !sys.bus.Reachable(2) {
+		t.Fatal("cluster 2 unreachable before any cut")
+	}
+	if err := sys.PartitionCluster(2, true, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.bus.Reachable(2) {
+		t.Fatal("single-bus cut should be absorbed by the other bus")
+	}
+	if err := sys.PartitionCluster(2, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if sys.bus.Reachable(2) {
+		t.Fatal("fully cut cluster still reachable")
+	}
+	sys.HealPartitions()
+	if !sys.bus.Reachable(2) {
+		t.Fatal("healed cluster still unreachable")
+	}
+}

@@ -83,6 +83,22 @@ func (s *System) Repair(c types.ClusterID) error {
 	gen := s.repairGen[c]
 	s.mu.Unlock()
 
+	// Repair replaces the hardware, so any previous kernel still running —
+	// a stale primary that never received its fencing notice — is powered
+	// off first, and its bus detach must complete before the replacement
+	// attaches under the same cluster ID.
+	if old := s.kern(c); old != nil {
+		if !old.Crashed() {
+			old.Crash()
+		}
+		old.Wait()
+	}
+
+	// The replacement is a new service life: bump the cluster's
+	// incarnation so anything stamped by a pre-repair life — including
+	// frames still sitting in delay queues — is fenced on arrival.
+	s.dir.BumpIncarnation(c)
+
 	// Construct the replacement kernel outside the critical section:
 	// kernel.New attaches to the bus, a blocking cross-component call that
 	// must not run under s.mu (aurolint AURO004). The RepairBooting

@@ -137,6 +137,9 @@ type System struct {
 	// repairGen counts completed Repair attempts per cluster, salting the
 	// schedule-jitter streams of each successive kernel incarnation.
 	repairGen map[types.ClusterID]uint64
+	// corruptOnce installs the bus corrupter closure exactly once (see
+	// ArmBusCorrupt in partition.go).
+	corruptOnce sync.Once
 }
 
 // scheduleRNGs derives one cluster's schedule-perturbation RNG pair
@@ -272,6 +275,13 @@ func New(opts Options, registry *guest.Registry) (*System, error) {
 		Jitter:   detJitter,
 		Probe: func(c types.ClusterID) bool {
 			if s.consumeProbeFault(c) {
+				return false
+			}
+			// Probes ride the intercluster bus: a cluster with every
+			// inbound path severed cannot answer, however healthy its
+			// hardware — the partition case the incarnation protocol
+			// exists for.
+			if !s.bus.Reachable(c) {
 				return false
 			}
 			k := s.kern(c)
@@ -460,6 +470,15 @@ func (s *System) Crash(c types.ClusterID) error {
 
 // handleDetectedCrash is the detector callback: update the global location
 // state (the process server's knowledge) and broadcast the crash notice.
+//
+// The accused kernel is deliberately NOT halted here. Detection is a
+// verdict about reachability, not a kill switch — there is no remote
+// hardware line to yank, and a partitioned-but-alive cluster cannot be
+// reached anyway. ApplyCrash bumps the cluster's incarnation, the notice
+// carries the new number, and the accused cluster fences itself when the
+// notice reaches it (immediately when connected, at partition heal
+// otherwise). Until then it is a stale primary whose transmissions every
+// receiver rejects as below the advertised incarnation.
 func (s *System) handleDetectedCrash(c types.ClusterID) {
 	s.mu.Lock()
 	s.crashed[c] = true
@@ -467,12 +486,9 @@ func (s *System) handleDetectedCrash(c types.ClusterID) {
 	// notices s.crashed and records RepairAborted itself.
 	delete(s.repair, c)
 	s.mu.Unlock()
-	if k := s.kern(c); k != nil && !k.Crashed() {
-		k.Crash()
-	}
 	s.metrics.Crashes.Add(1)
 	s.dir.ApplyCrash(c)
-	cn := &kernel.CrashNotice{Crashed: c}
+	cn := &kernel.CrashNotice{Crashed: c, Inc: s.dir.Incarnation(c)}
 	_ = s.bus.BroadcastAll(&types.Message{
 		Kind:    types.KindCrashNotice,
 		Payload: cn.Encode(),

@@ -53,6 +53,11 @@ type ProcLoc struct {
 	// Family is the head-of-family PID (all members of a family keep
 	// their backups in a single cluster, §7.7).
 	Family types.PID
+	// Inc is the incarnation of Cluster at the moment the process was
+	// placed or promoted there. A route stamped from a ProcLoc therefore
+	// names not just a cluster but a cluster *life*: traffic addressed to
+	// a superseded life is fenced by the receiving kernel.
+	Inc types.Incarnation
 }
 
 // Directory is shared by all kernels of one system. Safe for concurrent
@@ -66,6 +71,12 @@ type Directory struct {
 	// paper's single-fault contract does not cover them (§6); the facade
 	// reports types.ErrTooManyFailures instead of pretending they exited.
 	lost map[types.PID]bool
+	// incs is the authoritative per-cluster incarnation ledger. Absent
+	// entries read as 1 (first service life). ApplyCrash bumps the
+	// declared-dead cluster's incarnation — wrongful declarations included,
+	// which is exactly what lets a wrongly-accused live primary discover
+	// it has been superseded — and repair re-integration bumps it again.
+	incs map[types.ClusterID]types.Incarnation
 
 	nextPID     types.PID
 	nextChannel types.ChannelID
@@ -77,6 +88,7 @@ func New() *Directory {
 		services:    make(map[types.PID]ServiceLoc),
 		procs:       make(map[types.PID]ProcLoc),
 		lost:        make(map[types.PID]bool),
+		incs:        make(map[types.ClusterID]types.Incarnation),
 		nextPID:     FirstUserPID,
 		nextChannel: 1,
 	}
@@ -115,10 +127,15 @@ func (d *Directory) Service(pid types.PID) (ServiceLoc, bool) {
 	return l, ok
 }
 
-// SetProc records a process location.
+// SetProc records a process location. A zero Inc is stamped with the
+// primary cluster's current incarnation, so every route read back from the
+// directory names the cluster life it was placed in.
 func (d *Directory) SetProc(pid types.PID, loc ProcLoc) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if loc.Inc == 0 && loc.Cluster != types.NoCluster {
+		loc.Inc = d.incarnationLocked(loc.Cluster)
+	}
 	d.procs[pid] = loc
 }
 
@@ -173,12 +190,20 @@ func (d *Directory) IsFullback(pid types.PID) bool {
 func (d *Directory) ApplyCrash(crashed types.ClusterID) []types.PID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// The declared-dead cluster's service life ends here, whether the
+	// declaration was accurate or a detector false positive: if a live
+	// kernel is still running behind a partition it is now a superseded
+	// incarnation, and the bumped number is what fences its traffic.
+	d.incs[crashed] = d.incarnationLocked(crashed) + 1
 	var promoted []types.PID
 	for pid, l := range d.procs {
 		switch {
 		case l.Cluster == crashed:
 			l.Cluster = l.BackupCluster
 			l.BackupCluster = types.NoCluster
+			if l.Cluster != types.NoCluster {
+				l.Inc = d.incarnationLocked(l.Cluster)
+			}
 			d.procs[pid] = l
 			if l.Cluster != types.NoCluster {
 				promoted = append(promoted, pid)
@@ -207,6 +232,32 @@ func (d *Directory) ApplyCrash(crashed types.ClusterID) []types.PID {
 	return promoted
 }
 
+// Incarnation returns cluster c's current incarnation (1 for a cluster
+// that has never been declared dead).
+func (d *Directory) Incarnation(c types.ClusterID) types.Incarnation {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.incarnationLocked(c)
+}
+
+func (d *Directory) incarnationLocked(c types.ClusterID) types.Incarnation {
+	if i, ok := d.incs[c]; ok {
+		return i
+	}
+	return 1
+}
+
+// BumpIncarnation advances cluster c into its next service life and
+// returns the new incarnation. Repair calls it when a fresh kernel boots
+// on repaired hardware, so the replacement never shares an incarnation
+// with the life the crash (or wrongful declaration) ended.
+func (d *Directory) BumpIncarnation(c types.ClusterID) types.Incarnation {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.incs[c] = d.incarnationLocked(c) + 1
+	return d.incs[c]
+}
+
 // ApplyCrashProcess rewrites one process's location after an isolatable
 // single-process failure (§10): the backup cluster becomes the primary.
 // It returns the new primary cluster (NoCluster if the process had no
@@ -225,6 +276,7 @@ func (d *Directory) ApplyCrashProcess(pid types.PID) types.ClusterID {
 		d.lost[pid] = true
 		return types.NoCluster
 	}
+	l.Inc = d.incarnationLocked(l.Cluster)
 	d.procs[pid] = l
 	return l.Cluster
 }

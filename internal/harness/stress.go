@@ -113,3 +113,32 @@ func E15SoakThroughput(cycles int, jitterSeed uint64) (*Row, error) {
 	row.Metrics = res.Run.Metrics
 	return row, nil
 }
+
+// E17PartitionRobustness drives the partition→wrongful-promotion→heal
+// sweep (every shape × every replication strategy) as a benchmark row:
+// the per-run cost of surviving a split brain, alongside the robustness
+// counters the incarnation protocol earns its keep with — step-downs,
+// fenced rejects, partitioned-traffic drops. A row only exists if every
+// run passed the split-brain oracle; a violation is an error, not a
+// data point.
+func E17PartitionRobustness(ks []int) (*Row, error) {
+	start := time.Now()
+	rep := chaos.RunPartitionSweep(1, ks)
+	elapsed := time.Since(start)
+	if len(rep.Failures) > 0 {
+		return nil, fmt.Errorf("E17: %d/%d runs violated the split-brain contract (first: %s)",
+			len(rep.Failures), rep.Runs, rep.Failures[0])
+	}
+	if rep.StepDowns == 0 {
+		return nil, fmt.Errorf("E17: no stale primary ever stepped down; the sweep created no split brains")
+	}
+	row := NewRow().
+		Add("runs", "%d", rep.Runs).
+		Add("fired", "%d", rep.Fired).
+		Add("step_downs", "%d", rep.StepDowns).
+		Add("fenced_rejects", "%d", rep.FencedRejects).
+		Add("partition_drops", "%d", rep.PartitionDrops).
+		Add("run_ms", "%.1f", float64(elapsed.Microseconds())/1000/float64(rep.Runs))
+	row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(rep.Runs)
+	return row, nil
+}

@@ -65,6 +65,12 @@ const DefaultTxBatch = 64
 // account's hosts died too — a multiple failure).
 const DefaultPageFetchTimeout = 10 * time.Second
 
+// rxDedupWindow is how many recently delivered message IDs the receive
+// loop remembers for duplicate suppression. It only needs to outlast the
+// reordering the wire can produce (armed delays are tens of transmissions);
+// sweep-length runs mint far fewer IDs than this window.
+const rxDedupWindow = 4096
+
 // Config assembles a kernel's dependencies.
 type Config struct {
 	ID       types.ClusterID
@@ -135,8 +141,30 @@ type Kernel struct {
 
 	inbox *bus.Inbox
 
+	// inc is this kernel's cluster incarnation, fixed at construction (a
+	// kernel never changes lives: repair boots a replacement kernel with
+	// the bumped incarnation). The transmit loop stamps it into every
+	// outgoing message.
+	inc types.Incarnation
+
+	// Receiver-side duplicate suppression, owned exclusively by the
+	// receive-loop goroutine: a bounded window of recently delivered
+	// bus-minted message IDs. Legitimate delivery hands each transmission
+	// to a cluster exactly once, so a repeat ID is always the wire lying
+	// (FaultBusDuplicate); a window rather than a high-water mark because
+	// delayed transmissions legitimately arrive out of ID order.
+	rxSeen     map[uint64]struct{}
+	rxSeenRing []uint64
+	rxSeenPos  int
+
 	mu     sync.Mutex
 	txCond *sync.Cond
+
+	// incView is the kernel's local knowledge of every cluster's current
+	// incarnation (guarded by mu; absent entries mean "nothing learned
+	// yet"). Messages stamped below the view are fenced; crash notices
+	// carry the bump that advances it.
+	incView map[types.ClusterID]types.Incarnation
 
 	outgoing []*types.Message
 	// txHold parks the transmit loop without stopping enqueues, so tests
@@ -248,6 +276,10 @@ func New(cfg Config) *Kernel {
 		syncReads:  cfg.SyncReads,
 		syncTicks:  cfg.SyncTicks,
 		strategy:   cfg.Strategy,
+		inc:        cfg.Dir.Incarnation(cfg.ID),
+		rxSeen:     make(map[uint64]struct{}),
+		rxSeenRing: make([]uint64, rxDedupWindow),
+		incView:    make(map[types.ClusterID]types.Incarnation),
 		held:       make(map[types.PID][]*types.Message),
 		table:      routing.NewTable(),
 		procs:      make(map[types.PID]*PCB),
@@ -272,6 +304,9 @@ func New(cfg Config) *Kernel {
 
 // ID returns the cluster id.
 func (k *Kernel) ID() types.ClusterID { return k.id }
+
+// Incarnation returns the cluster incarnation this kernel was born into.
+func (k *Kernel) Incarnation() types.Incarnation { return k.inc }
 
 // Table exposes the routing table (tests and the scenario renderer).
 func (k *Kernel) Table() *routing.Table { return k.table }
@@ -553,6 +588,13 @@ func (k *Kernel) txLoop() {
 		// state), so running them here is race-free.
 		writers = writers[:0]
 		for _, m := range batch {
+			// Stamp the sender's identity and incarnation: this is what
+			// lets receivers fence the whole batch if this kernel turns
+			// out to be a superseded primary. k.inc is immutable after New.
+			if m.Origin == types.NoCluster {
+				m.Origin = k.id
+				m.Inc = k.inc
+			}
 			var w *wire.Writer
 			if m.Lazy != nil {
 				w = wire.GetWriter()
@@ -628,12 +670,37 @@ func (k *Kernel) rxLoop() {
 			return
 		}
 		for i := range ms {
+			if k.rxDuplicate(ms[i].ID) {
+				// The wire delivered the same bus-minted transmission
+				// twice; the at-least-once lie dies here, before any
+				// arrival state is stamped.
+				k.metrics.DupDeliveriesSuppressed.Add(1)
+				continue
+			}
 			// dispatch copies the message before any mutation or retention,
 			// which is what lets the buffer be recycled on the next PopAll.
 			k.dispatch(&ms[i])
 		}
 		buf = ms
 	}
+}
+
+// rxDuplicate records id in the receive loop's dedup window and reports
+// whether it was already delivered. Owned by the rxLoop goroutine; no lock.
+func (k *Kernel) rxDuplicate(id uint64) bool {
+	if id == 0 {
+		return false
+	}
+	if _, ok := k.rxSeen[id]; ok {
+		return true
+	}
+	if old := k.rxSeenRing[k.rxSeenPos]; old != 0 {
+		delete(k.rxSeen, old)
+	}
+	k.rxSeenRing[k.rxSeenPos] = id
+	k.rxSeenPos = (k.rxSeenPos + 1) % len(k.rxSeenRing)
+	k.rxSeen[id] = struct{}{}
+	return false
 }
 
 // logMsg records a message-scoped routing event for this cluster. The
@@ -681,6 +748,20 @@ func (k *Kernel) dispatch(m *types.Message) {
 	if k.crashed || k.stopped {
 		return
 	}
+	// Incarnation fence: traffic stamped by a superseded cluster life is
+	// rejected before any arrival state is touched. A wrongly-declared
+	// primary that kept transmitting behind an asymmetric partition becomes
+	// inert here — its messages can never diverge promoted state. Unstamped
+	// control traffic (Origin NoCluster / Inc 0) is never fenced.
+	if m.Origin != types.NoCluster && m.Inc != 0 {
+		if view, ok := k.incView[m.Origin]; ok && m.Inc < view {
+			k.metrics.FencedRejects.Add(1)
+			k.logMsg(trace.EvFence, m, m.Src, uint64(m.Inc))
+			return
+		} else if !ok || m.Inc > view {
+			k.incView[m.Origin] = m.Inc
+		}
+	}
 	k.arrival++
 	m.Seq = k.arrival
 	if k.reportEvery > 0 && uint64(k.arrival)%k.reportEvery == 0 {
@@ -714,10 +795,23 @@ func (k *Kernel) dispatch(m *types.Message) {
 		k.dispatchPageReply(m)
 	case types.KindCrashNotice:
 		if cn, err := DecodeCrashNotice(m.Payload); err == nil {
-			if cn.PID == types.NoPID {
-				k.handleCrashLocked(cn.Crashed)
-			} else {
+			if cn.Inc != 0 && cn.Inc > k.incView[cn.Crashed] {
+				// Learn the bump the declaration carries, so stragglers
+				// from the superseded life are fenced from here on.
+				k.incView[cn.Crashed] = cn.Inc
+			}
+			switch {
+			case cn.PID != types.NoPID:
 				k.handleProcCrashLocked(cn.Crashed, cn.PID)
+			case cn.Crashed == k.id && cn.Inc > k.inc:
+				// The system declared THIS cluster dead while it was alive
+				// (a detector false positive, typically behind a
+				// partition): our incarnation is superseded and backups
+				// have been promoted elsewhere. Fence ourselves — step
+				// down instead of running as a divergent second primary.
+				k.stepDownLocked(cn.Inc)
+			default:
+				k.handleCrashLocked(cn.Crashed)
 			}
 		}
 	case types.KindBackupUp:

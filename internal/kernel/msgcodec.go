@@ -26,6 +26,8 @@ func EncodeMessageFrame(w *wire.Writer, m *types.Message) {
 	w.I32(int32(m.Route.Dst))
 	w.I32(int32(m.Route.DstBackup))
 	w.I32(int32(m.Route.SrcBackup))
+	w.I32(int32(m.Origin))
+	w.U32(uint32(m.Inc))
 	w.U64(uint64(m.Seq))
 	w.Bytes32(m.Payload)
 	w.U32(uint32(len(m.Nondet)))
@@ -48,7 +50,9 @@ func DecodeMessageFrame(r *wire.Reader) *types.Message {
 			DstBackup: types.ClusterID(r.I32()),
 			SrcBackup: types.ClusterID(r.I32()),
 		},
-		Seq: types.Seq(r.U64()),
+		Origin: types.ClusterID(r.I32()),
+		Inc:    types.Incarnation(r.U32()),
+		Seq:    types.Seq(r.U64()),
 	}
 	if p := r.Bytes32(); len(p) > 0 {
 		m.Payload = append([]byte(nil), p...)

@@ -52,6 +52,22 @@ func FuzzDecodeMessageBatch(f *testing.F) {
 	EncodeMessageBatch(sw, strategic)
 	f.Add(append([]byte(nil), sw.Bytes()...))
 
+	// Lossy-wire seeds: the exact shapes the bus fault model manufactures.
+	// A duplicated frame — the same message twice in one batch, incarnation
+	// stamp and all — must round-trip (dedup is the receiver's job, not the
+	// codec's), and a single flipped byte in a valid batch must die in the
+	// fail-closed decode (the corrupt fault counts on it).
+	dupMsg := &types.Message{ID: 92, Kind: types.KindData, Src: 33, Dst: 44,
+		Route:  types.Route{Dst: 1, DstBackup: 0, SrcBackup: 2},
+		Origin: 2, Inc: 7,
+		Payload: []byte("xfer 3 4 7")}
+	dw := wire.NewWriter(0)
+	EncodeMessageBatch(dw, []*types.Message{dupMsg, dupMsg})
+	f.Add(append([]byte(nil), dw.Bytes()...))
+	flipped := append([]byte(nil), dw.Bytes()...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+
 	w := wire.NewWriter(0)
 	EncodeMessageBatch(w, nil)
 	f.Add(append([]byte(nil), w.Bytes()...)) // empty batch

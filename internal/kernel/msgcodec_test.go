@@ -23,7 +23,9 @@ func randomMessage(rng *rand.Rand) *types.Message {
 			DstBackup: types.ClusterID(rng.Intn(5) - 1),
 			SrcBackup: types.ClusterID(rng.Intn(5) - 1),
 		},
-		Seq: types.Seq(rng.Uint64()),
+		Seq:    types.Seq(rng.Uint64()),
+		Origin: types.ClusterID(rng.Intn(5) - 1),
+		Inc:    types.Incarnation(rng.Uint32()),
 	}
 	if rng.Intn(3) > 0 {
 		m.Payload = make([]byte, 1+rng.Intn(200))

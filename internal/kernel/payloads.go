@@ -668,6 +668,12 @@ func DecodeExitNotice(b []byte) (*ExitNotice, error) {
 type CrashNotice struct {
 	Crashed types.ClusterID
 	PID     types.PID
+	// Inc is the incarnation the crashed cluster's next service life will
+	// carry (the directory bumps it when the crash is declared). Receivers
+	// learn the bump from the notice; the crashed cluster itself — if it is
+	// in fact alive behind a wrongful declaration — sees its own id with a
+	// higher incarnation and fences itself.
+	Inc types.Incarnation
 }
 
 // Encode serializes the crash notice.
@@ -675,13 +681,18 @@ func (c *CrashNotice) Encode() []byte {
 	w := newPayloadWriter(16)
 	w.I32(int32(c.Crashed))
 	w.U64(uint64(c.PID))
+	w.U32(uint32(c.Inc))
 	return w.Bytes()
 }
 
 // DecodeCrashNotice parses a crash notice payload.
 func DecodeCrashNotice(b []byte) (*CrashNotice, error) {
 	r := wire.NewReader(b)
-	c := &CrashNotice{Crashed: types.ClusterID(r.I32()), PID: types.PID(r.U64())}
+	c := &CrashNotice{
+		Crashed: types.ClusterID(r.I32()),
+		PID:     types.PID(r.U64()),
+		Inc:     types.Incarnation(r.U32()),
+	}
 	if err := r.Done(); err != nil {
 		return nil, fmt.Errorf("kernel: crash notice: %w", err)
 	}

@@ -143,15 +143,37 @@ func TestExitNoticeRoundTrip(t *testing.T) {
 }
 
 func TestCrashNoticeAndBackupUpRoundTrip(t *testing.T) {
-	cn := &CrashNotice{Crashed: 5}
+	cn := &CrashNotice{Crashed: 5, Inc: 7}
 	gotCN, err := DecodeCrashNotice(cn.Encode())
-	if err != nil || gotCN.Crashed != 5 {
+	if err != nil || gotCN.Crashed != 5 || gotCN.Inc != 7 {
 		t.Fatalf("crash notice: %v %+v", err, gotCN)
 	}
 	bu := &BackupUp{PID: 101, BackupCluster: 3}
 	gotBU, err := DecodeBackupUp(bu.Encode())
 	if err != nil || !reflect.DeepEqual(bu, gotBU) {
 		t.Fatalf("backup up: %v %+v", err, gotBU)
+	}
+}
+
+// TestCrashNoticeIncarnationProperty: every incarnation value — including
+// the extremes a long-lived system could reach — survives the notice
+// round-trip exactly, and any truncation of the encoding fails closed. A
+// notice whose incarnation silently decoded as zero would un-fence a stale
+// primary, so the stamp must never be droppable.
+func TestCrashNoticeIncarnationProperty(t *testing.T) {
+	incs := []types.Incarnation{0, 1, 2, 255, 1 << 16, 1<<32 - 1}
+	for _, inc := range incs {
+		in := &CrashNotice{Crashed: 3, PID: 42, Inc: inc}
+		enc := in.Encode()
+		out, err := DecodeCrashNotice(enc)
+		if err != nil || !reflect.DeepEqual(in, out) {
+			t.Fatalf("inc %d: %v %+v", inc, err, out)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if got, err := DecodeCrashNotice(enc[:cut]); err == nil {
+				t.Fatalf("inc %d: truncation at %d decoded %+v", inc, cut, got)
+			}
+		}
 	}
 }
 

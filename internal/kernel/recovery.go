@@ -133,6 +133,76 @@ func (k *Kernel) handleCrashLocked(crashed types.ClusterID) {
 	}
 }
 
+// stepDownLocked is the self-fencing half of the incarnation protocol: the
+// kernel has just learned (from a crash notice naming its own cluster with
+// a higher incarnation) that the rest of the system declared it dead and
+// promoted its backups. Every primary it still runs is superseded —
+// continuing would produce divergent state the healed system could never
+// reconcile — so the kernel demotes itself to silence: each live primary
+// is killed with an EvStepDown record, volatile state is dropped, and the
+// cluster leaves the bus exactly as if the wrongful declaration had been
+// true. Recovery from here is the ordinary repair path, which boots a
+// fresh kernel at the bumped incarnation.
+//
+// The caller holds k.mu (dispatch); the bus detach is a blocking
+// cross-component call, so it runs on a tracked goroutine after this
+// critical section unwinds.
+func (k *Kernel) stepDownLocked(super types.Incarnation) {
+	if k.crashed || k.stopped {
+		return
+	}
+	if k.log != nil {
+		k.log.Append(trace.Event{
+			Kind:    trace.EvFence,
+			Cluster: k.id,
+			Arg:     uint64(super),
+			Note:    "own incarnation superseded; stepping down",
+		})
+	}
+	for _, p := range k.sortedProcsLocked() {
+		k.metrics.StepDowns.Add(1)
+		if k.log != nil {
+			k.log.Append(trace.Event{
+				Kind:    trace.EvStepDown,
+				Cluster: k.id,
+				PID:     p.pid,
+				Arg:     uint64(super),
+			})
+		}
+	}
+	serverPIDs := make([]types.PID, 0, len(k.servers))
+	for pid, host := range k.servers {
+		if host.role == routing.Primary {
+			serverPIDs = append(serverPIDs, pid)
+		}
+	}
+	sort.Slice(serverPIDs, func(i, j int) bool { return serverPIDs[i] < serverPIDs[j] })
+	for _, pid := range serverPIDs {
+		k.metrics.StepDowns.Add(1)
+		if k.log != nil {
+			k.log.Append(trace.Event{
+				Kind:    trace.EvStepDown,
+				Cluster: k.id,
+				PID:     pid,
+				Arg:     uint64(super),
+			})
+		}
+	}
+	k.crashed = true
+	k.outgoing = nil
+	for _, p := range k.procs {
+		p.crashed = true
+		p.cond.Broadcast()
+	}
+	k.txCond.Broadcast()
+	k.closeDieLocked()
+	k.wg.Add(1)
+	go func() {
+		defer k.wg.Done()
+		k.bus.Detach(k.id)
+	}()
+}
+
 // replayableKind classifies every protocol kind for backup replay (§5.2):
 // true means the kind is channel-carried program input that a saved queue
 // may legitimately contain and a promoted backup must re-execute; false

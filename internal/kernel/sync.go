@@ -337,6 +337,14 @@ func (k *Kernel) applySyncLocked(sm *SyncMsg) {
 		b = &BackupPCB{pid: sm.PID}
 		k.backups[sm.PID] = b
 	}
+	if b.synced && sm.Epoch < b.epoch {
+		// Stale sync: a lossy wire (delay faults, partition heals) can
+		// release an old checkpoint behind a newer one. Applying it would
+		// regress the backup image and discard the saved-message queue
+		// the newer epoch already trimmed, so it is dropped — epochs only
+		// move forward.
+		return
+	}
 	if !b.synced {
 		b.synced = true
 		k.metrics.BackupsCreated.Add(1)

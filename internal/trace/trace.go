@@ -104,6 +104,26 @@ type Metrics struct {
 	// fault (each drop is recovered by the retry path or surfaces as an
 	// error to the sender).
 	BusFaultDrops atomic.Uint64
+
+	// PartitionDrops counts per-target deliveries silently discarded by a
+	// partition link mask — unlike BusFaultDrops these are never retried;
+	// a partition lies to the sender.
+	PartitionDrops atomic.Uint64
+	// CorruptFrameDrops counts transmissions whose frame failed fail-closed
+	// decoding after an injected corruption and were dropped (the
+	// Byzantine→omission conversion: a flipped byte becomes a lost
+	// message, never a delivered lie).
+	CorruptFrameDrops atomic.Uint64
+	// DupDeliveriesSuppressed counts inbound copies discarded by receiver
+	// dedup because their bus-minted message ID was already delivered to
+	// that cluster.
+	DupDeliveriesSuppressed atomic.Uint64
+	// FencedRejects counts inbound messages rejected because they carried
+	// a stale incarnation for their origin cluster.
+	FencedRejects atomic.Uint64
+	// StepDowns counts primaries demoted or killed by a superseded kernel
+	// fencing itself after learning of a higher incarnation.
+	StepDowns atomic.Uint64
 }
 
 // AddRecovery records one crash-to-runnable recovery duration (one per
@@ -130,32 +150,37 @@ type Snapshot map[string]uint64
 // Snapshot captures the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		"bus_transmissions":    m.BusTransmissions.Load(),
-		"bus_deliveries":       m.BusDeliveries.Load(),
-		"bus_bytes":            m.BusBytes.Load(),
-		"bus_batches":          m.BusBatches.Load(),
-		"bus_batched_messages": m.BusBatchedMessages.Load(),
-		"inbox_peak":           m.InboxPeak.Load(),
-		"primary_deliveries":   m.PrimaryDeliveries.Load(),
-		"backup_saves":         m.BackupSaves.Load(),
-		"sender_backup_counts": m.SenderBackupCounts.Load(),
-		"syncs":                m.Syncs.Load(),
-		"sync_forced":          m.SyncForced.Load(),
-		"pages_out":            m.PagesOut.Load(),
-		"page_bytes":           m.PageBytes.Load(),
-		"messages_discarded":   m.MessagesDiscarded.Load(),
-		"backups_created":      m.BackupsCreated.Load(),
-		"birth_notices":        m.BirthNotices.Load(),
-		"backups_avoided":      m.BackupsAvoided.Load(),
-		"recoveries":           m.Recoveries.Load(),
-		"replayed_messages":    m.ReplayedMessages.Load(),
-		"suppressed_sends":     m.SuppressedSends.Load(),
-		"pages_fetched":        m.PagesFetched.Load(),
-		"recovery_nanos":       uint64(m.RecoveryNanos.Load()),
-		"crashes":              m.Crashes.Load(),
-		"bus_failovers":        m.BusFailovers.Load(),
-		"bus_retries":          m.BusRetries.Load(),
-		"bus_fault_drops":      m.BusFaultDrops.Load(),
+		"bus_transmissions":         m.BusTransmissions.Load(),
+		"bus_deliveries":            m.BusDeliveries.Load(),
+		"bus_bytes":                 m.BusBytes.Load(),
+		"bus_batches":               m.BusBatches.Load(),
+		"bus_batched_messages":      m.BusBatchedMessages.Load(),
+		"inbox_peak":                m.InboxPeak.Load(),
+		"primary_deliveries":        m.PrimaryDeliveries.Load(),
+		"backup_saves":              m.BackupSaves.Load(),
+		"sender_backup_counts":      m.SenderBackupCounts.Load(),
+		"syncs":                     m.Syncs.Load(),
+		"sync_forced":               m.SyncForced.Load(),
+		"pages_out":                 m.PagesOut.Load(),
+		"page_bytes":                m.PageBytes.Load(),
+		"messages_discarded":        m.MessagesDiscarded.Load(),
+		"backups_created":           m.BackupsCreated.Load(),
+		"birth_notices":             m.BirthNotices.Load(),
+		"backups_avoided":           m.BackupsAvoided.Load(),
+		"recoveries":                m.Recoveries.Load(),
+		"replayed_messages":         m.ReplayedMessages.Load(),
+		"suppressed_sends":          m.SuppressedSends.Load(),
+		"pages_fetched":             m.PagesFetched.Load(),
+		"recovery_nanos":            uint64(m.RecoveryNanos.Load()),
+		"crashes":                   m.Crashes.Load(),
+		"bus_failovers":             m.BusFailovers.Load(),
+		"bus_retries":               m.BusRetries.Load(),
+		"bus_fault_drops":           m.BusFaultDrops.Load(),
+		"partition_drops":           m.PartitionDrops.Load(),
+		"corrupt_frame_drops":       m.CorruptFrameDrops.Load(),
+		"dup_deliveries_suppressed": m.DupDeliveriesSuppressed.Load(),
+		"fenced_rejects":            m.FencedRejects.Load(),
+		"step_downs":                m.StepDowns.Load(),
 	}
 }
 
@@ -232,6 +257,15 @@ const (
 	// one phase (§7.3 re-backup; see core.Repair). Cluster is the cluster
 	// under repair; Arg is the types.RepairPhase entered.
 	EvRepair
+	// EvFence records a kernel rejecting an inbound message stamped with a
+	// stale incarnation for its origin cluster, or a kernel beginning to
+	// fence itself after learning its own incarnation was superseded.
+	// Cluster is the rejecting kernel; Arg is the stale incarnation seen.
+	EvFence
+	// EvStepDown records a superseded primary demoted or killed by its own
+	// kernel's self-fencing path after a wrongful promotion elsewhere. PID
+	// is the demoted primary; Arg is the superseding incarnation learned.
+	EvStepDown
 	// EvNote is a freeform annotation for rare conditions (bus failure,
 	// guest software fault); the detail lives in Note.
 	EvNote
@@ -265,6 +299,10 @@ func (k EventKind) String() string {
 		return "page-fetch"
 	case EvRepair:
 		return "repair"
+	case EvFence:
+		return "fence"
+	case EvStepDown:
+		return "step-down"
 	case EvNote:
 		return "note"
 	default:
@@ -531,6 +569,8 @@ func (e Event) Detail() string {
 		parts = append(parts, fmt.Sprintf("pages=%d", e.Arg))
 	case EvRepair:
 		parts = append(parts, fmt.Sprintf("phase=%s", types.RepairPhase(e.Arg)))
+	case EvFence, EvStepDown:
+		parts = append(parts, fmt.Sprintf("inc=%d", e.Arg))
 	default:
 		// The remaining kinds carry no kind-specific argument.
 	}

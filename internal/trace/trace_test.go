@@ -197,7 +197,7 @@ func TestEventKindStrings(t *testing.T) {
 	kinds := []EventKind{
 		EvTransmit, EvReceive, EvDeliver, EvSave, EvCount, EvSync,
 		EvSyncApply, EvCrash, EvRecover, EvReplay, EvSuppress,
-		EvPageFetch, EvNote,
+		EvPageFetch, EvNote, EvRepair, EvFence, EvStepDown,
 	}
 	seen := make(map[string]bool)
 	for _, k := range kinds {

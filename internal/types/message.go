@@ -217,6 +217,14 @@ type Message struct {
 	Dst PID
 	// Route lists the clusters that must receive the transmission.
 	Route Route
+	// Origin is the cluster whose executive transmitted the message, and
+	// Inc that cluster's incarnation at transmit time. Receivers fence
+	// messages whose Inc is stale for Origin — the stamp is what makes a
+	// superseded primary's traffic inert after a wrongful promotion.
+	// Origin NoCluster / Inc 0 marks unfenced control traffic (core
+	// facade, detector) that carries no cluster identity.
+	Origin ClusterID
+	Inc    Incarnation
 	// Seq is assigned by the receiving kernel on arrival (cluster-local,
 	// monotone). Zero until delivery.
 	Seq Seq

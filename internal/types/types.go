@@ -23,6 +23,17 @@ func (c ClusterID) String() string {
 	return fmt.Sprintf("cluster%d", int32(c))
 }
 
+// Incarnation counts a cluster's service lives. A cluster boots at
+// incarnation 1; every promotion of its backups (crash handling, wrongful
+// or not) and every repair re-integration bumps it. Messages carry the
+// sender's incarnation so receivers can fence traffic from a superseded
+// primary — the precedence-ordered membership idea LLFT uses to make
+// wrongful promotion safe. Incarnation 0 is the wildcard: core-originated
+// control traffic that predates no promotion and is never fenced.
+type Incarnation uint32
+
+func (i Incarnation) String() string { return fmt.Sprintf("inc%d", uint32(i)) }
+
 // PID is a globally unique process identifier. The paper makes UNIX's
 // process id global precisely so that a backup sees the same pid as its
 // primary (§7.5.1); we allocate PIDs from the process server.
